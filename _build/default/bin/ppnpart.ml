@@ -1,0 +1,475 @@
+(* ppnpart: command-line front end.
+
+   Subcommands:
+     partition    read (or generate) a graph and partition it under the
+                  bandwidth/resource constraints with a chosen algorithm
+     gen          emit a synthetic process-network graph in METIS format
+     experiments  reproduce the paper's three result tables
+     info         print summary statistics of a graph file *)
+
+open Cmdliner
+open Ppnpart_graph
+open Ppnpart_partition
+
+let read_graph path =
+  let text = Graph_io.read_file path in
+  (* Accept both supported formats: try METIS first, then the adjacency
+     matrix. *)
+  match Graph_io.of_metis text with
+  | g -> g
+  | exception _ -> Graph_io.of_adjacency_matrix text
+
+(* --- shared arguments --- *)
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE"
+        ~doc:"Input graph (METIS .graph or adjacency-matrix format).")
+
+let paper_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "paper" ] ~docv:"N"
+        ~doc:"Use the paper's experiment instance $(docv) (1-3) as input.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let k_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "k" ] ~docv:"K" ~doc:"Number of partitions (FPGAs).")
+
+let bmax_arg =
+  Arg.(
+    value & opt int max_int
+    & info [ "bmax" ] ~docv:"B"
+        ~doc:"Pairwise bandwidth bound between partitions.")
+
+let rmax_arg =
+  Arg.(
+    value & opt int max_int
+    & info [ "rmax" ] ~docv:"R" ~doc:"Per-partition resource bound.")
+
+let algo_arg =
+  let algos =
+    [ ("gp", `Gp); ("metis", `Metis); ("spectral", `Spectral); ("fm", `Fm);
+      ("kl", `Kl); ("exact", `Exact) ]
+  in
+  Arg.(
+    value
+    & opt (enum algos) `Gp
+    & info [ "a"; "algo" ] ~docv:"ALGO"
+        ~doc:
+          "Partitioner: $(b,gp) (the paper's constrained multilevel), \
+           $(b,metis) (mini-METIS cut minimizer), $(b,spectral), $(b,fm), \
+           $(b,kl) (two-way only unless k is a power of two), or \
+           $(b,exact) (branch and bound, <= 24 nodes).")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write the partitioned graph as Graphviz DOT to $(docv).")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE"
+        ~doc:"Write the partition (METIS-style .part file) to $(docv).")
+
+let resolve_input input paper seed =
+  match (input, paper) with
+  | Some path, None -> Ok (read_graph path)
+  | None, Some n -> (
+    let module PG = Ppnpart_workloads.Paper_graphs in
+    match n with
+    | 1 -> Ok PG.experiment1.PG.graph
+    | 2 -> Ok PG.experiment2.PG.graph
+    | 3 -> Ok PG.experiment3.PG.graph
+    | _ -> Error "--paper expects 1, 2 or 3")
+  | None, None ->
+    (* default demo graph *)
+    let rng = Random.State.make [| seed |] in
+    Ok
+      (Ppnpart_workloads.Rand_graph.gnm ~vw_range:(10, 50) ~ew_range:(1, 9)
+         rng ~n:24 ~m:60)
+  | Some _, Some _ -> Error "--input and --paper are mutually exclusive"
+
+(* --- partition command --- *)
+
+let partition_cmd =
+  let run input paper seed k bmax rmax algo dot save =
+    match resolve_input input paper seed with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok g ->
+      let c = Types.constraints ~k ~bmax ~rmax in
+      let name, part, runtime_s =
+        let t0 = Unix.gettimeofday () in
+        let rng = Random.State.make [| seed |] in
+        match algo with
+        | `Gp ->
+          let config = { Ppnpart_core.Config.default with seed } in
+          let r = Ppnpart_core.Gp.partition ~config g c in
+          ("GP", r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.runtime_s)
+        | `Metis ->
+          let s = Ppnpart_baselines.Metis_like.partition ~seed g ~k in
+          ( "METIS-like",
+            s.Ppnpart_baselines.Metis_like.part,
+            s.Ppnpart_baselines.Metis_like.runtime_s )
+        | `Spectral ->
+          let p = Ppnpart_baselines.Spectral.kway rng g ~k in
+          ("spectral", p, Unix.gettimeofday () -. t0)
+        | `Fm ->
+          let p = Ppnpart_baselines.Fm.kway rng g ~k in
+          ("FM", p, Unix.gettimeofday () -. t0)
+        | `Kl ->
+          let p =
+            Ppnpart_baselines.Recursive_bisection.kway
+              (fun rng g -> Ppnpart_baselines.Kl.bisect rng g)
+              rng g ~k
+          in
+          ("KL", p, Unix.gettimeofday () -. t0)
+        | `Exact -> (
+          match Ppnpart_baselines.Exact.partition g c with
+          | Some (p, _) -> ("exact", p, Unix.gettimeofday () -. t0)
+          | None ->
+            Printf.printf "exact: no feasible partition exists\n";
+            exit 3)
+      in
+      let report = Metrics.report ~runtime_s g c part in
+      print_string
+        (Ppnpart_core.Report.table
+           ~title:(Printf.sprintf "%s on %s" name (Wgraph.summary g))
+           ~constraints:c
+           [ (name, report) ]);
+      Printf.printf "assignment:";
+      Array.iter (fun p -> Printf.printf " %d" p) part;
+      print_newline ();
+      Option.iter
+        (fun path ->
+          Graph_io.write_file path (Graph_io.to_dot ~partition:part g);
+          Printf.printf "wrote %s\n" path)
+        dot;
+      Option.iter
+        (fun path ->
+          Partition_io.save path ~k part;
+          Printf.printf "wrote %s\n" path)
+        save;
+      if report.Metrics.bandwidth_ok && report.Metrics.resource_ok then 0
+      else 4
+  in
+  let term =
+    Term.(
+      const run $ input_arg $ paper_arg $ seed_arg $ k_arg $ bmax_arg
+      $ rmax_arg $ algo_arg $ dot_arg $ save_arg)
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Partition a process-network graph under bandwidth and resource \
+          constraints. Exit code 4 when the result violates a constraint, \
+          3 when exact search proves infeasibility.")
+    term
+
+(* --- gen command --- *)
+
+let gen_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & opt (enum [ ("gnm", `Gnm); ("layered", `Layered) ]) `Gnm
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Generator: $(b,gnm) or $(b,layered).")
+  in
+  let n_arg = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Nodes (gnm).") in
+  let m_arg = Arg.(value & opt int 60 & info [ "m" ] ~doc:"Edges (gnm).") in
+  let layers_arg =
+    Arg.(value & opt int 8 & info [ "layers" ] ~doc:"Layers (layered).")
+  in
+  let width_arg =
+    Arg.(value & opt int 4 & info [ "width" ] ~doc:"Layer width (layered).")
+  in
+  let run kind n m layers width seed =
+    let rng = Random.State.make [| seed |] in
+    let g =
+      match kind with
+      | `Gnm ->
+        Ppnpart_workloads.Rand_graph.gnm ~vw_range:(10, 50) ~ew_range:(1, 9)
+          rng ~n ~m
+      | `Layered ->
+        Ppnpart_workloads.Rand_graph.layered ~vw_range:(10, 50)
+          ~ew_range:(1, 9) rng ~layers ~width
+    in
+    print_string (Graph_io.to_metis g);
+    0
+  in
+  let term =
+    Term.(
+      const run $ kind_arg $ n_arg $ m_arg $ layers_arg $ width_arg
+      $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate a synthetic process-network graph (METIS format).")
+    term
+
+(* --- experiments command --- *)
+
+let experiments_cmd =
+  let stable_arg =
+    Arg.(
+      value & flag
+      & info [ "stable" ]
+          ~doc:
+            "Print only the run-independent columns (no timings): suitable \
+             for golden-file regression tests of the reproduction.")
+  in
+  let run stable =
+    let module PG = Ppnpart_workloads.Paper_graphs in
+    List.iter
+      (fun (e : PG.experiment) ->
+        let g = e.PG.graph and c = e.PG.constraints in
+        let ms = Ppnpart_baselines.Metis_like.partition g ~k:c.Types.k in
+        let mrep =
+          Metrics.report
+            ~runtime_s:ms.Ppnpart_baselines.Metis_like.runtime_s g c
+            ms.Ppnpart_baselines.Metis_like.part
+        in
+        let gp = Ppnpart_core.Gp.partition g c in
+        if stable then begin
+          let row name (r : Metrics.report) =
+            Printf.printf "%s,%s,cut=%d,max_res=%d%s,max_bw=%d%s\n" e.PG.name
+              name r.Metrics.total_cut r.Metrics.max_resources
+              (if r.Metrics.resource_ok then "" else "!")
+              r.Metrics.max_bandwidth
+              (if r.Metrics.bandwidth_ok then "" else "!")
+          in
+          row "metis-like" mrep;
+          row "gp" gp.Ppnpart_core.Gp.report
+        end
+        else begin
+          print_string
+            (Ppnpart_core.Report.table ~title:e.PG.name ~constraints:c
+               [ ("METIS-like", mrep); ("GP", gp.Ppnpart_core.Gp.report) ]);
+          print_newline ()
+        end)
+      PG.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Reproduce the paper's Tables I-III (METIS-like vs GP).")
+    Term.(const run $ stable_arg)
+
+(* --- simulate command --- *)
+
+let simulate_cmd =
+  let kernel_arg =
+    let kernels =
+      List.map (fun (name, _) -> (name, name)) Ppnpart_ppn.Kernels.all
+    in
+    Arg.(
+      value
+      & opt (enum kernels) "chain"
+      & info [ "kernel" ] ~docv:"KERNEL"
+          ~doc:"Kernel to derive, partition and simulate.")
+  in
+  let n_fpgas_arg =
+    Arg.(value & opt int 4 & info [ "fpgas" ] ~doc:"Number of FPGAs.")
+  in
+  let link_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "link-bw" ] ~doc:"Link bandwidth in data units per cycle.")
+  in
+  let topology_arg =
+    Arg.(
+      value
+      & opt (enum [ ("all-to-all", `All); ("ring", `Ring); ("mesh", `Mesh) ])
+          `All
+      & info [ "topology" ] ~doc:"Physical link topology.")
+  in
+  let program_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program" ] ~docv:"FILE"
+          ~doc:
+            "A .pn affine program to derive the network from (overrides \
+             $(b,--kernel)).")
+  in
+  let run kernel program n_fpgas link_bw topology seed =
+    let stmts =
+      match program with
+      | None -> List.assoc kernel Ppnpart_ppn.Kernels.all
+      | Some path -> (
+        match Ppnpart_lang.Lang.parse_file path with
+        | Ok stmts -> stmts
+        | Error e ->
+          Format.eprintf "%s: %a@." path Ppnpart_lang.Lang.pp_error e;
+          exit 1)
+    in
+    let topology =
+      match topology with
+      | `All -> Ppnpart_fpga.Platform.All_to_all
+      | `Ring -> Ppnpart_fpga.Platform.Ring
+      | `Mesh ->
+        (* squarest mesh for the FPGA count *)
+        let rec best r = if n_fpgas mod r = 0 then r else best (r - 1) in
+        let rows = best (int_of_float (sqrt (float_of_int n_fpgas))) in
+        Ppnpart_fpga.Platform.Mesh (rows, n_fpgas / rows)
+    in
+    let opts =
+      {
+        (Ppnpart_flow.Flow.default_options ~k:n_fpgas) with
+        Ppnpart_flow.Flow.topology;
+        link_bandwidth = link_bw;
+        seed;
+      }
+    in
+    let t = Ppnpart_flow.Flow.run opts stmts in
+    Format.printf "%a@." Ppnpart_flow.Flow.pp_summary t;
+    0
+  in
+  let term =
+    Term.(
+      const run $ kernel_arg $ program_arg $ n_fpgas_arg $ link_arg
+      $ topology_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Derive a kernel's process network, partition it with GP, map it \
+          onto a multi-FPGA platform and run the cycle-level simulator.")
+    term
+
+(* --- kernels command --- *)
+
+let kernels_cmd =
+  let emit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"KERNEL"
+          ~doc:"Print the named built-in kernel as a .pn program.")
+  in
+  let run emit =
+    match emit with
+    | Some name -> (
+      match List.assoc_opt name Ppnpart_ppn.Kernels.all with
+      | Some stmts ->
+        print_string (Ppnpart_lang.Lang.emit stmts);
+        0
+      | None ->
+        Printf.eprintf "unknown kernel %s; available: %s\n" name
+          (String.concat " " (List.map fst Ppnpart_ppn.Kernels.all));
+        2)
+    | None ->
+      Printf.printf "%-12s %-12s %-10s %-12s\n" "kernel" "statements"
+        "processes" "channels";
+      List.iter
+        (fun (name, stmts) ->
+          let ppn = Ppnpart_ppn.Derive.derive stmts in
+          Printf.printf "%-12s %-12d %-10d %-12d\n" name
+            (List.length stmts)
+            (Ppnpart_ppn.Ppn.n_processes ppn)
+            (List.length (Ppnpart_ppn.Ppn.channels ppn)))
+        Ppnpart_ppn.Kernels.all;
+      0
+  in
+  Cmd.v
+    (Cmd.info "kernels"
+       ~doc:
+         "List the built-in affine kernels, or export one as a .pn \
+          program with $(b,--emit).")
+    Term.(const run $ emit_arg)
+
+(* --- eval command --- *)
+
+let eval_cmd =
+  let part_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "part" ] ~docv:"FILE"
+          ~doc:"Partition file (as written by $(b,partition --save)).")
+  in
+  let run input paper seed bmax rmax part_path =
+    match resolve_input input paper seed with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok g -> (
+      match Partition_io.load part_path with
+      | exception Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+      | part, k ->
+        if Array.length part <> Wgraph.n_nodes g then begin
+          Printf.eprintf "error: partition is for %d nodes, graph has %d\n"
+            (Array.length part) (Wgraph.n_nodes g);
+          1
+        end
+        else begin
+          let c = Types.constraints ~k ~bmax ~rmax in
+          let report = Metrics.report g c part in
+          print_string
+            (Ppnpart_core.Report.table
+               ~title:(Printf.sprintf "evaluation of %s" part_path)
+               ~constraints:c
+               [ ("loaded", report) ]);
+          if report.Metrics.bandwidth_ok && report.Metrics.resource_ok then 0
+          else 4
+        end)
+  in
+  let term =
+    Term.(
+      const run $ input_arg $ paper_arg $ seed_arg $ bmax_arg $ rmax_arg
+      $ part_arg)
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:
+         "Evaluate a saved partition against a graph and constraints. Exit \
+          code 4 when a constraint is violated.")
+    term
+
+(* --- info command --- *)
+
+let info_cmd =
+  let run input paper seed =
+    match resolve_input input paper seed with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok g ->
+      Printf.printf "%s\n" (Wgraph.summary g);
+      Printf.printf "connected: %b, components: %d\n" (Wgraph.is_connected g)
+        (snd (Wgraph.components g));
+      0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print summary statistics of a graph.")
+    Term.(const run $ input_arg $ paper_arg $ seed_arg)
+
+let () =
+  let doc =
+    "K-ways partitioning of polyhedral process networks onto multi-FPGA \
+     systems (Cattaneo et al., IPDPSW 2015)"
+  in
+  let main =
+    Cmd.group
+      (Cmd.info "ppnpart" ~version:"1.0.0" ~doc)
+      [
+        partition_cmd; gen_cmd; experiments_cmd; simulate_cmd; eval_cmd;
+        kernels_cmd; info_cmd;
+      ]
+  in
+  exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/board_design.ml: Array Format List Metrics Multires Ppnpart_baselines Ppnpart_core Ppnpart_fpga Ppnpart_graph Ppnpart_partition Ppnpart_ppn Printf Random String Wgraph

@@ -1,0 +1,1 @@
+examples/board_design.mli:

@@ -1,0 +1,1 @@
+examples/frontend.ml: Array Format List Ppnpart_flow Ppnpart_lang Ppnpart_poly Printf Sys

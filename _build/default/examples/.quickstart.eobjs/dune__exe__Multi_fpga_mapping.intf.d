@@ -1,0 +1,1 @@
+examples/multi_fpga_mapping.mli:

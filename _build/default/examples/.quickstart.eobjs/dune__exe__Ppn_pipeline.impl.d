@@ -1,0 +1,1 @@
+examples/ppn_pipeline.ml: Array Format List Ppnpart_core Ppnpart_graph Ppnpart_partition Ppnpart_poly Ppnpart_ppn Printf

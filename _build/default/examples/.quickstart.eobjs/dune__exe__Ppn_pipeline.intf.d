@@ -1,0 +1,1 @@
+examples/ppn_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Metrics Ppnpart_baselines Ppnpart_core Ppnpart_graph Ppnpart_partition Printf Types Wgraph

@@ -1,0 +1,1 @@
+examples/toolflow.ml: Format Ppnpart_flow Ppnpart_fpga Ppnpart_partition Ppnpart_ppn

@@ -1,0 +1,42 @@
+(* Feasibility frontier: sweep the bandwidth bound Bmax downward on a fixed
+   instance and observe (a) when GP can still find a feasible mapping, (b)
+   whether the cut-only baseline happens to satisfy the bound, and (c) the
+   cut price GP pays for tighter bounds. The exact branch-and-bound oracle
+   marks the true frontier on this 12-node instance.
+
+   Run with:  dune exec examples/constraint_frontier.exe *)
+
+open Ppnpart_partition
+module PG = Ppnpart_workloads.Paper_graphs
+
+let () =
+  let e = PG.experiment1 in
+  let g = e.PG.graph in
+  let k = e.PG.constraints.Types.k in
+  let rmax = e.PG.constraints.Types.rmax in
+  let ms = Ppnpart_baselines.Metis_like.partition g ~k in
+  Printf.printf
+    "sweeping Bmax on %s (rmax = %d fixed); baseline cut = %d\n\n"
+    e.PG.name rmax ms.Ppnpart_baselines.Metis_like.cut;
+  Printf.printf "%-6s %-16s %-12s %-8s %-10s %-11s %-14s\n" "bmax"
+    "exact-feasible" "GP-feasible" "GP-cut" "GP-max-bw" "GP-max-res"
+    "baseline-ok";
+  List.iter
+    (fun bmax ->
+      let c = Types.constraints ~k ~bmax ~rmax in
+      let exact = Ppnpart_baselines.Exact.is_feasible g c in
+      let gp = Ppnpart_core.Gp.partition g c in
+      let baseline_ok =
+        Metrics.feasible g c ms.Ppnpart_baselines.Metis_like.part
+      in
+      Printf.printf "%-6d %-16b %-12b %-8d %-10d %-11d %-14b\n" bmax exact
+        gp.Ppnpart_core.Gp.feasible
+        gp.Ppnpart_core.Gp.report.Metrics.total_cut
+        gp.Ppnpart_core.Gp.report.Metrics.max_bandwidth
+        gp.Ppnpart_core.Gp.report.Metrics.max_resources baseline_ok)
+    [ 30; 25; 20; 18; 16; 15; 14; 13; 12 ];
+  print_newline ();
+  print_endline
+    "Reading: GP tracks the exact frontier down to tight bounds and pays \
+     for them in cut; the cut-only baseline satisfies the bound only by \
+     accident at loose settings."

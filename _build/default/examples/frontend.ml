@@ -1,0 +1,29 @@
+(* Front-end walk-through: parse a .pn program from disk (default: the
+   Sobel example; pass another path as the first argument), inspect the
+   elaborated statements, and push it through the whole flow.
+
+   Run with:  dune exec examples/frontend.exe [-- PATH] *)
+
+module Lang = Ppnpart_lang.Lang
+module Flow = Ppnpart_flow.Flow
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else "examples/programs/sobel.pn"
+  in
+  match Lang.parse_file path with
+  | Error e ->
+    Format.eprintf "%s: %a@." path Lang.pp_error e;
+    exit 1
+  | Ok stmts ->
+    Printf.printf "parsed %s: %d statements\n" path (List.length stmts);
+    List.iter
+      (fun s ->
+        Printf.printf "  %s: %d iterations, %d ops each\n"
+          (Ppnpart_poly.Stmt.name s)
+          (Ppnpart_poly.Stmt.iterations s)
+          (Ppnpart_poly.Stmt.work s))
+      stmts;
+    let t = Flow.run (Flow.default_options ~k:4) stmts in
+    Format.printf "%a@." Flow.pp_summary t

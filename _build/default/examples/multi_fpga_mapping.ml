@@ -1,0 +1,67 @@
+(* End-to-end multi-FPGA mapping: derive a PPN from an affine kernel,
+   partition its graph with GP and with the cut-only baseline, map both
+   onto a 4-FPGA platform, and *simulate* both mappings cycle by cycle.
+
+   This measures the claim that motivates the paper: a mapping that
+   violates the pairwise link bandwidth throttles execution, while GP's
+   constraint-aware mapping does not.
+
+   Run with:  dune exec examples/multi_fpga_mapping.exe *)
+
+open Ppnpart_partition
+module Ppn = Ppnpart_ppn.Ppn
+module Fpga = Ppnpart_fpga
+
+let () =
+  (* A 12-stage streaming pipeline (e.g. a software-defined-radio chain). *)
+  let stmts = Ppnpart_ppn.Kernels.chain ~stages:12 ~tokens:96 () in
+  let ppn = Ppnpart_ppn.Derive.derive stmts in
+  Printf.printf "network: %s\n" (Ppn.summary ppn);
+  let g = Ppn.to_graph ppn in
+  (* Platform: 4 FPGAs; links carry 2 data units per cycle. The static
+     constraint uses the same bandwidth number interpreted over one steady
+     period, scaled by the channel volume per firing. *)
+  let n_fpgas = 4 in
+  let total_res = Ppnpart_graph.Wgraph.total_node_weight g in
+  let rmax = (total_res / n_fpgas * 3 / 2) + 1 in
+  (* Each FIFO carries 96 tokens over an execution of ~96 firings: one
+     token per time unit. A pair budget of 96 data units per execution
+     tolerates one crossing FIFO per FPGA pair. *)
+  let bmax = 96 in
+  let constraints = Types.constraints ~k:n_fpgas ~bmax ~rmax in
+  let platform = Fpga.Platform.make ~n_fpgas ~rmax ~bmax:1 () in
+  (* one data unit per cycle per link: exactly one steadily-streaming FIFO
+     fits a link, which is what bmax = 96 tokens per execution states *)
+
+  let gp = Ppnpart_core.Gp.partition g constraints in
+  let ms = Ppnpart_baselines.Metis_like.partition g ~k:n_fpgas in
+  let mrep =
+    Metrics.report ~runtime_s:ms.Ppnpart_baselines.Metis_like.runtime_s g
+      constraints ms.Ppnpart_baselines.Metis_like.part
+  in
+  print_string
+    (Ppnpart_core.Report.table ~title:"static partitioning" ~constraints
+       [ ("METIS-like", mrep); ("GP", gp.Ppnpart_core.Gp.report) ]);
+
+  let simulate name assignment =
+    match Fpga.Sim.run ~fifo_capacity:64 platform ppn ~assignment with
+    | Ok r ->
+      Printf.printf "  %-11s %s\n" name
+        (Format.asprintf "%a" Fpga.Sim.pp_result r);
+      Some (Fpga.Sim.throughput r)
+    | Error e ->
+      Printf.printf "  %-11s error: %s\n" name
+        (Format.asprintf "%a" Fpga.Sim.pp_error e);
+      None
+  in
+  print_endline "cycle-level simulation on the 4-FPGA platform:";
+  let t_gp = simulate "GP" gp.Ppnpart_core.Gp.part in
+  let t_ms = simulate "METIS-like" ms.Ppnpart_baselines.Metis_like.part in
+  (match (t_gp, t_ms) with
+  | Some a, Some b when b > 0. ->
+    Printf.printf "throughput ratio GP / METIS-like: %.2fx\n" (a /. b)
+  | _ -> ());
+  (* Also show what an adversarially bad mapping costs. *)
+  let n = Ppn.n_processes ppn in
+  let striped = Array.init n (fun i -> i mod n_fpgas) in
+  ignore (simulate "striped" striped)

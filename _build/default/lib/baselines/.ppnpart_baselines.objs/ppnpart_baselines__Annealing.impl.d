@@ -1,0 +1,1 @@
+lib/baselines/annealing.ml: Array Initial Metrics Option Part_state Ppnpart_graph Ppnpart_partition Random Types Wgraph

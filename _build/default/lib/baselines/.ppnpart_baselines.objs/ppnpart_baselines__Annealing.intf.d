@@ -1,0 +1,1 @@
+lib/baselines/annealing.mli: Metrics Ppnpart_graph Ppnpart_partition Random Types Wgraph

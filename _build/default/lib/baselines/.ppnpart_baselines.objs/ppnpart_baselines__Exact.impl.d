@@ -1,0 +1,1 @@
+lib/baselines/exact.ml: Array List Ppnpart_graph Ppnpart_partition Wgraph

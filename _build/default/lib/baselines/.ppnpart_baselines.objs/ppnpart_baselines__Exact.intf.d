@@ -1,0 +1,1 @@
+lib/baselines/exact.mli: Ppnpart_graph Ppnpart_partition Wgraph

@@ -1,0 +1,1 @@
+lib/baselines/fm.ml: Ppnpart_partition Recursive_bisection

@@ -1,0 +1,1 @@
+lib/baselines/kl.mli: Ppnpart_graph Random Wgraph

@@ -1,0 +1,1 @@
+lib/baselines/metis_like.ml: Array Coarsen Initial Matching Metrics Option Ppnpart_graph Ppnpart_partition Random Recursive_bisection Refine_kway Unix Wgraph

@@ -1,0 +1,1 @@
+lib/baselines/metis_like.mli: Ppnpart_graph Wgraph

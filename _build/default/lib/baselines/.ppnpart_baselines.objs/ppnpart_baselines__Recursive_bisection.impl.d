@@ -1,0 +1,1 @@
+lib/baselines/recursive_bisection.ml: Array List Ppnpart_graph Random Wgraph

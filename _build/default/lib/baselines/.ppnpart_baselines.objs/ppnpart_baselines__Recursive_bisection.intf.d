@@ -1,0 +1,1 @@
+lib/baselines/recursive_bisection.mli: Ppnpart_graph Random Wgraph

@@ -1,0 +1,1 @@
+lib/baselines/spectral.ml: Array List Ppnpart_graph Ppnpart_partition Random Wgraph

@@ -1,0 +1,1 @@
+lib/baselines/spectral.mli: Ppnpart_graph Random Wgraph

@@ -1,0 +1,61 @@
+open Ppnpart_graph
+open Ppnpart_partition
+
+let energy (st : Part_state.t) =
+  (float_of_int (Part_state.violation st) *. 1e6)
+  +. float_of_int st.Part_state.cut
+
+let partition ?iterations ?initial_temp ?(cooling = 0.9995) rng g
+    (c : Types.constraints) =
+  let n = Wgraph.n_nodes g in
+  let k = c.Types.k in
+  if n = 0 then ([||], { Metrics.violation = 0; cut_value = 0 })
+  else begin
+    let iterations = Option.value iterations ~default:(200 * n) in
+    let initial_temp =
+      Option.value initial_temp
+        ~default:(float_of_int (max 1 (Wgraph.total_edge_weight g)))
+    in
+    let start = Initial.random_kway rng g ~k in
+    let st = Part_state.init g c start in
+    let conn = Array.make k 0 in
+    let best_part = ref (Part_state.snapshot st) in
+    let best = ref (Part_state.goodness st) in
+    let temp = ref initial_temp in
+    for _ = 1 to iterations do
+      let u = Random.State.int rng n in
+      let p = st.Part_state.part.(u) in
+      if k > 1 && st.Part_state.members.(p) > 1 then begin
+        let t =
+          let r = Random.State.int rng (k - 1) in
+          if r >= p then r + 1 else r
+        in
+        Part_state.connectivity st conn u;
+        let e0 = energy st in
+        let d_bw, d_res, d_cut = Part_state.move_deltas st u t conn in
+        let delta =
+          (float_of_int
+             (Metrics.normalized_violation c
+                ~bw_excess:(st.Part_state.bw_excess + d_bw)
+                ~res_excess:(st.Part_state.res_excess + d_res))
+          *. 1e6)
+          +. float_of_int (st.Part_state.cut + d_cut)
+          -. e0
+        in
+        let accept =
+          delta <= 0.
+          || Random.State.float rng 1.0 < exp (-.delta /. max !temp 1e-9)
+        in
+        if accept then begin
+          Part_state.apply_move st u t conn;
+          let now = Part_state.goodness st in
+          if Metrics.compare_goodness now !best < 0 then begin
+            best := now;
+            best_part := Part_state.snapshot st
+          end
+        end
+      end;
+      temp := !temp *. cooling
+    done;
+    (!best_part, !best)
+  end

@@ -1,0 +1,27 @@
+(** Simulated annealing on the constrained partitioning objective.
+
+    The paper's related-work section discusses hill-climbing methods that
+    "sometimes accept a solution that is worse than the existing solution"
+    to escape local minima. This baseline is the canonical such method:
+    single-node moves, Metropolis acceptance with geometric cooling, on the
+    scalar energy [violation * 10^6 + cut] (so any feasible state always
+    beats any infeasible one, mirroring {!Ppnpart_partition.Metrics}'s
+    goodness order). Used in the refinement ablation as the
+    anytime-but-slow comparison point against GP. *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+
+val partition :
+  ?iterations:int ->
+  ?initial_temp:float ->
+  ?cooling:float ->
+  Random.State.t ->
+  Wgraph.t ->
+  Types.constraints ->
+  int array * Metrics.goodness
+(** [partition rng g c] anneals from a random assignment for [iterations]
+    (default [200 * n]) steps, temperature starting at [initial_temp]
+    (default: the graph's total edge weight, so early moves are nearly
+    free) decaying by [cooling] (default 0.9995) per step. Returns the
+    best state visited. *)

@@ -1,0 +1,124 @@
+open Ppnpart_graph
+module Types = Ppnpart_partition.Types
+
+(* Branch and bound over node-to-part assignments in a fixed node order
+   (descending weighted degree, so heavy deciders come first). Symmetry is
+   broken by allowing at most one fresh label: node i may use labels
+   0 .. min (max_used + 1) (k - 1). All pruned quantities — partial cut,
+   part loads, pairwise bandwidths — are monotone in the assignment prefix
+   because weights are non-negative. *)
+
+type search = {
+  g : Wgraph.t;
+  c : Types.constraints;
+  order : int array;  (** position -> node *)
+  pos_of : int array;  (** node -> position *)
+  part : int array;  (** node -> label or -1 *)
+  load : int array;
+  bw : int array array;
+  mutable cut : int;
+  mutable best_cut : int;
+  mutable best : int array option;
+  first_only : bool;
+  require_all_parts : bool;
+}
+
+let make_search ?(first_only = false) ?(require_all_parts = false) g c =
+  let n = Wgraph.n_nodes g in
+  if n > 24 then invalid_arg "Exact.partition: more than 24 nodes";
+  let k = c.Types.k in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (Wgraph.weighted_degree g b) (Wgraph.weighted_degree g a))
+    order;
+  let pos_of = Array.make n 0 in
+  Array.iteri (fun pos u -> pos_of.(u) <- pos) order;
+  {
+    g;
+    c;
+    order;
+    pos_of;
+    part = Array.make n (-1);
+    load = Array.make k 0;
+    bw = Array.make_matrix k k 0;
+    cut = 0;
+    best_cut = max_int;
+    best = None;
+    first_only;
+    require_all_parts;
+  }
+
+exception Found
+
+let rec branch st pos max_used =
+  let n = Wgraph.n_nodes st.g in
+  let k = st.c.Types.k in
+  if pos = n then begin
+    if (not st.require_all_parts) || max_used = k - 1 then begin
+      if st.cut < st.best_cut then begin
+        st.best_cut <- st.cut;
+        st.best <- Some (Array.copy st.part)
+      end;
+      if st.first_only then raise Found
+    end
+  end
+  else begin
+    let u = st.order.(pos) in
+    let remaining = n - pos in
+    let labels_needed = if st.require_all_parts then k - 1 - max_used else 0 in
+    if labels_needed <= remaining then begin
+      let w_u = Wgraph.node_weight st.g u in
+      let top = min (max_used + 1) (k - 1) in
+      for label = 0 to top do
+        (* Incremental updates for assigning u -> label. *)
+        if st.load.(label) + w_u <= st.c.Types.rmax || st.c.Types.rmax = max_int
+        then begin
+          let d_cut = ref 0 in
+          let feasible = ref true in
+          let touched = ref [] in
+          Wgraph.iter_neighbors st.g u (fun v w ->
+              let pv = st.part.(v) in
+              if pv >= 0 && pv <> label then begin
+                d_cut := !d_cut + w;
+                st.bw.(pv).(label) <- st.bw.(pv).(label) + w;
+                st.bw.(label).(pv) <- st.bw.(pv).(label);
+                touched := (pv, w) :: !touched;
+                if st.bw.(pv).(label) > st.c.Types.bmax then feasible := false
+              end);
+          st.cut <- st.cut + !d_cut;
+          st.load.(label) <- st.load.(label) + w_u;
+          st.part.(u) <- label;
+          if !feasible && st.cut < st.best_cut then
+            branch st (pos + 1) (max max_used label);
+          (* Undo. *)
+          st.part.(u) <- -1;
+          st.load.(label) <- st.load.(label) - w_u;
+          st.cut <- st.cut - !d_cut;
+          List.iter
+            (fun (pv, w) ->
+              st.bw.(pv).(label) <- st.bw.(pv).(label) - w;
+              st.bw.(label).(pv) <- st.bw.(pv).(label))
+            !touched
+        end
+      done
+    end
+  end
+
+let partition ?require_all_parts g c =
+  let st = make_search ?require_all_parts g c in
+  if Wgraph.n_nodes g = 0 then Some ([||], 0)
+  else begin
+    branch st 0 (-1);
+    match st.best with
+    | Some part -> Some (part, st.best_cut)
+    | None -> None
+  end
+
+let is_feasible g c =
+  if Wgraph.n_nodes g = 0 then true
+  else begin
+    let st = make_search ~first_only:true g c in
+    match branch st 0 (-1) with
+    | () -> st.best <> None
+    | exception Found -> true
+  end

@@ -1,0 +1,29 @@
+(** Exact constrained K-way partitioning by branch and bound.
+
+    The paper notes (Section I) that the mapping problem can be solved
+    exactly "via dynamic programming approaches" for small instances. This
+    module provides that oracle: minimum-cut K-way partitioning subject to
+    the bandwidth and resource constraints, by exhaustive branch and bound
+    with label-symmetry breaking and monotone pruning on the partial cut,
+    part loads and pairwise bandwidths. Practical up to ~15 nodes — exactly
+    the scale of the paper's experiments — and used in tests to certify the
+    feasibility answers of the heuristic partitioners. *)
+
+open Ppnpart_graph
+
+val partition :
+  ?require_all_parts:bool ->
+  Wgraph.t ->
+  Ppnpart_partition.Types.constraints ->
+  (int array * int) option
+(** [partition g c] is [Some (part, cut)] for a feasible partition of
+    minimum cut, or [None] when no assignment satisfies [c]. With
+    [require_all_parts] (default [false]) every one of the [k] labels must
+    be used. Without constraints ([bmax = rmax = max_int]) and without
+    [require_all_parts] the trivial one-part answer is returned.
+    @raise Invalid_argument when the graph has more than 24 nodes (the
+    search is exponential by design). *)
+
+val is_feasible :
+  Wgraph.t -> Ppnpart_partition.Types.constraints -> bool
+(** [partition g c <> None], but stops at the first feasible assignment. *)

@@ -1,0 +1,4 @@
+let bisect rng g = Ppnpart_partition.Fm2.bisect rng g
+
+let kway rng g ~k =
+  Recursive_bisection.kway (fun rng g -> bisect rng g) rng g ~k

@@ -1,0 +1,13 @@
+(** Standalone Fiduccia–Mattheyses baseline.
+
+    Thin facade over {!Ppnpart_partition.Fm2} (where the bucket-based pass
+    lives, shared with the multilevel partitioners), plus a K-way variant by
+    recursive bisection. *)
+
+open Ppnpart_graph
+
+val bisect : Random.State.t -> Wgraph.t -> int array * int
+(** Random balanced start + FM refinement. *)
+
+val kway : Random.State.t -> Wgraph.t -> k:int -> int array
+(** Recursive FM bisection; best balanced for [k] a power of two. *)

@@ -1,0 +1,46 @@
+(** Mini-METIS: multilevel K-way cut minimization with a balance constraint.
+
+    This is the comparator of the paper's evaluation — "METIS always
+    partitions, regardless of said constraints": it minimizes the global
+    edge cut while keeping part weights within a load-imbalance factor
+    (METIS 5 default 1.03), and is entirely unaware of the pairwise
+    bandwidth bound [Bmax] and the absolute resource bound [Rmax].
+
+    Pipeline (the standard scheme of Karypis & Kumar, Section III):
+    heavy-edge coarsening to a small graph, greedy graph-growing initial
+    K-way partitioning, then greedy K-way boundary refinement at every
+    un-coarsening level. *)
+
+open Ppnpart_graph
+
+type initial = Graph_growing | Recursive_bisection
+(** Coarsest-graph seeding: greedy graph growing (default) or recursive
+    FM bisection — the classic PMETIS path (requires no particular [k],
+    but is best balanced when [k] is a power of two). *)
+
+type refinement = Greedy | Fm
+(** Un-coarsening refinement: [Greedy] (randomized positive-gain sweeps,
+    METIS's default style, used in the paper comparison) or [Fm]
+    (bucket-based K-way boundary FM with tentative negative-gain moves and
+    rollback — higher quality, higher constant). *)
+
+type stats = {
+  part : int array;
+  cut : int;
+  levels : int;  (** hierarchy depth used *)
+  runtime_s : float;
+}
+
+val partition :
+  ?seed:int ->
+  ?imbalance:float ->
+  ?coarsen_target:int ->
+  ?refinement:refinement ->
+  ?initial:initial ->
+  Wgraph.t ->
+  k:int ->
+  stats
+(** [partition g ~k]. [imbalance] defaults to 1.03; [coarsen_target] to
+    [max 30 (4 * k)]; [refinement] to [Greedy]; [initial] to
+    [Graph_growing]; [seed] to 0 (runs are deterministic for a fixed
+    seed). *)

@@ -1,0 +1,37 @@
+open Ppnpart_graph
+
+type bisector = Random.State.t -> Wgraph.t -> int array * int
+
+let rec split bisect rng g ~k labels nodes offset =
+  if k <= 1 then Array.iter (fun u -> labels.(u) <- offset) nodes
+  else begin
+    let sub, back = Wgraph.induced g nodes in
+    let n_sub = Wgraph.n_nodes sub in
+    if n_sub <= k then
+      (* Not enough nodes to bisect further: spread them over the labels. *)
+      Array.iteri (fun i u -> labels.(u) <- offset + (i mod k)) back
+    else begin
+      let part, _ = bisect rng sub in
+      let left = ref [] and right = ref [] in
+      Array.iteri
+        (fun i u ->
+          if part.(i) = 0 then left := u :: !left else right := u :: !right)
+        back;
+      let left = Array.of_list (List.rev !left)
+      and right = Array.of_list (List.rev !right) in
+      if Array.length left = 0 || Array.length right = 0 then
+        Array.iteri (fun i u -> labels.(u) <- offset + (i mod k)) back
+      else begin
+        let k1 = k / 2 in
+        split bisect rng g ~k:k1 labels left offset;
+        split bisect rng g ~k:(k - k1) labels right (offset + k1)
+      end
+    end
+  end
+
+let kway bisect rng g ~k =
+  if k < 1 then invalid_arg "Recursive_bisection.kway: k < 1";
+  let n = Wgraph.n_nodes g in
+  let labels = Array.make n 0 in
+  split bisect rng g ~k labels (Array.init n (fun i -> i)) 0;
+  labels

@@ -1,0 +1,16 @@
+(** K-way partitioning by recursive bisection of induced subgraphs.
+
+    Turns any two-way partitioner (KL, FM, spectral, ...) into a K-way one.
+    The split tree halves [k] at every level, so part weights come out even
+    only when the plugged bisector aims at one half — which KL and FM do;
+    use it with [k] a power of two for balanced results (the paper's
+    evaluation uses K = 4), or any [k] if rough balance suffices. *)
+
+open Ppnpart_graph
+
+type bisector = Random.State.t -> Wgraph.t -> int array * int
+(** Returns a two-way partition of its input and the cut. *)
+
+val kway : bisector -> Random.State.t -> Wgraph.t -> k:int -> int array
+(** @raise Invalid_argument if [k < 1]. Labels [0 .. k-1]; every label is
+    used when the graph has at least [k] nodes. *)

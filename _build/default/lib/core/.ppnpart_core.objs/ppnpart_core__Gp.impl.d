@@ -1,0 +1,1 @@
+lib/core/gp.ml: Array Coarsen Config Initial List Logs Metrics Ppnpart_graph Ppnpart_partition Random Refine_constrained Refine_tabu Types Unix Wgraph

@@ -1,0 +1,1 @@
+lib/core/gp.mli: Config Metrics Ppnpart_graph Ppnpart_partition Types Wgraph

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Format List Metrics Ppnpart_partition Printf String Types

@@ -1,0 +1,27 @@
+(** GP configuration.
+
+    Defaults mirror the parameter values the paper states: the graph is
+    coarsened to 100 nodes, the greedy initial partitioning restarts from 10
+    random seeds, and the un-coarsen / re-coarsen cycle repeats "a number of
+    parametrized times". *)
+
+type t = {
+  coarsen_target : int;  (** stop coarsening at this many nodes (paper: 100) *)
+  n_initial_seeds : int;  (** greedy-growth restarts (paper: 10) *)
+  max_cycles : int;  (** V-cycle retries before giving up (default 20) *)
+  refine_passes : int;  (** cap on constrained-FM sweeps per level *)
+  strategies : Ppnpart_partition.Matching.strategy list;
+      (** matching heuristics raced at each coarsening level *)
+  tabu_iterations : int;
+      (** extension beyond the paper (its related work discusses tabu
+          search lifting FM's move-once restriction): when positive, each
+          descent's finest partition is polished with that many
+          tabu-search moves. Default 0 = faithful paper behaviour. *)
+  seed : int;  (** PRNG seed; equal seeds give identical runs *)
+}
+
+val default : t
+
+val validate : t -> unit
+(** @raise Invalid_argument on non-positive sizes or an empty strategy
+    list. *)

@@ -1,0 +1,143 @@
+open Ppnpart_graph
+open Ppnpart_partition
+
+type result = {
+  part : int array;
+  feasible : bool;
+  goodness : Metrics.goodness;
+  report : Metrics.report;
+  cycles_used : int;
+  levels : int;
+  runtime_s : float;
+  history : Metrics.goodness list;
+}
+
+let src = Logs.Src.create "ppnpart.gp" ~doc:"GP partitioner"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Seed + refine the coarsest graph, then project down to the finest graph
+   refining at every level. Returns the finest-level partition.
+
+   Two seedings compete on the coarsest graph: the paper's greedy
+   resource-bounded growth (Section IV.B) and — the "partitioning phase
+   (randomly)" of the cyclic scheme (Section IV.C) — a uniformly random
+   assignment; the refined candidate of better goodness descends. *)
+let descend (cfg : Config.t) rng hierarchy c =
+  let coarsest = Coarsen.coarsest hierarchy in
+  let refine_initial initial =
+    Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
+      coarsest c initial
+  in
+  let greedy =
+    refine_initial
+      (Initial.greedy_resource_growth ~n_seeds:cfg.Config.n_initial_seeds rng
+         coarsest c)
+  in
+  let random =
+    refine_initial (Initial.random_kway rng coarsest ~k:c.Types.k)
+  in
+  let seed_part, _ =
+    if Metrics.compare_goodness (snd greedy) (snd random) <= 0 then greedy
+    else random
+  in
+  let part = ref seed_part in
+  for level = Coarsen.levels hierarchy - 2 downto 0 do
+    let projected =
+      Coarsen.project_one hierarchy.Coarsen.maps.(level) !part
+    in
+    let refined, _ =
+      Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
+        (Coarsen.graph_at hierarchy level)
+        c projected
+    in
+    part := refined
+  done;
+  if cfg.Config.tabu_iterations > 0 then begin
+    let finest = Coarsen.finest hierarchy in
+    let polished, _ =
+      Refine_tabu.refine ~iterations:cfg.Config.tabu_iterations finest c
+        !part
+    in
+    part := polished
+  end;
+  !part
+
+let partition ?(config = Config.default) g (c : Types.constraints) =
+  Config.validate config;
+  let t0 = Unix.gettimeofday () in
+  let rng = Random.State.make [| config.Config.seed; 0x6770 |] in
+  let n = Wgraph.n_nodes g in
+  let finish ?(history = []) part cycles levels =
+    let goodness = Metrics.goodness g c part in
+    let runtime_s = Unix.gettimeofday () -. t0 in
+    {
+      part;
+      feasible = goodness.Metrics.violation = 0;
+      goodness;
+      report = Metrics.report ~runtime_s g c part;
+      cycles_used = cycles;
+      levels;
+      runtime_s;
+      history = List.rev history;
+    }
+  in
+  if n = 0 then finish [||] 0 0
+  else if n <= c.Types.k then finish (Array.init n (fun i -> i)) 0 0
+  else begin
+    let hierarchy =
+      ref
+        (Coarsen.build ~target:config.Config.coarsen_target
+           ~strategies:config.Config.strategies rng g)
+    in
+    let best_part = ref (descend config rng !hierarchy c) in
+    let best_goodness = ref (Metrics.goodness g c !best_part) in
+    let history = ref [ !best_goodness ] in
+    let cycles = ref 0 in
+    (* Partial V-cycles until feasible or the iteration budget runs out. *)
+    (* The deepest coarsening a V-cycle may aim for: coarse enough that
+       initial partitioning effectively places whole clusters, but with at
+       least two candidate nodes per part. *)
+    let deep_target = max (2 * c.Types.k) 8 in
+    while
+      !best_goodness.Metrics.violation > 0
+      && !cycles < config.Config.max_cycles
+    do
+      incr cycles;
+      let levels = Coarsen.levels !hierarchy in
+      let from_level = if levels <= 1 then 0 else Random.State.int rng levels in
+      (* "Coarsened back to the lowest level" (Section IV): every cycle
+         draws a coarsening depth between the configured target and the
+         deepest useful level, so retries explore coarse clusterings the
+         first descent never saw. *)
+      let target =
+        if deep_target >= config.Config.coarsen_target then deep_target
+        else
+          deep_target
+          + Random.State.int rng
+              (config.Config.coarsen_target - deep_target + 1)
+      in
+      hierarchy :=
+        Coarsen.extend ~target ~strategies:config.Config.strategies rng
+          !hierarchy ~from_level;
+      let candidate = descend config rng !hierarchy c in
+      let gd = Metrics.goodness g c candidate in
+      Log.debug (fun m ->
+          m "cycle %d (from level %d): %a" !cycles from_level
+            Metrics.pp_goodness gd);
+      if Metrics.compare_goodness gd !best_goodness < 0 then begin
+        best_part := candidate;
+        best_goodness := gd
+      end;
+      history := !best_goodness :: !history
+    done;
+    finish ~history:!history !best_part !cycles (Coarsen.levels !hierarchy)
+  end
+
+let partition_exn ?config g c =
+  let r = partition ?config g c in
+  if not r.feasible then
+    failwith
+      "GP: partitioning with these constraints is either impossible or the \
+       tool needs more iterations (increase max_cycles)";
+  r

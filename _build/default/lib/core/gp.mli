@@ -1,0 +1,41 @@
+(** GP — the paper's constraint-aware multilevel K-way partitioner.
+
+    Section IV: the input graph is coarsened to a parametrized size (racing
+    the three matching heuristics at every level and keeping the best); the
+    coarsest graph receives the greedy resource-bounded initial partitioning
+    with random restarts followed by FM-style refinement toward the
+    bandwidth constraint; then the partition is projected level by level to
+    the finest graph with constraint-driven refinement at each step. If the
+    finest partition still violates a constraint, the algorithm performs a
+    partial V-cycle — re-coarsen from a random intermediate level with fresh
+    matchings, re-seed, re-refine — and keeps the candidate with the best
+    goodness, cyclically, up to [max_cycles] times. An instance that stays
+    infeasible is reported as such ("either impossible or the tool needs
+    more iterations", Section IV.C). *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+
+type result = {
+  part : int array;
+  feasible : bool;
+  goodness : Metrics.goodness;
+  report : Metrics.report;
+  cycles_used : int;  (** V-cycles beyond the first descent *)
+  levels : int;  (** depth of the last hierarchy *)
+  runtime_s : float;
+  history : Metrics.goodness list;
+      (** best goodness after the initial descent and after each V-cycle,
+          oldest first — the convergence trace behind the paper's "give
+          the tool more time" diagnostic *)
+}
+
+val partition : ?config:Config.t -> Wgraph.t -> Types.constraints -> result
+(** Deterministic for a fixed [config.seed]. Works on disconnected and
+    even edgeless graphs (the constraints may still bind through [rmax]). *)
+
+val partition_exn :
+  ?config:Config.t -> Wgraph.t -> Types.constraints -> result
+(** Like {!partition} but
+    @raise Failure when no feasible partition was found, with the paper's
+    diagnostic message. *)

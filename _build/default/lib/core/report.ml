@@ -1,0 +1,58 @@
+open Ppnpart_partition
+
+let table ~title ~constraints rows =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "%s\n" title;
+  add "constraints: %s\n"
+    (Format.asprintf "%a" Types.pp_constraints constraints);
+  let header =
+    [
+      "Algorithm"; "Total Edge-Cuts"; "Total Time(s)"; "Max Resource";
+      "Max Local BW";
+    ]
+  in
+  let cells (name, (r : Metrics.report)) =
+    [
+      name;
+      string_of_int r.Metrics.total_cut;
+      Printf.sprintf "%.3f" r.Metrics.runtime_s;
+      Printf.sprintf "%d%s" r.Metrics.max_resources
+        (if r.Metrics.resource_ok then "" else "*");
+      Printf.sprintf "%d%s" r.Metrics.max_bandwidth
+        (if r.Metrics.bandwidth_ok then "" else "*");
+    ]
+  in
+  let body = List.map cells rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      body
+  in
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i > 0 then add "  ";
+        add "%-*s" w cell)
+      row;
+    add "\n"
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row body;
+  if
+    List.exists
+      (fun (_, r) ->
+        not (r.Metrics.resource_ok && r.Metrics.bandwidth_ok))
+      rows
+  then add "(* = constraint violated)\n";
+  Buffer.contents b
+
+let csv_header = "algorithm,cut,time_s,max_resources,max_bandwidth,resource_ok,bandwidth_ok"
+
+let row_csv name (r : Metrics.report) =
+  Printf.sprintf "%s,%d,%.6f,%d,%d,%b,%b" name r.Metrics.total_cut
+    r.Metrics.runtime_s r.Metrics.max_resources r.Metrics.max_bandwidth
+    r.Metrics.resource_ok r.Metrics.bandwidth_ok

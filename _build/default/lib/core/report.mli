@@ -1,0 +1,22 @@
+(** Textual result tables in the layout of the paper's Experiment tables.
+
+    Each table row compares one algorithm on the four reported quantities:
+    Total Edge-Cuts, Total Time (s), Maximum Resource Allocation, Maximum
+    Local Bandwidth — with violated constraints flagged the way the paper
+    prints them in red. *)
+
+open Ppnpart_partition
+
+val table :
+  title:string ->
+  constraints:Types.constraints ->
+  (string * Metrics.report) list ->
+  string
+(** [table ~title ~constraints rows] renders an aligned text table; each row
+    is [(algorithm name, report)]. Violations are marked with [*] and a
+    legend line. *)
+
+val row_csv : string -> Metrics.report -> string
+(** [algorithm,cut,time,max_res,max_bw,res_ok,bw_ok] — machine-readable. *)
+
+val csv_header : string

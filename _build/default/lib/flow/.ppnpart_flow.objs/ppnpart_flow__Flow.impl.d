@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Filename Format List Metrics Partition_io Ppnpart_baselines Ppnpart_core Ppnpart_fpga Ppnpart_graph Ppnpart_partition Ppnpart_ppn Random Sys Types Unix Wgraph

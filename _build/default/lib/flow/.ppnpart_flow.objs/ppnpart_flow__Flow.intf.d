@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Format Metrics Ppnpart_core Ppnpart_fpga Ppnpart_graph Ppnpart_partition Ppnpart_poly Ppnpart_ppn Types Wgraph

@@ -1,0 +1,1 @@
+lib/fpga/analysis.ml: Array Channel List Mapping Platform Ppn Ppnpart_ppn Process Sim

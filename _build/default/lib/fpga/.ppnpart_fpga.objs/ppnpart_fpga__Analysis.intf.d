@@ -1,0 +1,1 @@
+lib/fpga/analysis.mli: Platform Ppn Ppnpart_ppn Sim

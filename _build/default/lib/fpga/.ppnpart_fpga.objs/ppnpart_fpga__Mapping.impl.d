@@ -1,0 +1,1 @@
+lib/fpga/mapping.ml: Array Channel Format List Platform Ppn Ppnpart_ppn Process

@@ -1,0 +1,1 @@
+lib/fpga/mapping.mli: Format Platform Ppn Ppnpart_ppn

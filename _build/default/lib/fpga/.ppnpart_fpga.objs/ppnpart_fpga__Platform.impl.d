@@ -1,0 +1,1 @@
+lib/fpga/platform.ml: Format List Ppnpart_partition Printf

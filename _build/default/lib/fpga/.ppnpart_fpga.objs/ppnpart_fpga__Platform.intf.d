@@ -1,0 +1,1 @@
+lib/fpga/platform.mli: Format Ppnpart_partition

@@ -1,0 +1,1 @@
+lib/fpga/sim.ml: Array Channel Format Hashtbl List Mapping Platform Ppn Ppnpart_ppn Process Seq

@@ -1,0 +1,1 @@
+lib/fpga/sim.mli: Format Platform Ppn Ppnpart_ppn Stdlib

@@ -1,0 +1,85 @@
+open Ppnpart_ppn
+
+type t = { platform : Platform.t; ppn : Ppn.t; assignment : int array }
+
+let make platform ppn assignment =
+  let n = Ppn.n_processes ppn in
+  if Array.length assignment <> n then
+    invalid_arg "Mapping.make: assignment length mismatch";
+  Array.iter
+    (fun f ->
+      if f < 0 || f >= platform.Platform.n_fpgas then
+        invalid_arg "Mapping.make: FPGA id out of range")
+    assignment;
+  { platform; ppn; assignment = Array.copy assignment }
+
+let of_partition = make
+
+let fpga_resources t =
+  let load = Array.make t.platform.Platform.n_fpgas 0 in
+  for p = 0 to Ppn.n_processes t.ppn - 1 do
+    let proc = Ppn.process t.ppn p in
+    load.(t.assignment.(p)) <-
+      load.(t.assignment.(p)) + proc.Process.resources
+  done;
+  load
+
+let pair_traffic t =
+  let n = t.platform.Platform.n_fpgas in
+  let traffic = Array.make_matrix n n 0 in
+  List.iter
+    (fun (c : Channel.t) ->
+      let a = t.assignment.(c.Channel.src)
+      and b = t.assignment.(c.Channel.dst) in
+      if a <> b then begin
+        traffic.(a).(b) <- traffic.(a).(b) + Channel.data_volume c;
+        traffic.(b).(a) <- traffic.(a).(b)
+      end)
+    (Ppn.channels t.ppn);
+  traffic
+
+let link_traffic t =
+  let n = t.platform.Platform.n_fpgas in
+  let traffic = Array.make_matrix n n 0 in
+  List.iter
+    (fun (c : Channel.t) ->
+      let a = t.assignment.(c.Channel.src)
+      and b = t.assignment.(c.Channel.dst) in
+      if a <> b then
+        List.iter
+          (fun (x, y) ->
+            traffic.(x).(y) <- traffic.(x).(y) + Channel.data_volume c;
+            traffic.(y).(x) <- traffic.(x).(y))
+          (Platform.route t.platform a b))
+    (Ppn.channels t.ppn);
+  traffic
+
+type violation =
+  | Resource_overflow of int * int
+  | Bandwidth_overflow of int * int * int
+
+let violations t =
+  let acc = ref [] in
+  let load = fpga_resources t in
+  Array.iteri
+    (fun f r ->
+      if r > t.platform.Platform.rmax then
+        acc := Resource_overflow (f, r) :: !acc)
+    load;
+  let traffic = link_traffic t in
+  let n = t.platform.Platform.n_fpgas in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if traffic.(a).(b) > t.platform.Platform.bmax then
+        acc := Bandwidth_overflow (a, b, traffic.(a).(b)) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let is_feasible t = violations t = []
+
+let pp_violation ppf = function
+  | Resource_overflow (f, load) ->
+    Format.fprintf ppf "FPGA %d resource overflow: %d" f load
+  | Bandwidth_overflow (a, b, traffic) ->
+    Format.fprintf ppf "link (%d, %d) bandwidth overflow: %d" a b traffic

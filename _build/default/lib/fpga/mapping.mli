@@ -1,0 +1,50 @@
+(** Process-to-FPGA mappings and their static feasibility.
+
+    A mapping assigns every process of a network to an FPGA of a platform —
+    exactly what a K-way partition of the network's graph is. This module
+    checks the paper's two constraints for a concrete mapping and computes
+    the sustained traffic the mapping implies, both per endpoint pair (the
+    paper's quantity) and per physical link after routing (meaningful on
+    ring/mesh platforms, where a token may traverse several links). *)
+
+open Ppnpart_ppn
+
+type t = private {
+  platform : Platform.t;
+  ppn : Ppn.t;
+  assignment : int array;  (** process id -> FPGA id *)
+}
+
+val make : Platform.t -> Ppn.t -> int array -> t
+(** @raise Invalid_argument on length mismatch or an FPGA id out of
+    range. *)
+
+val of_partition : Platform.t -> Ppn.t -> int array -> t
+(** Alias of {!make}: a K-way partition of [Ppn.to_graph] is directly an
+    assignment because process ids equal node ids. *)
+
+val fpga_resources : t -> int array
+(** Resources consumed on each FPGA. *)
+
+val pair_traffic : t -> int array array
+(** [n x n] symmetric matrix of data units exchanged between FPGA
+    {e endpoint pairs} over one network execution (channel tokens x width;
+    intra-FPGA traffic excluded). This is the quantity the paper's pairwise
+    [Bmax] bounds. *)
+
+val link_traffic : t -> int array array
+(** Per {e physical link} data load after deterministic routing
+    ({!Platform.route}); equals {!pair_traffic} on an all-to-all
+    platform. Nonzero only on physically linked pairs. *)
+
+type violation =
+  | Resource_overflow of int * int  (** fpga, load *)
+  | Bandwidth_overflow of int * int * int  (** link a-b, routed traffic *)
+
+val violations : t -> violation list
+(** Static check: resources against [rmax]; routed per-link traffic
+    against [bmax] (with the network execution as the time unit). Empty
+    iff the mapping is feasible on the platform. *)
+
+val is_feasible : t -> bool
+val pp_violation : Format.formatter -> violation -> unit

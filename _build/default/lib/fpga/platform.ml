@@ -1,0 +1,93 @@
+type topology = All_to_all | Ring | Mesh of int * int
+
+type t = { n_fpgas : int; rmax : int; bmax : int; topology : topology }
+
+let make ?(topology = All_to_all) ~n_fpgas ~rmax ~bmax () =
+  if n_fpgas < 1 then invalid_arg "Platform.make: n_fpgas < 1";
+  if rmax < 1 then invalid_arg "Platform.make: rmax < 1";
+  if bmax < 1 then invalid_arg "Platform.make: bmax < 1";
+  (match topology with
+  | Mesh (r, c) ->
+    if r < 1 || c < 1 || r * c <> n_fpgas then
+      invalid_arg "Platform.make: mesh dimensions must multiply to n_fpgas"
+  | Ring ->
+    if n_fpgas < 2 then invalid_arg "Platform.make: ring needs >= 2 FPGAs"
+  | All_to_all -> ());
+  { n_fpgas; rmax; bmax; topology }
+
+let constraints t =
+  Ppnpart_partition.Types.constraints ~k:t.n_fpgas ~bmax:t.bmax ~rmax:t.rmax
+
+let check_id t x =
+  if x < 0 || x >= t.n_fpgas then invalid_arg "Platform: FPGA id out of range"
+
+let canon a b = (min a b, max a b)
+
+let linked t a b =
+  check_id t a;
+  check_id t b;
+  a <> b
+  &&
+  match t.topology with
+  | All_to_all -> true
+  | Ring ->
+    let n = t.n_fpgas in
+    (a + 1) mod n = b || (b + 1) mod n = a
+  | Mesh (_, c) ->
+    let ya = a / c and xa = a mod c and yb = b / c and xb = b mod c in
+    abs (ya - yb) + abs (xa - xb) = 1
+
+let route t a b =
+  check_id t a;
+  check_id t b;
+  if a = b then []
+  else
+    match t.topology with
+    | All_to_all -> [ canon a b ]
+    | Ring ->
+      let n = t.n_fpgas in
+      let clockwise = (b - a + n) mod n in
+      let step = if clockwise * 2 <= n then 1 else n - 1 in
+      let rec walk cur acc =
+        if cur = b then List.rev acc
+        else begin
+          let next = (cur + step) mod n in
+          walk next (canon cur next :: acc)
+        end
+      in
+      walk a []
+    | Mesh (_, c) ->
+      (* X-then-Y dimension-ordered routing. *)
+      let acc = ref [] in
+      let cur = ref a in
+      let x cur = cur mod c and y cur = cur / c in
+      while x !cur <> x b do
+        let next = if x b > x !cur then !cur + 1 else !cur - 1 in
+        acc := canon !cur next :: !acc;
+        cur := next
+      done;
+      while y !cur <> y b do
+        let next = if y b > y !cur then !cur + c else !cur - c in
+        acc := canon !cur next :: !acc;
+        cur := next
+      done;
+      List.rev !acc
+
+let links t =
+  let acc = ref [] in
+  for a = 0 to t.n_fpgas - 1 do
+    for b = a + 1 to t.n_fpgas - 1 do
+      if linked t a b then acc := (a, b) :: !acc
+    done
+  done;
+  List.sort compare !acc
+
+let pp ppf t =
+  let topo =
+    match t.topology with
+    | All_to_all -> "all-to-all"
+    | Ring -> "ring"
+    | Mesh (r, c) -> Printf.sprintf "%dx%d mesh" r c
+  in
+  Format.fprintf ppf "platform: %d FPGAs (%s), rmax=%d, bmax=%d/link"
+    t.n_fpgas topo t.rmax t.bmax

@@ -1,0 +1,50 @@
+(** The multi-FPGA platform model of the paper's Section I, extended with
+    physical link topologies.
+
+    [n_fpgas] identical devices, each offering [rmax] resources; each
+    physical link carries at most [bmax] data units per unit of time. The
+    paper assumes every pair of FPGAs is directly linked ({!All_to_all} —
+    "between each FPGA involved in the system, only Bmax data can be
+    transferred each unit of time"); real boards often wire a {!Ring} or a
+    {!Mesh}, where traffic between non-adjacent devices is routed over
+    intermediate links and consumes bandwidth on each hop. Routing is
+    deterministic: shortest direction on a ring (ties clockwise), X-then-Y
+    on a mesh. *)
+
+type topology =
+  | All_to_all
+  | Ring
+  | Mesh of int * int  (** rows x columns; must equal [n_fpgas] *)
+
+type t = private {
+  n_fpgas : int;
+  rmax : int;
+  bmax : int;
+  topology : topology;
+}
+
+val make :
+  ?topology:topology -> n_fpgas:int -> rmax:int -> bmax:int -> unit -> t
+(** [topology] defaults to {!All_to_all}.
+    @raise Invalid_argument on non-positive fields or a mesh whose
+    dimensions do not multiply to [n_fpgas]. *)
+
+val constraints : t -> Ppnpart_partition.Types.constraints
+(** The pairwise partitioning constraints this platform induces
+    ([k = n_fpgas]). For non-all-to-all topologies this is the paper's
+    (necessary but not sufficient) pairwise model; {!Mapping.violations}
+    additionally checks the routed per-link load. *)
+
+val linked : t -> int -> int -> bool
+(** Physical adjacency. *)
+
+val route : t -> int -> int -> (int * int) list
+(** [route t a b] is the deterministic sequence of links (canonical
+    [(min, max)] pairs) a token from FPGA [a] to FPGA [b] traverses; empty
+    when [a = b].
+    @raise Invalid_argument on an id out of range. *)
+
+val links : t -> (int * int) list
+(** All physical links, canonical and sorted. *)
+
+val pp : Format.formatter -> t -> unit

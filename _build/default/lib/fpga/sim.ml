@@ -1,0 +1,218 @@
+open Ppnpart_ppn
+
+type result = {
+  cycles : int;
+  total_firings : int;
+  data_moved : int array array;
+  peak_link_queue : int;
+  busy_cycles : int;
+  channel_peaks : (Channel.t * int) list;
+  process_spans : (int * int) array;
+}
+
+type error = Deadlock of int | Cycle_limit of int
+
+(* Firing [f] of [iters] total moves the even integer share of [total]
+   tokens: the shares sum to exactly [total]. *)
+let share total iters f =
+  if iters = 0 then 0
+  else (((f + 1) * total) / iters) - ((f * total) / iters)
+
+let run ?(fifo_capacity = 64) ?(max_cycles = 1_000_000) platform ppn
+    ~assignment =
+  let mapping = Mapping.make platform ppn assignment in
+  let assignment = mapping.Mapping.assignment in
+  let n = Ppn.n_processes ppn in
+  let channels =
+    Array.of_list
+      (List.filter
+         (fun (c : Channel.t) -> c.Channel.src <> c.Channel.dst)
+         (Ppn.channels ppn))
+  in
+  let nc = Array.length channels in
+  let avail = Array.make nc 0 and inflight = Array.make nc 0 in
+  let staged = Array.make nc 0 in
+  let in_of = Array.make n [] and out_of = Array.make n [] in
+  Array.iteri
+    (fun i (c : Channel.t) ->
+      in_of.(c.Channel.dst) <- i :: in_of.(c.Channel.dst);
+      out_of.(c.Channel.src) <- i :: out_of.(c.Channel.src))
+    channels;
+  let iters p = (Ppn.process ppn p).Process.iterations in
+  let fired = Array.make n 0 in
+  let finished p = fired.(p) >= iters p in
+  let crossing i =
+    let c = channels.(i) in
+    assignment.(c.Channel.src) <> assignment.(c.Channel.dst)
+  in
+  (* Deterministic route of every crossing channel, and the set of physical
+     links in use. *)
+  let routes =
+    Array.mapi
+      (fun i (c : Channel.t) ->
+        if crossing i then
+          Platform.route platform assignment.(c.Channel.src)
+            assignment.(c.Channel.dst)
+        else [])
+      channels
+  in
+  let used_links =
+    let set = Hashtbl.create 16 in
+    Array.iter (List.iter (fun l -> Hashtbl.replace set l ())) routes;
+    Hashtbl.fold (fun l () acc -> l :: acc) set []
+  in
+  let crossing_channels =
+    Array.of_seq
+      (Seq.filter crossing (Seq.init nc (fun i -> i)))
+  in
+  let nf = platform.Platform.n_fpgas in
+  let data_moved = Array.make_matrix nf nf 0 in
+  let peak_link_queue = ref 0 in
+  let busy_cycles = ref 0 in
+  let channel_peak = Array.make nc 0 in
+  let first_fire = Array.make n 0 and last_fire = Array.make n 0 in
+  let total_firings = Array.fold_left ( + ) 0 (Array.init n iters) in
+  let cycle = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    if Array.for_all (fun p -> finished p) (Array.init n (fun i -> i)) then
+      outcome := Some (Ok ())
+    else if !cycle >= max_cycles then outcome := Some (Error (Cycle_limit !cycle))
+    else begin
+      incr cycle;
+      (* Phase 1: link transfers. Every physical link has a fresh [bmax]
+         budget; a token moves end-to-end when every link on its route has
+         room (cut-through), arbitrated one-token-per-channel sweeps. *)
+      let moved_any = ref false in
+      let budgets = Hashtbl.create 16 in
+      List.iter
+        (fun l -> Hashtbl.replace budgets l platform.Platform.bmax)
+        used_links;
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        Array.iter
+          (fun i ->
+            let width = channels.(i).Channel.width in
+            if inflight.(i) > 0 then begin
+              let fits =
+                List.for_all
+                  (fun l -> Hashtbl.find budgets l >= width)
+                  routes.(i)
+              in
+              if fits && routes.(i) <> [] then begin
+                List.iter
+                  (fun (a, b) ->
+                    Hashtbl.replace budgets (a, b)
+                      (Hashtbl.find budgets (a, b) - width);
+                    data_moved.(a).(b) <- data_moved.(a).(b) + width;
+                    data_moved.(b).(a) <- data_moved.(a).(b))
+                  routes.(i);
+                inflight.(i) <- inflight.(i) - 1;
+                avail.(i) <- avail.(i) + 1;
+                moved_any := true;
+                progress := true
+              end
+            end)
+          crossing_channels
+      done;
+      (* Phase 2: pick the firing set against the post-transfer state. *)
+      let can_fire p =
+        (not (finished p))
+        && List.for_all
+             (fun i ->
+               let c = channels.(i) in
+               avail.(i) >= share c.Channel.tokens (iters p) fired.(p))
+             in_of.(p)
+        && List.for_all
+             (fun i ->
+               let c = channels.(i) in
+               let produce = share c.Channel.tokens (iters p) fired.(p) in
+               avail.(i) + inflight.(i) + staged.(i) + produce
+               <= fifo_capacity)
+             out_of.(p)
+      in
+      let firing = Array.init n can_fire in
+      (* Phase 3: consume inputs, stage outputs, advance firing counts. *)
+      let fired_any = ref false in
+      for p = 0 to n - 1 do
+        if firing.(p) then begin
+          fired_any := true;
+          List.iter
+            (fun i ->
+              let c = channels.(i) in
+              avail.(i) <-
+                avail.(i) - share c.Channel.tokens (iters p) fired.(p))
+            in_of.(p);
+          List.iter
+            (fun i ->
+              let c = channels.(i) in
+              staged.(i) <-
+                staged.(i) + share c.Channel.tokens (iters p) fired.(p))
+            out_of.(p);
+          if fired.(p) = 0 then first_fire.(p) <- !cycle;
+          last_fire.(p) <- !cycle;
+          fired.(p) <- fired.(p) + 1
+        end
+      done;
+      (* Phase 4: commit staged tokens — intra-FPGA directly to the
+         consumer, inter-FPGA onto the link. *)
+      for i = 0 to nc - 1 do
+        if staged.(i) > 0 then begin
+          if crossing i then inflight.(i) <- inflight.(i) + staged.(i)
+          else avail.(i) <- avail.(i) + staged.(i);
+          staged.(i) <- 0
+        end
+      done;
+      (* Track the worst per-link backlog (in data units): a channel's
+         waiting tokens count against every link on its route. *)
+      List.iter
+        (fun link ->
+          let backlog = ref 0 in
+          Array.iter
+            (fun i ->
+              if inflight.(i) > 0 && List.mem link routes.(i) then
+                backlog :=
+                  !backlog + (inflight.(i) * channels.(i).Channel.width))
+            crossing_channels;
+          if !backlog > !peak_link_queue then peak_link_queue := !backlog)
+        used_links;
+      (* Per-channel FIFO high-water mark (unconsumed = queued at the
+         consumer plus in flight on the link). *)
+      for i = 0 to nc - 1 do
+        let occupancy = avail.(i) + inflight.(i) in
+        if occupancy > channel_peak.(i) then channel_peak.(i) <- occupancy
+      done;
+      if !fired_any then incr busy_cycles;
+      if (not !fired_any) && not !moved_any then
+        outcome := Some (Error (Deadlock !cycle))
+    end
+  done;
+  match !outcome with
+  | Some (Ok ()) ->
+    Ok
+      {
+        cycles = !cycle;
+        total_firings;
+        data_moved;
+        peak_link_queue = !peak_link_queue;
+        busy_cycles = !busy_cycles;
+        channel_peaks =
+          Array.to_list (Array.mapi (fun i c -> (c, channel_peak.(i))) channels);
+        process_spans =
+          Array.init n (fun p -> (first_fire.(p), last_fire.(p)));
+      }
+  | Some (Error e) -> Error e
+  | None -> assert false
+
+let throughput r =
+  if r.cycles = 0 then 0. else float_of_int r.total_firings /. float_of_int r.cycles
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "cycles=%d firings=%d throughput=%.3f busy=%d peak_link_queue=%d"
+    r.cycles r.total_firings (throughput r) r.busy_cycles r.peak_link_queue
+
+let pp_error ppf = function
+  | Deadlock c -> Format.fprintf ppf "deadlock at cycle %d" c
+  | Cycle_limit c -> Format.fprintf ppf "cycle limit reached (%d)" c

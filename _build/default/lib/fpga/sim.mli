@@ -1,0 +1,65 @@
+(** Cycle-level simulation of a process network executing on a multi-FPGA
+    platform.
+
+    This makes the paper's motivation measurable: a mapping whose pairwise
+    traffic exceeds the link bandwidth completes the same workload in more
+    cycles, because inter-FPGA tokens queue behind the [bmax]-per-cycle
+    link budget.
+
+    Model (deterministic, integer arithmetic only):
+    - each process fires at most once per cycle; firing [f] of a process
+      with [iterations] firings consumes/produces on every channel its even
+      integer share of the channel's total tokens
+      ([(f+1)*T/I - f*T/I], summing to exactly [T]);
+    - a firing needs all per-firing input tokens available and space in
+      every output FIFO ([fifo_capacity] unconsumed tokens per channel,
+      counting in-flight ones);
+    - tokens produced on an intra-FPGA channel are available to the
+      consumer in the next cycle; tokens crossing FPGAs queue and are
+      forwarded along the platform's deterministic route
+      ({!Platform.route}); every physical link forwards at most [bmax]
+      {e data units} (tokens x width) per cycle, arbitrated round-robin
+      across the channels routed through it — a multi-hop token needs
+      budget on every link of its route in the same cycle (cut-through);
+    - simulation ends when every process has completed all its firings. *)
+
+open Ppnpart_ppn
+
+type result = {
+  cycles : int;  (** makespan of one network execution *)
+  total_firings : int;
+  data_moved : int array array;
+      (** per physical link data units transferred (routed) *)
+  peak_link_queue : int;  (** worst backlog observed on any link *)
+  busy_cycles : int;  (** cycles in which at least one process fired *)
+  channel_peaks : (Ppnpart_ppn.Channel.t * int) list;
+      (** per channel, the peak number of unconsumed tokens observed —
+          the FIFO depth this execution actually needed (self channels
+          excluded). Feed {!Resource_model.fifo_luts} with these to size
+          buffers. *)
+  process_spans : (int * int) array;
+      (** per process, (first firing cycle, last firing cycle) — the
+          pipeline fill/drain profile; [(0, 0)] for a process with no
+          firings. *)
+}
+
+type error =
+  | Deadlock of int  (** no progress possible at this cycle *)
+  | Cycle_limit of int  (** gave up after [max_cycles] *)
+
+val run :
+  ?fifo_capacity:int ->
+  ?max_cycles:int ->
+  Platform.t ->
+  Ppn.t ->
+  assignment:int array ->
+  (result, error) Stdlib.result
+(** [fifo_capacity] defaults to 64 tokens per channel; [max_cycles] to
+    [1_000_000].
+    @raise Invalid_argument on a bad assignment (see {!Mapping.make}). *)
+
+val throughput : result -> float
+(** Firings per cycle. *)
+
+val pp_result : Format.formatter -> result -> unit
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Array Buffer Edge_list Fun List Printf String Wgraph

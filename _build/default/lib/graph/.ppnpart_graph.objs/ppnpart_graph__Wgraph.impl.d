@@ -1,0 +1,1 @@
+lib/graph/wgraph.ml: Array Edge_list Format Hashtbl List Printf Queue

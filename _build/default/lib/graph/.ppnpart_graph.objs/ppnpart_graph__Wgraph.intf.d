@@ -1,0 +1,1 @@
+lib/graph/wgraph.mli: Edge_list Format

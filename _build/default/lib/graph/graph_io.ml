@@ -1,0 +1,218 @@
+let buf_add = Buffer.add_string
+
+let to_metis g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%d %d 011\n" (Wgraph.n_nodes g) (Wgraph.n_edges g));
+  for u = 0 to Wgraph.n_nodes g - 1 do
+    Buffer.add_string b (string_of_int (Wgraph.node_weight g u));
+    Wgraph.iter_neighbors g u (fun v w ->
+        Buffer.add_string b (Printf.sprintf " %d %d" (v + 1) w));
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+(* Tokenize a line into ints, skipping extra whitespace. *)
+let ints_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter_map (fun s ->
+         let s = String.trim s in
+         if s = "" then None
+         else
+           match int_of_string_opt s with
+           | Some i -> Some i
+           | None -> failwith ("Graph_io: not an integer: " ^ s))
+
+let of_metis text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '%')
+  in
+  match lines with
+  | [] -> failwith "Graph_io.of_metis: empty input"
+  | header :: rest ->
+    let n, m_decl, has_vsize, has_vwgt, has_ewgt =
+      match ints_of_line header with
+      | [ n; m ] -> (n, m, false, false, false)
+      | [ n; m; fmt ] ->
+        let has_ewgt = fmt mod 10 = 1 in
+        let has_vwgt = fmt / 10 mod 10 = 1 in
+        let has_vsize = fmt / 100 mod 10 = 1 in
+        (n, m, has_vsize, has_vwgt, has_ewgt)
+      | _ -> failwith "Graph_io.of_metis: bad header"
+    in
+    if List.length rest <> n then
+      failwith
+        (Printf.sprintf "Graph_io.of_metis: expected %d node lines, got %d" n
+           (List.length rest));
+    let vwgt = Array.make n 1 in
+    let el = Edge_list.create n in
+    List.iteri
+      (fun u line ->
+        let fields = ints_of_line line in
+        let fields = if has_vsize then List.tl fields else fields in
+        let fields =
+          if has_vwgt then begin
+            match fields with
+            | w :: tl ->
+              vwgt.(u) <- w;
+              tl
+            | [] -> failwith "Graph_io.of_metis: missing vertex weight"
+          end
+          else fields
+        in
+        let rec take = function
+          | [] -> ()
+          | v :: w :: tl when has_ewgt ->
+            if u < v - 1 then Edge_list.add el u (v - 1) w;
+            take tl
+          | v :: tl ->
+            if u < v - 1 then Edge_list.add el u (v - 1) 1;
+            take tl
+        in
+        take fields)
+      rest;
+    let g = Wgraph.build ~vwgt el in
+    (* The lower-triangle entries were skipped, so symmetry of the input is
+       checked by comparing the declared and reconstructed edge counts. *)
+    if Wgraph.n_edges g <> m_decl then
+      failwith
+        (Printf.sprintf "Graph_io.of_metis: declared %d edges, found %d"
+           m_decl (Wgraph.n_edges g));
+    Wgraph.validate g;
+    g
+
+let to_adjacency_matrix g =
+  let n = Wgraph.n_nodes g in
+  let b = Buffer.create 1024 in
+  buf_add b (string_of_int n);
+  Buffer.add_char b '\n';
+  for u = 0 to n - 1 do
+    if u > 0 then Buffer.add_char b ' ';
+    buf_add b (string_of_int (Wgraph.node_weight g u))
+  done;
+  Buffer.add_char b '\n';
+  let mat = Array.make_matrix n n 0 in
+  Wgraph.iter_edges g (fun u v w ->
+      mat.(u).(v) <- w;
+      mat.(v).(u) <- w);
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if v > 0 then Buffer.add_char b ' ';
+      buf_add b (string_of_int mat.(u).(v))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let of_adjacency_matrix text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | n_line :: vw_line :: rows -> (
+    match ints_of_line n_line with
+    | [ n ] ->
+      let vwgt = Array.of_list (ints_of_line vw_line) in
+      if Array.length vwgt <> n then
+        failwith "Graph_io.of_adjacency_matrix: bad weight row";
+      if List.length rows <> n then
+        failwith "Graph_io.of_adjacency_matrix: bad row count";
+      let mat =
+        Array.of_list
+          (List.map (fun row -> Array.of_list (ints_of_line row)) rows)
+      in
+      Array.iter
+        (fun row ->
+          if Array.length row <> n then
+            failwith "Graph_io.of_adjacency_matrix: ragged row")
+        mat;
+      for u = 0 to n - 1 do
+        if mat.(u).(u) <> 0 then
+          failwith "Graph_io.of_adjacency_matrix: nonzero diagonal";
+        for v = u + 1 to n - 1 do
+          if mat.(u).(v) <> mat.(v).(u) then
+            failwith "Graph_io.of_adjacency_matrix: asymmetric matrix"
+        done
+      done;
+      let el = Edge_list.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if mat.(u).(v) <> 0 then Edge_list.add el u v mat.(u).(v)
+        done
+      done;
+      Wgraph.build ~vwgt el
+    | _ -> failwith "Graph_io.of_adjacency_matrix: bad size line")
+  | _ -> failwith "Graph_io.of_adjacency_matrix: truncated input"
+
+(* A small qualitative palette; parts beyond its length cycle. *)
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#b07aa1"; "#76b7b2";
+     "#edc948"; "#ff9da7"; "#9c755f"; "#bab0ac" |]
+
+let to_dot ?partition ?(label = "") ?(weighted = true) g =
+  let b = Buffer.create 2048 in
+  buf_add b "graph g {\n";
+  if label <> "" then buf_add b (Printf.sprintf "  label=%S;\n" label);
+  buf_add b "  node [style=filled, fillcolor=white, shape=circle];\n";
+  let max_w =
+    let m = ref 1 in
+    for u = 0 to Wgraph.n_nodes g - 1 do
+      if Wgraph.node_weight g u > !m then m := Wgraph.node_weight g u
+    done;
+    !m
+  in
+  let emit_node u =
+    let w = Wgraph.node_weight g u in
+    (* Node radius proportional to weight, as in the paper's figures. *)
+    let width = 0.4 +. (0.8 *. float_of_int w /. float_of_int max_w) in
+    let lbl = if weighted then Printf.sprintf "%d\\nw=%d" u w
+      else string_of_int u
+    in
+    let color =
+      match partition with
+      | None -> "white"
+      | Some p -> palette.(p.(u) mod Array.length palette)
+    in
+    buf_add b
+      (Printf.sprintf "    n%d [label=\"%s\", width=%.2f, fillcolor=\"%s\"];\n"
+         u lbl width color)
+  in
+  (match partition with
+  | None ->
+    for u = 0 to Wgraph.n_nodes g - 1 do
+      emit_node u
+    done
+  | Some p ->
+    let k = Array.fold_left max 0 p + 1 in
+    for part = 0 to k - 1 do
+      buf_add b
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"FPGA %d\";\n"
+           part part);
+      for u = 0 to Wgraph.n_nodes g - 1 do
+        if p.(u) = part then emit_node u
+      done;
+      buf_add b "  }\n"
+    done);
+  Wgraph.iter_edges g (fun u v w ->
+      if weighted then
+        buf_add b (Printf.sprintf "  n%d -- n%d [label=\"%d\"];\n" u v w)
+      else buf_add b (Printf.sprintf "  n%d -- n%d;\n" u v));
+  buf_add b "}\n";
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,47 @@
+(** Serialization of weighted graphs.
+
+    Three formats are supported:
+
+    - the METIS [.graph] format (the format the paper's comparator, METIS
+      5.1.0, consumes), with the [fmt] header field handling node and edge
+      weights;
+    - a dense adjacency-matrix text format, mirroring how the paper feeds
+      graphs ("represented as incidence matrices") to MATLAB;
+    - Graphviz DOT output, used to regenerate the paper's Figures 2–13
+      (node radius proportional to weight, partitions as colored clusters). *)
+
+val to_metis : Wgraph.t -> string
+(** METIS [.graph] text: header [n m 011], then one line per node with its
+    weight followed by [neighbor weight] pairs, 1-indexed. *)
+
+val of_metis : string -> Wgraph.t
+(** Parses the output of {!to_metis}; also accepts fmt codes [0], [1], [10],
+    [11], [100], [110], [111] (vertex-size field is parsed and ignored).
+    Comment lines starting with [%] are skipped.
+    @raise Failure on malformed input or asymmetric weights. *)
+
+val to_adjacency_matrix : Wgraph.t -> string
+(** Dense symmetric matrix of edge weights, one row per line, space
+    separated; first line is [n], second line the node weights. *)
+
+val of_adjacency_matrix : string -> Wgraph.t
+(** Parses {!to_adjacency_matrix} output.
+    @raise Failure if the matrix is not symmetric or has a nonzero
+    diagonal. *)
+
+val to_dot :
+  ?partition:int array ->
+  ?label:string ->
+  ?weighted:bool ->
+  Wgraph.t ->
+  string
+(** DOT rendering. With [~partition], nodes are grouped into [cluster_p]
+    subgraphs and colored per part — the layout of the paper's partitioned
+    figures (4, 5, 8, 9, 12, 13). With [~weighted:false], node and edge
+    weight labels are suppressed — the "before weighting" figures (2, 6,
+    10). Default [weighted = true] matches Figures 3, 7, 11. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] creates/truncates [path]. *)
+
+val read_file : string -> string

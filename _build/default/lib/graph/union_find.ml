@@ -1,0 +1,40 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable classes : int;
+}
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then rx
+  else begin
+    t.classes <- t.classes - 1;
+    if t.rank.(rx) < t.rank.(ry) then begin
+      t.parent.(rx) <- ry;
+      ry
+    end
+    else if t.rank.(rx) > t.rank.(ry) then begin
+      t.parent.(ry) <- rx;
+      rx
+    end
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1;
+      rx
+    end
+  end
+
+let same t x y = find t x = find t y
+let count t = t.classes

@@ -1,0 +1,22 @@
+(** Classic disjoint-set forest with union by rank and path compression.
+
+    Used by connected-component computation and by graph contraction to track
+    merged node classes. All operations are amortized near-constant time. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a forest of [n] singleton classes [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** [find t x] is the canonical representative of [x]'s class. *)
+
+val union : t -> int -> int -> int
+(** [union t x y] merges the classes of [x] and [y] and returns the
+    representative of the merged class. Idempotent when already merged. *)
+
+val same : t -> int -> int -> bool
+(** [same t x y] is [true] iff [x] and [y] are in the same class. *)
+
+val count : t -> int
+(** [count t] is the current number of distinct classes. *)

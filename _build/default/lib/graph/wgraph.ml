@@ -1,0 +1,213 @@
+type t = {
+  n : int;
+  xadj : int array;
+  adjncy : int array;
+  adjwgt : int array;
+  vwgt : int array;
+}
+
+let build ?vwgt el =
+  let n = Edge_list.n_nodes el in
+  let vwgt =
+    match vwgt with
+    | None -> Array.make n 1
+    | Some w ->
+      if Array.length w <> n then
+        invalid_arg "Wgraph.build: vwgt length mismatch";
+      Array.iter
+        (fun x -> if x < 0 then invalid_arg "Wgraph.build: negative vwgt")
+        w;
+      Array.copy w
+  in
+  let edges = Edge_list.normalized el in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v, _) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let xadj = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    xadj.(i + 1) <- xadj.(i) + deg.(i)
+  done;
+  let m2 = xadj.(n) in
+  let adjncy = Array.make m2 0 in
+  let adjwgt = Array.make m2 0 in
+  let cursor = Array.sub xadj 0 n in
+  Array.iter
+    (fun (u, v, w) ->
+      adjncy.(cursor.(u)) <- v;
+      adjwgt.(cursor.(u)) <- w;
+      cursor.(u) <- cursor.(u) + 1;
+      adjncy.(cursor.(v)) <- u;
+      adjwgt.(cursor.(v)) <- w;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  { n; xadj; adjncy; adjwgt; vwgt }
+
+let of_edges ?vwgt n edges =
+  let el = Edge_list.create n in
+  Edge_list.add_all el edges;
+  build ?vwgt el
+
+let n_nodes g = g.n
+let n_edges g = Array.length g.adjncy / 2
+let degree g u = g.xadj.(u + 1) - g.xadj.(u)
+let node_weight g u = g.vwgt.(u)
+let total_node_weight g = Array.fold_left ( + ) 0 g.vwgt
+let total_edge_weight g = Array.fold_left ( + ) 0 g.adjwgt / 2
+
+let iter_neighbors g u f =
+  for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    f g.adjncy.(i) g.adjwgt.(i)
+  done
+
+let fold_neighbors g u f init =
+  let acc = ref init in
+  iter_neighbors g u (fun v w -> acc := f !acc v w);
+  !acc
+
+let weighted_degree g u = fold_neighbors g u (fun acc _ w -> acc + w) 0
+
+let edge_weight g u v =
+  let rec loop i =
+    if i >= g.xadj.(u + 1) then 0
+    else if g.adjncy.(i) = v then g.adjwgt.(i)
+    else loop (i + 1)
+  in
+  loop g.xadj.(u)
+
+let mem_edge g u v =
+  let rec loop i =
+    i < g.xadj.(u + 1) && (g.adjncy.(i) = v || loop (i + 1))
+  in
+  loop g.xadj.(u)
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+      let v = g.adjncy.(i) in
+      if u < v then f u v g.adjwgt.(i)
+    done
+  done
+
+let fold_edges g f init =
+  let acc = ref init in
+  iter_edges g (fun u v w -> acc := f !acc u v w);
+  !acc
+
+let edges g =
+  let l = fold_edges g (fun acc u v w -> (u, v, w) :: acc) [] in
+  List.sort compare l
+
+let components g =
+  let comp = Array.make g.n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for src = 0 to g.n - 1 do
+    if comp.(src) < 0 then begin
+      let id = !count in
+      incr count;
+      comp.(src) <- id;
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        iter_neighbors g u (fun v _ ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- id;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  (comp, !count)
+
+let is_connected g = g.n = 0 || snd (components g) = 1
+
+let bfs_order g src =
+  let seen = Array.make g.n false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    iter_neighbors g u (fun v _ ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+  done;
+  Array.of_list (List.rev !order)
+
+let induced g nodes =
+  let n' = Array.length nodes in
+  let old_to_new = Hashtbl.create n' in
+  Array.iteri
+    (fun i u ->
+      if Hashtbl.mem old_to_new u then
+        invalid_arg "Wgraph.induced: duplicate node";
+      Hashtbl.add old_to_new u i)
+    nodes;
+  let el = Edge_list.create n' in
+  Array.iteri
+    (fun i u ->
+      iter_neighbors g u (fun v w ->
+          match Hashtbl.find_opt old_to_new v with
+          | Some j when i < j -> Edge_list.add el i j w
+          | Some _ | None -> ()))
+    nodes;
+  let vwgt = Array.map (fun u -> g.vwgt.(u)) nodes in
+  (build ~vwgt el, Array.copy nodes)
+
+let relabel g perm =
+  let seen = Array.make g.n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= g.n || seen.(p) then
+        invalid_arg "Wgraph.relabel: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let el = Edge_list.create g.n in
+  iter_edges g (fun u v w -> Edge_list.add el perm.(u) perm.(v) w);
+  let vwgt = Array.make g.n 0 in
+  Array.iteri (fun u p -> vwgt.(p) <- g.vwgt.(u)) perm;
+  build ~vwgt el
+
+let validate g =
+  let fail fmt = Format.kasprintf failwith fmt in
+  if Array.length g.xadj <> g.n + 1 then fail "xadj length";
+  if g.xadj.(0) <> 0 then fail "xadj.(0) <> 0";
+  for u = 0 to g.n - 1 do
+    if g.xadj.(u) > g.xadj.(u + 1) then fail "xadj not monotone at %d" u
+  done;
+  let m2 = Array.length g.adjncy in
+  if g.xadj.(g.n) <> m2 then fail "xadj.(n) <> |adjncy|";
+  if Array.length g.adjwgt <> m2 then fail "adjwgt length";
+  if Array.length g.vwgt <> g.n then fail "vwgt length";
+  Array.iter (fun w -> if w < 0 then fail "negative vwgt") g.vwgt;
+  Array.iter (fun w -> if w < 0 then fail "negative adjwgt") g.adjwgt;
+  for u = 0 to g.n - 1 do
+    iter_neighbors g u (fun v w ->
+        if v < 0 || v >= g.n then fail "neighbor out of range at %d" u;
+        if v = u then fail "self loop at %d" u;
+        if edge_weight g v u <> w then
+          fail "asymmetric edge (%d, %d)" u v)
+  done
+
+let equal a b =
+  a.n = b.n && a.vwgt = b.vwgt && edges a = edges b
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (n_edges g);
+  for u = 0 to g.n - 1 do
+    Format.fprintf ppf "  %d (w=%d):" u g.vwgt.(u);
+    iter_neighbors g u (fun v w -> Format.fprintf ppf " %d/%d" v w);
+    Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"
+
+let summary g =
+  Printf.sprintf "n=%d m=%d vwgt=%d ewgt=%d" g.n (n_edges g)
+    (total_node_weight g) (total_edge_weight g)

@@ -1,0 +1,99 @@
+(** Weighted undirected graphs in compressed sparse row (CSR) form.
+
+    This is the representation every partitioning kernel in this repository
+    runs on, mirroring the METIS layout: [xadj] indexes into [adjncy]/[adjwgt]
+    so the neighbours of node [u] live at positions
+    [xadj.(u) .. xadj.(u+1) - 1]. Each undirected edge is stored twice, once
+    per endpoint. Node weights model FPGA resources consumed by a process;
+    edge weights model sustained FIFO bandwidth between two processes
+    (Section I of the paper).
+
+    Values of type {!t} are immutable once built; all mutation happens in
+    {!Edge_list} before construction. *)
+
+type t = private {
+  n : int;  (** number of nodes *)
+  xadj : int array;  (** length [n + 1]; CSR row pointers *)
+  adjncy : int array;  (** length [2m]; neighbour lists *)
+  adjwgt : int array;  (** length [2m]; edge weights, parallel to [adjncy] *)
+  vwgt : int array;  (** length [n]; node weights (resources) *)
+}
+
+val build : ?vwgt:int array -> Edge_list.t -> t
+(** [build ~vwgt edges] constructs the CSR graph from a normalized edge list.
+    [vwgt] defaults to all-ones.
+    @raise Invalid_argument if [vwgt] has the wrong length or a negative
+    entry. *)
+
+val of_edges : ?vwgt:int array -> int -> (int * int * int) list -> t
+(** [of_edges n edges] is [build] over a fresh edge list; convenience for
+    tests and examples. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+(** Number of undirected edges (each counted once). *)
+
+val degree : t -> int -> int
+(** Number of distinct neighbours of a node. *)
+
+val node_weight : t -> int -> int
+val total_node_weight : t -> int
+
+val total_edge_weight : t -> int
+(** Sum of weights over undirected edges (each counted once). *)
+
+val weighted_degree : t -> int -> int
+(** Sum of incident edge weights. *)
+
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+(** [iter_neighbors g u f] applies [f v w] for every edge [{u, v}] of weight
+    [w]. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+val edge_weight : t -> int -> int -> int
+(** [edge_weight g u v] is the weight of edge [{u, v}], or [0] if absent.
+    O(degree u). *)
+
+val mem_edge : t -> int -> int -> bool
+
+val iter_edges : t -> (int -> int -> int -> unit) -> unit
+(** Iterates every undirected edge once, with [u < v]. *)
+
+val fold_edges : t -> ('a -> int -> int -> int -> 'a) -> 'a -> 'a
+
+val edges : t -> (int * int * int) list
+(** All undirected edges as [(u, v, w)] with [u < v], sorted. *)
+
+val components : t -> int array * int
+(** [components g] labels each node with a component id in [0 .. c-1] and
+    returns the count [c]. *)
+
+val is_connected : t -> bool
+
+val bfs_order : t -> int -> int array
+(** [bfs_order g src] is the sequence of nodes reachable from [src] in BFS
+    order (length = size of [src]'s component). *)
+
+val induced : t -> int array -> t * int array
+(** [induced g nodes] is the subgraph induced by [nodes] (which must be
+    duplicate-free) together with the map from new ids to original ids
+    (i.e. [nodes] itself, copied). *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames node [i] to [perm.(i)] ([perm] must be a
+    permutation). Used to randomize node order in tests. *)
+
+val validate : t -> unit
+(** Internal consistency check: CSR sanity, symmetry of adjacency and of edge
+    weights, no self loops, non-negative weights.
+    @raise Failure describing the first violation found. *)
+
+val equal : t -> t -> bool
+(** Structural equality up to neighbour ordering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: one line per node with weights and adjacency. *)
+
+val summary : t -> string
+(** One-line ["n=.. m=.. vwgt=.. ewgt=.."] description. *)

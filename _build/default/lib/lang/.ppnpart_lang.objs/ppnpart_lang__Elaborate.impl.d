@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Array Ast Hashtbl List Option Ppnpart_poly Printf

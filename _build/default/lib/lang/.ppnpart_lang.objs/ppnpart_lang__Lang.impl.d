@@ -1,0 +1,1 @@
+lib/lang/lang.ml: Array Ast Buffer Elaborate Format Fun Lexer List Parser Ppnpart_poly Printf String

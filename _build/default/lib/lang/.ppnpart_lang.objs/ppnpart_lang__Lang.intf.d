@@ -1,0 +1,1 @@
+lib/lang/lang.mli: Ast Format Ppnpart_poly

@@ -1,0 +1,42 @@
+type position = { line : int; col : int }
+
+type expr =
+  | Int of int
+  | Var of string * position
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of int * expr
+
+type access = {
+  array : string;
+  subscripts : expr list;
+  access_pos : position;
+}
+
+type iterator = {
+  iter_name : string;
+  lower : expr;
+  upper : expr;
+  iter_pos : position;
+}
+
+type rel = Le | Ge | Eq
+
+type guard = { g_lhs : expr; g_rel : rel; g_rhs : expr; g_pos : position }
+
+type stmt = {
+  stmt_name : string;
+  iterators : iterator list;
+  guards : guard list;
+  work : int option;
+  reads : access list;
+  writes : access list;
+  stmt_pos : position;
+}
+
+type item =
+  | Param of string * expr * position
+  | Stmt of stmt
+
+type program = item list

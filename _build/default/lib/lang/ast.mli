@@ -1,0 +1,61 @@
+(** Raw syntax trees of the [.pn] affine-program language, before name
+    resolution. Produced by {!Parser}, consumed by {!Elaborate}.
+
+    The surface syntax (see the grammar in {!Lang}):
+
+    {v
+    # FIR tap
+    param N = 64
+
+    stmt tap1 (i : 0 .. N-1) work 2 {
+      read  x[i+1], acc0[i]
+      write acc1[i]
+    }
+    v} *)
+
+type position = { line : int; col : int }
+
+(** Affine expression over iterator and parameter names. *)
+type expr =
+  | Int of int
+  | Var of string * position  (** iterator or parameter *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of int * expr  (** constant * expr; general products are rejected *)
+
+type access = {
+  array : string;
+  subscripts : expr list;  (** empty for scalars *)
+  access_pos : position;
+}
+
+type iterator = {
+  iter_name : string;
+  lower : expr;
+  upper : expr;
+  iter_pos : position;
+}
+
+(** A [where] clause constraint, [lhs <op> rhs]. *)
+type rel = Le | Ge | Eq
+
+type guard = { g_lhs : expr; g_rel : rel; g_rhs : expr; g_pos : position }
+
+type stmt = {
+  stmt_name : string;
+  iterators : iterator list;
+  guards : guard list;
+  work : int option;
+  reads : access list;
+  writes : access list;
+  stmt_pos : position;
+}
+
+type item =
+  | Param of string * expr * position
+      (** parameter definition; the expression may reference earlier
+          parameters only *)
+  | Stmt of stmt
+
+type program = item list

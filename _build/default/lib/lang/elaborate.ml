@@ -1,0 +1,129 @@
+module Affine = Ppnpart_poly.Affine
+module Domain = Ppnpart_poly.Domain
+module Access = Ppnpart_poly.Access
+module Stmt = Ppnpart_poly.Stmt
+
+exception Error of Ast.position * string
+
+let err pos fmt = Printf.ksprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+(* Convert an expression to (iterator coefficients, constant) given the
+   parameter environment and the iterator name -> index map. *)
+let rec to_affine params iters d expr =
+  match expr with
+  | Ast.Int v -> (Array.make d 0, v)
+  | Ast.Var (name, pos) -> (
+    match Hashtbl.find_opt iters name with
+    | Some j ->
+      let coeffs = Array.make d 0 in
+      coeffs.(j) <- 1;
+      (coeffs, 0)
+    | None -> (
+      match Hashtbl.find_opt params name with
+      | Some v -> (Array.make d 0, v)
+      | None -> err pos "unknown identifier %s" name))
+  | Ast.Neg e ->
+    let coeffs, c = to_affine params iters d e in
+    (Array.map (fun x -> -x) coeffs, -c)
+  | Ast.Add (a, b) ->
+    let ca, ka = to_affine params iters d a in
+    let cb, kb = to_affine params iters d b in
+    (Array.init d (fun j -> ca.(j) + cb.(j)), ka + kb)
+  | Ast.Sub (a, b) ->
+    let ca, ka = to_affine params iters d a in
+    let cb, kb = to_affine params iters d b in
+    (Array.init d (fun j -> ca.(j) - cb.(j)), ka - kb)
+  | Ast.Mul (s, e) ->
+    let coeffs, c = to_affine params iters d e in
+    (Array.map (fun x -> s * x) coeffs, s * c)
+
+let affine params iters d expr =
+  let coeffs, const = to_affine params iters d expr in
+  Affine.make coeffs const
+
+(* Evaluate a parameter definition: constants and earlier parameters only. *)
+let rec eval_const params expr =
+  match expr with
+  | Ast.Int v -> v
+  | Ast.Var (name, pos) -> (
+    match Hashtbl.find_opt params name with
+    | Some v -> v
+    | None -> err pos "unknown parameter %s" name)
+  | Ast.Neg e -> -eval_const params e
+  | Ast.Add (a, b) -> eval_const params a + eval_const params b
+  | Ast.Sub (a, b) -> eval_const params a - eval_const params b
+  | Ast.Mul (s, e) -> s * eval_const params e
+
+let elaborate_stmt params (s : Ast.stmt) =
+  let d = List.length s.Ast.iterators in
+  let iters = Hashtbl.create d in
+  List.iteri
+    (fun j (it : Ast.iterator) ->
+      if Hashtbl.mem iters it.Ast.iter_name then
+        err it.Ast.iter_pos "duplicate iterator %s" it.Ast.iter_name;
+      if Hashtbl.mem params it.Ast.iter_name then
+        err it.Ast.iter_pos "iterator %s shadows a parameter"
+          it.Ast.iter_name;
+      Hashtbl.add iters it.Ast.iter_name j)
+    s.Ast.iterators;
+  let bound j (it : Ast.iterator) which expr =
+    let a = affine params iters d expr in
+    if not (Affine.uses_only_prefix a j) then
+      err it.Ast.iter_pos
+        "%s bound of %s may only use outer iterators and parameters" which
+        it.Ast.iter_name;
+    a
+  in
+  let lower =
+    Array.of_list
+      (List.mapi (fun j it -> bound j it "lower" it.Ast.lower) s.Ast.iterators)
+  in
+  let upper =
+    Array.of_list
+      (List.mapi (fun j it -> bound j it "upper" it.Ast.upper) s.Ast.iterators)
+  in
+  let guards =
+    List.concat_map
+      (fun (g : Ast.guard) ->
+        let lhs = affine params iters d g.Ast.g_lhs in
+        let rhs = affine params iters d g.Ast.g_rhs in
+        (* lhs <= rhs  <=>  rhs - lhs >= 0 *)
+        match g.Ast.g_rel with
+        | Ast.Le -> [ Affine.sub rhs lhs ]
+        | Ast.Ge -> [ Affine.sub lhs rhs ]
+        | Ast.Eq -> [ Affine.sub rhs lhs; Affine.sub lhs rhs ])
+      s.Ast.guards
+  in
+  let domain = Domain.make ~guards ~lower ~upper () in
+  let access (a : Ast.access) =
+    let subscripts =
+      Array.of_list (List.map (affine params iters d) a.Ast.subscripts)
+    in
+    try Access.make a.Ast.array subscripts
+    with Invalid_argument msg -> err a.Ast.access_pos "%s" msg
+  in
+  let work = Option.value s.Ast.work ~default:1 in
+  if work < 0 then err s.Ast.stmt_pos "negative work";
+  try
+    Stmt.make
+      ~reads:(List.map access s.Ast.reads)
+      ~writes:(List.map access s.Ast.writes)
+      ~work s.Ast.stmt_name domain
+  with Invalid_argument msg -> err s.Ast.stmt_pos "%s" msg
+
+let program items =
+  let params = Hashtbl.create 8 in
+  let names = Hashtbl.create 8 in
+  List.filter_map
+    (fun item ->
+      match item with
+      | Ast.Param (name, value, pos) ->
+        if Hashtbl.mem params name then err pos "duplicate parameter %s" name;
+        Hashtbl.add params name (eval_const params value);
+        None
+      | Ast.Stmt s ->
+        if Hashtbl.mem names s.Ast.stmt_name then
+          err s.Ast.stmt_pos "duplicate statement %s" s.Ast.stmt_name;
+        Hashtbl.add names s.Ast.stmt_name ();
+        Some (elaborate_stmt params s))
+    items

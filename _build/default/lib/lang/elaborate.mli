@@ -1,0 +1,13 @@
+(** Name resolution and lowering of a parsed [.pn] program to the
+    polyhedral IR.
+
+    Checks performed: parameters defined before use and only over earlier
+    parameters; iterator bounds affine over parameters and {e outer}
+    iterators only (the loop-nest prefix rule of
+    {!Ppnpart_poly.Domain.make}); every identifier resolved; statement,
+    parameter and iterator names unique; non-negative work. *)
+
+exception Error of Ast.position * string
+
+val program : Ast.program -> Ppnpart_poly.Stmt.t list
+(** @raise Error with a source position on any violation. *)

@@ -1,0 +1,88 @@
+type error = { position : Ast.position; message : string }
+
+let parse_program text =
+  match Elaborate.program (Parser.parse text) with
+  | stmts -> Ok stmts
+  | exception Lexer.Error (position, message) -> Error { position; message }
+  | exception Parser.Error (position, message) -> Error { position; message }
+  | exception Elaborate.Error (position, message) ->
+    Error { position; message }
+
+let pp_error ppf e =
+  Format.fprintf ppf "%d:%d: %s" e.position.Ast.line e.position.Ast.col
+    e.message
+
+let parse_program_exn text =
+  match parse_program text with
+  | Ok stmts -> stmts
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)
+
+let sanitize name =
+  String.map (fun c -> if c = '.' then '_' else c) name
+
+let emit stmts =
+  let module Poly = Ppnpart_poly in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun stmt ->
+      let domain = Poly.Stmt.domain stmt in
+      let d = Poly.Domain.dim domain in
+      if d = 0 then
+        invalid_arg "Lang.emit: cannot emit a 0-dimensional statement";
+      let bounds = Poly.Domain.bounds domain in
+      Buffer.add_string b
+        (Printf.sprintf "stmt %s (" (sanitize (Poly.Stmt.name stmt)));
+      Array.iteri
+        (fun j (lower, upper) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "i%d : %s .. %s" j
+               (Poly.Affine.to_string lower)
+               (Poly.Affine.to_string upper)))
+        bounds;
+      Buffer.add_string b ")";
+      (match Poly.Domain.guards domain with
+      | [] -> ()
+      | guards ->
+        Buffer.add_string b " where ";
+        List.iteri
+          (fun i g ->
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b (Poly.Affine.to_string g);
+            Buffer.add_string b " >= 0")
+          guards);
+      Buffer.add_string b
+        (Printf.sprintf " work %d {\n" (Poly.Stmt.work stmt));
+      let emit_accesses keyword accesses =
+        if accesses <> [] then begin
+          Buffer.add_string b ("  " ^ keyword ^ " ");
+          List.iteri
+            (fun i a ->
+              if i > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b (Poly.Access.array_name a);
+              let arity = Poly.Access.arity a in
+              for s = 0 to arity - 1 do
+                Buffer.add_string b
+                  (Printf.sprintf "[%s]"
+                     (Poly.Affine.to_string a.Poly.Access.subscripts.(s)))
+              done)
+            accesses;
+          Buffer.add_char b '\n'
+        end
+      in
+      emit_accesses "read" (Poly.Stmt.reads stmt);
+      emit_accesses "write" (Poly.Stmt.writes stmt);
+      Buffer.add_string b "}\n\n")
+    stmts;
+  Buffer.contents b
+
+let parse_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse_program text
+  | exception Sys_error message ->
+    Error { position = { Ast.line = 0; col = 0 }; message }

@@ -1,0 +1,50 @@
+(** The [.pn] affine-program front end: parse and lower textual programs
+    to the polyhedral IR that {!Ppnpart_ppn.Derive} consumes.
+
+    Language reference — a program is a sequence of parameter definitions
+    and statements:
+
+    {v
+    # comments run to end of line
+    param N = 64
+    param HALF = N - 32          # parameters may use earlier parameters
+
+    stmt blur (i : 1 .. N-2) work 4 {
+      read  In[i-1], In[i], In[i+1]
+      write B[i]
+    }
+
+    # triangular domain with an extra guard, 2-D accesses
+    stmt mac (i : 1 .. N-1, j : 1 .. i) where j <= HALF work 2 {
+      read  acc[i][j-1], L[i][j], x[j]
+      write acc[i][j]
+    }
+    v}
+
+    Rules: iterator bounds are affine in parameters and outer iterators
+    only (loop-nest form); [where] guards may use all iterators;
+    subscripts are affine; [work] defaults to 1; arrays read but never
+    written become the derived network's input streams. *)
+
+type error = { position : Ast.position; message : string }
+
+val parse_program : string -> (Ppnpart_poly.Stmt.t list, error) result
+(** Parse and elaborate a program text. *)
+
+val parse_program_exn : string -> Ppnpart_poly.Stmt.t list
+(** @raise Failure with a formatted ["line:col: message"]. *)
+
+val parse_file : string -> (Ppnpart_poly.Stmt.t list, error) result
+(** Reads the file, then {!parse_program}. I/O errors are reported at
+    position 0:0. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val emit : Ppnpart_poly.Stmt.t list -> string
+(** Render statements back to [.pn] text — iterators are named
+    [i0, i1, ...] (the IR does not retain source names) and statement
+    names are sanitized to identifier syntax ([.] becomes [_]). Parsing
+    the result yields statements with identical domains, accesses and
+    flows: [emit] and {!parse_program} round-trip.
+    @raise Invalid_argument on a 0-dimensional statement (the grammar
+    requires at least one iterator). *)

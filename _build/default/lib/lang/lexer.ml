@@ -1,0 +1,148 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_PARAM
+  | KW_STMT
+  | KW_WORK
+  | KW_READ
+  | KW_WRITE
+  | KW_WHERE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | COMMA
+  | DOTDOT
+  | PLUS
+  | MINUS
+  | STAR
+  | EQUAL
+  | LE
+  | GE
+  | EOF
+
+exception Error of Ast.position * string
+
+let keyword = function
+  | "param" -> Some KW_PARAM
+  | "stmt" -> Some KW_STMT
+  | "work" -> Some KW_WORK
+  | "read" -> Some KW_READ
+  | "write" -> Some KW_WRITE
+  | "where" -> Some KW_WHERE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () = { Ast.line = !line; col = !col } in
+  let advance () =
+    if !i < n then begin
+      if text.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    end
+  in
+  let emit tok p = tokens := (tok, p) :: !tokens in
+  while !i < n do
+    let c = text.[!i] in
+    let p = pos () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then
+      while !i < n && text.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit text.[!i] do
+        advance ()
+      done;
+      let s = String.sub text start (!i - start) in
+      match int_of_string_opt s with
+      | Some v -> emit (INT v) p
+      | None -> raise (Error (p, "number out of range: " ^ s))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        advance ()
+      done;
+      let s = String.sub text start (!i - start) in
+      emit (Option.value (keyword s) ~default:(IDENT s)) p
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub text !i 2) else None
+      in
+      match two with
+      | Some ".." ->
+        advance ();
+        advance ();
+        emit DOTDOT p
+      | Some "<=" ->
+        advance ();
+        advance ();
+        emit LE p
+      | Some ">=" ->
+        advance ();
+        advance ();
+        emit GE p
+      | _ -> (
+        advance ();
+        match c with
+        | '(' -> emit LPAREN p
+        | ')' -> emit RPAREN p
+        | '{' -> emit LBRACE p
+        | '}' -> emit RBRACE p
+        | '[' -> emit LBRACKET p
+        | ']' -> emit RBRACKET p
+        | ':' -> emit COLON p
+        | ',' -> emit COMMA p
+        | '+' -> emit PLUS p
+        | '-' -> emit MINUS p
+        | '*' -> emit STAR p
+        | '=' -> emit EQUAL p
+        | _ ->
+          raise (Error (p, Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  emit EOF (pos ());
+  List.rev !tokens
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT v -> Printf.sprintf "integer %d" v
+  | KW_PARAM -> "'param'"
+  | KW_STMT -> "'stmt'"
+  | KW_WORK -> "'work'"
+  | KW_READ -> "'read'"
+  | KW_WRITE -> "'write'"
+  | KW_WHERE -> "'where'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | DOTDOT -> "'..'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | EQUAL -> "'='"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | EOF -> "end of input"

@@ -1,0 +1,39 @@
+(** Tokenizer for the [.pn] language.
+
+    Skips whitespace and [#]-to-end-of-line comments; tracks line/column
+    positions (1-based) for error reporting. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_PARAM
+  | KW_STMT
+  | KW_WORK
+  | KW_READ
+  | KW_WRITE
+  | KW_WHERE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | COMMA
+  | DOTDOT
+  | PLUS
+  | MINUS
+  | STAR
+  | EQUAL
+  | LE  (** [<=] *)
+  | GE  (** [>=] *)
+  | EOF
+
+exception Error of Ast.position * string
+
+val tokenize : string -> (token * Ast.position) list
+(** @raise Error on an unexpected character or malformed number. The
+    result always ends with an [EOF] token. *)
+
+val token_name : token -> string
+(** For error messages. *)

@@ -1,0 +1,245 @@
+exception Error of Ast.position * string
+
+(* Mutable token cursor. *)
+type state = { mutable tokens : (Lexer.token * Ast.position) list }
+
+let peek st =
+  match st.tokens with
+  | (tok, pos) :: _ -> (tok, pos)
+  | [] -> assert false (* tokenize always ends with EOF *)
+
+let advance st =
+  match st.tokens with
+  | _ :: tl when tl <> [] -> st.tokens <- tl
+  | _ -> ()
+
+let expect st want =
+  let tok, pos = peek st in
+  if tok = want then advance st
+  else
+    raise
+      (Error
+         ( pos,
+           Printf.sprintf "expected %s but found %s" (Lexer.token_name want)
+             (Lexer.token_name tok) ))
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT s, _ ->
+    advance st;
+    s
+  | tok, pos ->
+    raise
+      (Error
+         ( pos,
+           Printf.sprintf "expected %s but found %s" what
+             (Lexer.token_name tok) ))
+
+let expect_int st what =
+  match peek st with
+  | Lexer.INT v, _ ->
+    advance st;
+    v
+  | tok, pos ->
+    raise
+      (Error
+         ( pos,
+           Printf.sprintf "expected %s but found %s" what
+             (Lexer.token_name tok) ))
+
+(* expr := term (("+" | "-") term)* *)
+let rec parse_expr st =
+  let lhs = parse_term st in
+  parse_expr_rest st lhs
+
+and parse_expr_rest st lhs =
+  match peek st with
+  | Lexer.PLUS, _ ->
+    advance st;
+    let rhs = parse_term st in
+    parse_expr_rest st (Ast.Add (lhs, rhs))
+  | Lexer.MINUS, _ ->
+    advance st;
+    let rhs = parse_term st in
+    parse_expr_rest st (Ast.Sub (lhs, rhs))
+  | _ -> lhs
+
+(* term := INT | INT "*" atom | atom | "-" term *)
+and parse_term st =
+  match peek st with
+  | Lexer.MINUS, _ ->
+    advance st;
+    Ast.Neg (parse_term st)
+  | Lexer.INT v, _ -> (
+    advance st;
+    match peek st with
+    | Lexer.STAR, _ ->
+      advance st;
+      Ast.Mul (v, parse_atom st)
+    | _ -> Ast.Int v)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.IDENT s, pos ->
+    advance st;
+    Ast.Var (s, pos)
+  | Lexer.INT v, _ ->
+    advance st;
+    Ast.Int v
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | tok, pos ->
+    raise
+      (Error
+         ( pos,
+           Printf.sprintf "expected an expression but found %s"
+             (Lexer.token_name tok) ))
+
+(* access := IDENT ("[" expr "]")* *)
+let parse_access st =
+  let _, access_pos = peek st in
+  let array = expect_ident st "an array name" in
+  let subscripts = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.LBRACKET, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RBRACKET;
+      subscripts := e :: !subscripts
+    | _ -> continue := false
+  done;
+  { Ast.array; subscripts = List.rev !subscripts; access_pos }
+
+let parse_access_list st =
+  let first = parse_access st in
+  let rest = ref [ first ] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.COMMA, _ ->
+      advance st;
+      rest := parse_access st :: !rest
+    | _ -> continue := false
+  done;
+  List.rev !rest
+
+(* iterator := IDENT ":" expr ".." expr *)
+let parse_iterator st =
+  let _, iter_pos = peek st in
+  let iter_name = expect_ident st "an iterator name" in
+  expect st Lexer.COLON;
+  let lower = parse_expr st in
+  expect st Lexer.DOTDOT;
+  let upper = parse_expr st in
+  { Ast.iter_name; lower; upper; iter_pos }
+
+let parse_guard st =
+  let _, g_pos = peek st in
+  let g_lhs = parse_expr st in
+  let g_rel =
+    match peek st with
+    | Lexer.LE, _ ->
+      advance st;
+      Ast.Le
+    | Lexer.GE, _ ->
+      advance st;
+      Ast.Ge
+    | Lexer.EQUAL, _ ->
+      advance st;
+      Ast.Eq
+    | tok, pos ->
+      raise
+        (Error
+           ( pos,
+             Printf.sprintf "expected '<=', '>=' or '=' but found %s"
+               (Lexer.token_name tok) ))
+  in
+  let g_rhs = parse_expr st in
+  { Ast.g_lhs; g_rel; g_rhs; g_pos }
+
+let parse_stmt st stmt_pos =
+  let stmt_name = expect_ident st "a statement name" in
+  expect st Lexer.LPAREN;
+  let iterators = ref [ parse_iterator st ] in
+  while fst (peek st) = Lexer.COMMA do
+    advance st;
+    iterators := parse_iterator st :: !iterators
+  done;
+  expect st Lexer.RPAREN;
+  let guards = ref [] in
+  if fst (peek st) = Lexer.KW_WHERE then begin
+    advance st;
+    guards := [ parse_guard st ];
+    while fst (peek st) = Lexer.COMMA do
+      advance st;
+      guards := parse_guard st :: !guards
+    done
+  end;
+  let work =
+    if fst (peek st) = Lexer.KW_WORK then begin
+      advance st;
+      Some (expect_int st "a work amount")
+    end
+    else None
+  in
+  expect st Lexer.LBRACE;
+  let reads = ref [] and writes = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.KW_READ, _ ->
+      advance st;
+      reads := !reads @ parse_access_list st
+    | Lexer.KW_WRITE, _ ->
+      advance st;
+      writes := !writes @ parse_access_list st
+    | Lexer.RBRACE, _ ->
+      advance st;
+      continue := false
+    | tok, pos ->
+      raise
+        (Error
+           ( pos,
+             Printf.sprintf "expected 'read', 'write' or '}' but found %s"
+               (Lexer.token_name tok) ))
+  done;
+  {
+    Ast.stmt_name;
+    iterators = List.rev !iterators;
+    guards = List.rev !guards;
+    work;
+    reads = !reads;
+    writes = !writes;
+    stmt_pos;
+  }
+
+let parse text =
+  let st = { tokens = Lexer.tokenize text } in
+  let items = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.KW_PARAM, pos ->
+      advance st;
+      let name = expect_ident st "a parameter name" in
+      expect st Lexer.EQUAL;
+      let value = parse_expr st in
+      items := Ast.Param (name, value, pos) :: !items
+    | Lexer.KW_STMT, pos ->
+      advance st;
+      items := Ast.Stmt (parse_stmt st pos) :: !items
+    | Lexer.EOF, _ -> continue := false
+    | tok, pos ->
+      raise
+        (Error
+           ( pos,
+             Printf.sprintf "expected 'param' or 'stmt' but found %s"
+               (Lexer.token_name tok) ))
+  done;
+  List.rev !items

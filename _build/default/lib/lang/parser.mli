@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the [.pn] language.
+
+    Grammar (see {!Lang} for the full reference):
+
+    {v
+    program   := item*
+    item      := "param" IDENT "=" expr
+               | "stmt" IDENT "(" iterators ")" ["where" guards]
+                 ["work" INT] "{" body "}"
+    iterators := iterator ( "," iterator )*
+    iterator  := IDENT ":" expr ".." expr
+    guards    := guard ( "," guard )*
+    guard     := expr ("<=" | ">=" | "=") expr
+    body      := ( ( "read" | "write" ) access ( "," access )* )*
+    access    := IDENT ( "[" expr "]" )*
+    expr      := term ( ( "+" | "-" ) term )*
+    term      := INT | INT "*" atom | atom | "-" term
+    atom      := IDENT | INT | "(" expr ")"
+    v} *)
+
+exception Error of Ast.position * string
+
+val parse : string -> Ast.program
+(** @raise Error (or {!Lexer.Error}) with a position and message on
+    malformed input. *)

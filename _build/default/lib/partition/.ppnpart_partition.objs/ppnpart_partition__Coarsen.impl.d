@@ -1,0 +1,1 @@
+lib/partition/coarsen.ml: Array Edge_list Format List Matching Ppnpart_graph Wgraph

@@ -1,0 +1,1 @@
+lib/partition/coarsen.mli: Format Matching Ppnpart_graph Random Wgraph

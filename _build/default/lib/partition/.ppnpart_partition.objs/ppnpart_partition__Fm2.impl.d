@@ -1,0 +1,1 @@
+lib/partition/fm2.ml: Array Bucket Metrics Ppnpart_graph Random Wgraph

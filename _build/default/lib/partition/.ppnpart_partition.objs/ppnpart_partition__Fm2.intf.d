@@ -1,0 +1,1 @@
+lib/partition/fm2.mli: Ppnpart_graph Random Wgraph

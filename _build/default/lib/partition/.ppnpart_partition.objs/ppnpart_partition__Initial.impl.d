@@ -1,0 +1,1 @@
+lib/partition/initial.ml: Array List Metrics Ppnpart_graph Queue Random Seq Types Wgraph

@@ -1,0 +1,1 @@
+lib/partition/initial.mli: Ppnpart_graph Random Types Wgraph

@@ -1,0 +1,1 @@
+lib/partition/matching.ml: Array Hashtbl List Option Ppnpart_graph Random Wgraph

@@ -1,0 +1,1 @@
+lib/partition/matching.mli: Ppnpart_graph Random

@@ -1,0 +1,1 @@
+lib/partition/metrics.ml: Array Format Ppnpart_graph Types Wgraph

@@ -1,0 +1,1 @@
+lib/partition/multires.ml: Array Edge_list Metrics Ppnpart_graph Random Types Wgraph

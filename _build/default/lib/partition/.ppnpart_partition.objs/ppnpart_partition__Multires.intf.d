@@ -1,0 +1,1 @@
+lib/partition/multires.mli: Ppnpart_graph Random Types Wgraph

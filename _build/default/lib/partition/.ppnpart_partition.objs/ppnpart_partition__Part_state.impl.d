@@ -1,0 +1,1 @@
+lib/partition/part_state.ml: Array Metrics Ppnpart_graph Types Wgraph

@@ -1,0 +1,1 @@
+lib/partition/part_state.mli: Metrics Ppnpart_graph Types Wgraph

@@ -1,0 +1,1 @@
+lib/partition/partition_io.ml: Array Buffer Fun List Printf String Types

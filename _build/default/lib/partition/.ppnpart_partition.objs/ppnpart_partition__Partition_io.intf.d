@@ -1,0 +1,1 @@
+lib/partition/partition_io.mli:

@@ -1,0 +1,1 @@
+lib/partition/refine_constrained.ml: Array Metrics Part_state Ppnpart_graph Random Types Wgraph

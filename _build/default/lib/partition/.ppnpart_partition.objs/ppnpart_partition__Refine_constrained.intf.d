@@ -1,0 +1,1 @@
+lib/partition/refine_constrained.mli: Metrics Ppnpart_graph Random Types Wgraph

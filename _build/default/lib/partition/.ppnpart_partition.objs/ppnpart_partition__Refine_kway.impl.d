@@ -1,0 +1,1 @@
+lib/partition/refine_kway.ml: Array Bucket Metrics Ppnpart_graph Random Types Wgraph

@@ -1,0 +1,1 @@
+lib/partition/refine_kway.mli: Ppnpart_graph Random Wgraph

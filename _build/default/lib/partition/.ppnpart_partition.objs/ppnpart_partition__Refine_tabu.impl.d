@@ -1,0 +1,1 @@
+lib/partition/refine_tabu.ml: Array Metrics Option Part_state Ppnpart_graph Types Wgraph

@@ -1,0 +1,1 @@
+lib/partition/refine_tabu.mli: Metrics Ppnpart_graph Types Wgraph

@@ -1,0 +1,1 @@
+lib/partition/types.ml: Array Format Hashtbl

@@ -1,0 +1,85 @@
+type t = {
+  max_gain : int;
+  heads : int array;  (** gain+max_gain -> first node or -1 *)
+  next : int array;
+  prev : int array;  (** prev node, or -(bucket index)-1 when first *)
+  gains : int array;
+  present : bool array;
+  mutable cur_max : int;  (** upper bound on the highest non-empty bucket *)
+  mutable count : int;
+}
+
+let create ~n ~max_gain =
+  if n < 0 || max_gain < 0 then invalid_arg "Bucket.create";
+  {
+    max_gain;
+    heads = Array.make ((2 * max_gain) + 1) (-1);
+    next = Array.make (max n 1) (-1);
+    prev = Array.make (max n 1) (-1);
+    gains = Array.make (max n 1) 0;
+    present = Array.make (max n 1) false;
+    cur_max = 0;
+    count = 0;
+  }
+
+let slot t g =
+  if g < -t.max_gain || g > t.max_gain then
+    invalid_arg "Bucket: gain out of range";
+  g + t.max_gain
+
+let insert t node g =
+  if t.present.(node) then invalid_arg "Bucket.insert: already present";
+  let s = slot t g in
+  let head = t.heads.(s) in
+  t.next.(node) <- head;
+  t.prev.(node) <- -s - 1;
+  if head >= 0 then t.prev.(head) <- node;
+  t.heads.(s) <- node;
+  t.gains.(node) <- g;
+  t.present.(node) <- true;
+  if s > t.cur_max then t.cur_max <- s;
+  t.count <- t.count + 1
+
+let remove t node =
+  if not t.present.(node) then invalid_arg "Bucket.remove: absent";
+  let nx = t.next.(node) and pv = t.prev.(node) in
+  if pv >= 0 then t.next.(pv) <- nx else t.heads.(-pv - 1) <- nx;
+  if nx >= 0 then t.prev.(nx) <- pv;
+  t.present.(node) <- false;
+  t.count <- t.count - 1
+
+let adjust t node g =
+  remove t node;
+  insert t node g
+
+let mem t node = t.present.(node)
+
+let gain t node =
+  if not t.present.(node) then invalid_arg "Bucket.gain: absent";
+  t.gains.(node)
+
+let peek_max t =
+  if t.count = 0 then None
+  else begin
+    while t.heads.(t.cur_max) < 0 do
+      t.cur_max <- t.cur_max - 1
+    done;
+    let node = t.heads.(t.cur_max) in
+    Some (node, t.gains.(node))
+  end
+
+let pop_max t =
+  match peek_max t with
+  | None -> None
+  | Some (node, g) ->
+    remove t node;
+    Some (node, g)
+
+let cardinal t = t.count
+let is_empty t = t.count = 0
+
+let clear t =
+  Array.fill t.heads 0 (Array.length t.heads) (-1);
+  Array.fill t.present 0 (Array.length t.present) false;
+  t.cur_max <- 0;
+  t.count <- 0

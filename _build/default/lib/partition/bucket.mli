@@ -1,0 +1,39 @@
+(** Gain buckets — the Fiduccia–Mattheyses data structure.
+
+    Constant-time insert / remove / gain-adjust and amortized-fast extraction
+    of a maximum-gain node, implemented as an array of doubly linked lists
+    indexed by gain, exactly the "modern data structures" that let FM reach
+    a linear-time pass (Section II.A.2 of the paper).
+
+    Gains must stay within [-max_gain .. max_gain] declared at creation
+    (for graph partitioning, the weighted degree of the node bounds its
+    gain). *)
+
+type t
+
+val create : n:int -> max_gain:int -> t
+(** Buckets for nodes [0 .. n-1]. *)
+
+val insert : t -> int -> int -> unit
+(** [insert t node gain].
+    @raise Invalid_argument if [node] is already present or the gain is out
+    of range. *)
+
+val remove : t -> int -> unit
+(** @raise Invalid_argument if absent. *)
+
+val adjust : t -> int -> int -> unit
+(** [adjust t node new_gain] — remove + reinsert, O(1). *)
+
+val mem : t -> int -> bool
+val gain : t -> int -> int
+(** @raise Invalid_argument if absent. *)
+
+val pop_max : t -> (int * int) option
+(** Remove and return a node of maximal gain (FIFO within a gain level is
+    not guaranteed; ties break by bucket order). *)
+
+val peek_max : t -> (int * int) option
+val cardinal : t -> int
+val is_empty : t -> bool
+val clear : t -> unit

@@ -1,0 +1,97 @@
+open Ppnpart_graph
+
+let contract g partner =
+  if not (Matching.is_valid g partner) then
+    invalid_arg "Coarsen.contract: invalid matching";
+  let n = Wgraph.n_nodes g in
+  let cmap = Array.make n (-1) in
+  let next = ref 0 in
+  for u = 0 to n - 1 do
+    if partner.(u) >= u then begin
+      (* u is the representative of its pair (or a singleton). *)
+      cmap.(u) <- !next;
+      if partner.(u) <> u then cmap.(partner.(u)) <- !next;
+      incr next
+    end
+  done;
+  let n' = !next in
+  let vwgt = Array.make n' 0 in
+  for u = 0 to n - 1 do
+    vwgt.(cmap.(u)) <- vwgt.(cmap.(u)) + Wgraph.node_weight g u
+  done;
+  let el = Edge_list.create n' in
+  Wgraph.iter_edges g (fun u v w ->
+      (* Self loops in the coarse graph (intra-pair edges) are dropped by
+         Edge_list; parallel edges are merged by weight addition. *)
+      Edge_list.add el cmap.(u) cmap.(v) w);
+  (Wgraph.build ~vwgt el, cmap)
+
+type hierarchy = { graphs : Wgraph.t array; maps : int array array }
+
+let levels h = Array.length h.graphs
+let finest h = h.graphs.(0)
+let coarsest h = h.graphs.(levels h - 1)
+let graph_at h l = h.graphs.(l)
+
+let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) rng g0
+    ~prefix_graphs ~prefix_maps =
+  let graphs = ref prefix_graphs and maps = ref prefix_maps in
+  let current = ref g0 in
+  let continue = ref true in
+  while !continue do
+    let g = !current in
+    let n = Wgraph.n_nodes g in
+    if n <= target || Wgraph.n_edges g = 0 then continue := false
+    else begin
+      let _, partner = Matching.best_of ?strategies rng g in
+      let coarse, cmap = contract g partner in
+      let shrunk = n - Wgraph.n_nodes coarse in
+      if float_of_int shrunk < min_shrink *. float_of_int n then
+        continue := false
+      else begin
+        graphs := coarse :: !graphs;
+        maps := cmap :: !maps;
+        current := coarse
+      end
+    end
+  done;
+  {
+    graphs = Array.of_list (List.rev !graphs);
+    maps = Array.of_list (List.rev !maps);
+  }
+
+let build ?target ?strategies ?min_shrink rng g =
+  build_from ?target ?strategies ?min_shrink rng g ~prefix_graphs:[ g ]
+    ~prefix_maps:[]
+
+let extend ?target ?strategies ?min_shrink rng h ~from_level =
+  if from_level < 0 || from_level >= levels h then
+    invalid_arg "Coarsen.extend: level out of range";
+  let prefix_graphs =
+    List.rev (Array.to_list (Array.sub h.graphs 0 (from_level + 1)))
+  in
+  let prefix_maps =
+    List.rev (Array.to_list (Array.sub h.maps 0 from_level))
+  in
+  build_from ?target ?strategies ?min_shrink rng h.graphs.(from_level)
+    ~prefix_graphs ~prefix_maps
+
+let project_one map coarse_part = Array.map (fun c -> coarse_part.(c)) map
+
+let project h ~coarse_level part =
+  if coarse_level < 0 || coarse_level >= levels h then
+    invalid_arg "Coarsen.project: level out of range";
+  let current = ref part in
+  for l = coarse_level - 1 downto 0 do
+    current := project_one h.maps.(l) !current
+  done;
+  !current
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>hierarchy (%d levels):@," (levels h);
+  Array.iteri
+    (fun l g ->
+      Format.fprintf ppf "  level %d: %d nodes, %d edges@," l
+        (Wgraph.n_nodes g) (Wgraph.n_edges g))
+    h.graphs;
+  Format.fprintf ppf "@]"

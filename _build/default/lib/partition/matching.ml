@@ -1,0 +1,216 @@
+open Ppnpart_graph
+
+type strategy = Random_maximal | Heavy_edge | K_means
+
+let all_strategies = [ Random_maximal; Heavy_edge; K_means ]
+
+let strategy_name = function
+  | Random_maximal -> "random"
+  | Heavy_edge -> "heavy-edge"
+  | K_means -> "k-means"
+
+let random_permutation rng n =
+  let p = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let random_maximal rng g =
+  let n = Wgraph.n_nodes g in
+  let partner = Array.init n (fun i -> i) in
+  let order = random_permutation rng n in
+  Array.iter
+    (fun u ->
+      if partner.(u) = u then begin
+        (* Reservoir-sample one unmatched neighbour uniformly. *)
+        let chosen = ref (-1) in
+        let seen = ref 0 in
+        Wgraph.iter_neighbors g u (fun v _ ->
+            if v <> u && partner.(v) = v then begin
+              incr seen;
+              if Random.State.int rng !seen = 0 then chosen := v
+            end);
+        if !chosen >= 0 then begin
+          partner.(u) <- !chosen;
+          partner.(!chosen) <- u
+        end
+      end)
+    order;
+  partner
+
+let heavy_edge rng g =
+  let n = Wgraph.n_nodes g in
+  let partner = Array.init n (fun i -> i) in
+  let edges = Array.of_list (Wgraph.edges g) in
+  (* Shuffle first so that the sort breaks weight ties randomly. *)
+  let m = Array.length edges in
+  for i = m - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = edges.(i) in
+    edges.(i) <- edges.(j);
+    edges.(j) <- t
+  done;
+  Array.sort (fun (_, _, w1) (_, _, w2) -> compare w2 w1) edges;
+  Array.iter
+    (fun (u, v, _) ->
+      if partner.(u) = u && partner.(v) = v then begin
+        partner.(u) <- v;
+        partner.(v) <- u
+      end)
+    edges;
+  partner
+
+let k_means ?(cluster_size = 8) rng g =
+  let n = Wgraph.n_nodes g in
+  if n = 0 then [||]
+  else begin
+    let nclusters = max 1 ((n + cluster_size - 1) / cluster_size) in
+    (* Seeds spread across the node-weight range: sort by weight, take
+       evenly spaced nodes ("clusters are formed on the basis of their
+       weight"). *)
+    let by_weight = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b -> compare (Wgraph.node_weight g a) (Wgraph.node_weight g b))
+      by_weight;
+    let cluster = Array.make n (-1) in
+    let seeds =
+      Array.init nclusters (fun c -> by_weight.(c * n / nclusters))
+    in
+    Array.iteri (fun c s -> cluster.(s) <- c) seeds;
+    (* Grow clusters: nodes join the cluster they are most strongly
+       connected to; isolated-from-clusters nodes go to the seed of nearest
+       weight. *)
+    let order = random_permutation rng n in
+    let assign u =
+      if cluster.(u) < 0 then begin
+        let strength = Hashtbl.create 4 in
+        Wgraph.iter_neighbors g u (fun v w ->
+            if cluster.(v) >= 0 then begin
+              let c = cluster.(v) in
+              let cur = Option.value ~default:0 (Hashtbl.find_opt strength c) in
+              Hashtbl.replace strength c (cur + w)
+            end);
+        let best =
+          Hashtbl.fold
+            (fun c s acc ->
+              match acc with
+              | Some (_, s') when s' >= s -> acc
+              | _ -> Some (c, s))
+            strength None
+        in
+        match best with
+        | Some (c, _) -> cluster.(u) <- c
+        | None ->
+          let wu = Wgraph.node_weight g u in
+          let nearest = ref 0 and dist = ref max_int in
+          Array.iteri
+            (fun c s ->
+              let d = abs (Wgraph.node_weight g s - wu) in
+              if d < !dist then begin
+                dist := d;
+                nearest := c
+              end)
+            seeds;
+          cluster.(u) <- !nearest
+      end
+    in
+    Array.iter assign order;
+    (* One k-means refinement sweep on the weight centroids. *)
+    let sum = Array.make nclusters 0 and cnt = Array.make nclusters 0 in
+    for u = 0 to n - 1 do
+      sum.(cluster.(u)) <- sum.(cluster.(u)) + Wgraph.node_weight g u;
+      cnt.(cluster.(u)) <- cnt.(cluster.(u)) + 1
+    done;
+    let mean c = if cnt.(c) = 0 then 0 else sum.(c) / cnt.(c) in
+    for u = 0 to n - 1 do
+      (* Move u to the adjacent cluster with the nearest weight centroid. *)
+      let wu = Wgraph.node_weight g u in
+      let best_c = ref cluster.(u) in
+      let best_d = ref (abs (wu - mean cluster.(u))) in
+      Wgraph.iter_neighbors g u (fun v _ ->
+          let c = cluster.(v) in
+          let d = abs (wu - mean c) in
+          if d < !best_d then begin
+            best_d := d;
+            best_c := c
+          end);
+      cluster.(u) <- !best_c
+    done;
+    (* Heavy-edge matching restricted to intra-cluster edges... *)
+    let partner = Array.init n (fun i -> i) in
+    let intra =
+      List.filter (fun (u, v, _) -> cluster.(u) = cluster.(v)) (Wgraph.edges g)
+    in
+    let intra = Array.of_list intra in
+    Array.sort (fun (_, _, w1) (_, _, w2) -> compare w2 w1) intra;
+    Array.iter
+      (fun (u, v, _) ->
+        if partner.(u) = u && partner.(v) = v then begin
+          partner.(u) <- v;
+          partner.(v) <- u
+        end)
+      intra;
+    (* ... then make the matching maximal across clusters. *)
+    Array.iter
+      (fun u ->
+        if partner.(u) = u then begin
+          let chosen = ref (-1) in
+          let best_w = ref (-1) in
+          Wgraph.iter_neighbors g u (fun v w ->
+              if v <> u && partner.(v) = v && w > !best_w then begin
+                best_w := w;
+                chosen := v
+              end);
+          if !chosen >= 0 then begin
+            partner.(u) <- !chosen;
+            partner.(!chosen) <- u
+          end
+        end)
+      (random_permutation rng n);
+    partner
+  end
+
+let compute strategy rng g =
+  match strategy with
+  | Random_maximal -> random_maximal rng g
+  | Heavy_edge -> heavy_edge rng g
+  | K_means -> k_means rng g
+
+let matched_weight g partner =
+  let acc = ref 0 in
+  Array.iteri
+    (fun u v -> if u < v then acc := !acc + Wgraph.edge_weight g u v)
+    partner;
+  !acc
+
+let count_matched_pairs partner =
+  let acc = ref 0 in
+  Array.iteri (fun u v -> if u < v then incr acc) partner;
+  !acc
+
+let is_valid g partner =
+  let n = Wgraph.n_nodes g in
+  Array.length partner = n
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun u v ->
+      if v < 0 || v >= n then ok := false
+      else if partner.(v) <> u then ok := false
+      else if u <> v && not (Wgraph.mem_edge g u v) then ok := false)
+    partner;
+  !ok
+
+let best_of ?(strategies = all_strategies) rng g =
+  if strategies = [] then invalid_arg "Matching.best_of: no strategies";
+  let candidates =
+    List.map (fun s -> (s, compute s rng g)) strategies
+  in
+  let weigh (_, m) = matched_weight g m in
+  List.fold_left
+    (fun best cand -> if weigh cand > weigh best then cand else best)
+    (List.hd candidates) (List.tl candidates)

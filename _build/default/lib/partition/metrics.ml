@@ -1,0 +1,111 @@
+open Ppnpart_graph
+
+let cut g part =
+  Wgraph.fold_edges g
+    (fun acc u v w -> if part.(u) <> part.(v) then acc + w else acc)
+    0
+
+let bandwidth_matrix g ~k part =
+  let m = Array.make_matrix k k 0 in
+  Wgraph.iter_edges g (fun u v w ->
+      let p = part.(u) and q = part.(v) in
+      if p <> q then begin
+        m.(p).(q) <- m.(p).(q) + w;
+        m.(q).(p) <- m.(q).(p) + w
+      end);
+  m
+
+let max_local_bandwidth g ~k part =
+  let m = bandwidth_matrix g ~k part in
+  let best = ref 0 in
+  for p = 0 to k - 1 do
+    for q = p + 1 to k - 1 do
+      if m.(p).(q) > !best then best := m.(p).(q)
+    done
+  done;
+  !best
+
+let part_resources g ~k part =
+  let r = Array.make k 0 in
+  for u = 0 to Wgraph.n_nodes g - 1 do
+    r.(part.(u)) <- r.(part.(u)) + Wgraph.node_weight g u
+  done;
+  r
+
+let max_resource g ~k part =
+  Array.fold_left max 0 (part_resources g ~k part)
+
+let imbalance g ~k part =
+  let total = Wgraph.total_node_weight g in
+  if total = 0 then 0.
+  else
+    float_of_int (k * max_resource g ~k part) /. float_of_int total
+
+let bandwidth_excess g (c : Types.constraints) part =
+  let m = bandwidth_matrix g ~k:c.Types.k part in
+  let acc = ref 0 in
+  for p = 0 to c.Types.k - 1 do
+    for q = p + 1 to c.Types.k - 1 do
+      if m.(p).(q) > c.Types.bmax then acc := !acc + m.(p).(q) - c.Types.bmax
+    done
+  done;
+  !acc
+
+let resource_excess g (c : Types.constraints) part =
+  Array.fold_left
+    (fun acc r -> if r > c.Types.rmax then acc + r - c.Types.rmax else acc)
+    0
+    (part_resources g ~k:c.Types.k part)
+
+let feasible g c part =
+  bandwidth_excess g c part = 0 && resource_excess g c part = 0
+
+type goodness = { violation : int; cut_value : int }
+
+(* Any nonzero excess must register as a violation even after integer
+   division, hence the [1 +]. *)
+let normalize excess bound =
+  if excess = 0 then 0 else 1 + (excess * 1000 / max 1 bound)
+
+let normalized_violation (c : Types.constraints) ~bw_excess ~res_excess =
+  normalize bw_excess c.Types.bmax + normalize res_excess c.Types.rmax
+
+let goodness g c part =
+  let bw = normalize (bandwidth_excess g c part) c.Types.bmax in
+  let res = normalize (resource_excess g c part) c.Types.rmax in
+  { violation = bw + res; cut_value = cut g part }
+
+let compare_goodness a b =
+  match compare a.violation b.violation with
+  | 0 -> compare a.cut_value b.cut_value
+  | n -> n
+
+let pp_goodness ppf gd =
+  Format.fprintf ppf "violation=%d cut=%d" gd.violation gd.cut_value
+
+type report = {
+  total_cut : int;
+  max_bandwidth : int;
+  max_resources : int;
+  bandwidth_ok : bool;
+  resource_ok : bool;
+  runtime_s : float;
+}
+
+let report ?(runtime_s = 0.0) g (c : Types.constraints) part =
+  Types.check_partition ~n:(Wgraph.n_nodes g) ~k:c.Types.k part;
+  {
+    total_cut = cut g part;
+    max_bandwidth = max_local_bandwidth g ~k:c.Types.k part;
+    max_resources = max_resource g ~k:c.Types.k part;
+    bandwidth_ok = bandwidth_excess g c part = 0;
+    resource_ok = resource_excess g c part = 0;
+    runtime_s;
+  }
+
+let pp_report ppf r =
+  let flag ok = if ok then "met" else "VIOLATED" in
+  Format.fprintf ppf
+    "cut=%d time=%.3fs max_res=%d (%s) max_bw=%d (%s)" r.total_cut
+    r.runtime_s r.max_resources (flag r.resource_ok) r.max_bandwidth
+    (flag r.bandwidth_ok)

@@ -1,0 +1,87 @@
+(** Multi-resource extension.
+
+    The paper considers a single resource ("only one resource is considered
+    at this time, for example LUTs"). Real FPGAs budget several — LUTs,
+    flip-flops, BRAM blocks, DSP slices — and a mapping must respect every
+    one. This module extends the constraint system to resource {e vectors}:
+
+    - each node carries a length-[dims] requirement vector;
+    - each part must keep the per-dimension sums within [rmax];
+    - the pairwise bandwidth bound is unchanged.
+
+    Solving strategy (documented, conservative): scalarize each node to its
+    worst-dimension utilization (in parts-per-[scale] of the corresponding
+    budget) and hand the scalar instance to any single-resource partitioner
+    such as {!Ppnpart_core.Gp} — a part that respects the scalarized budget
+    respects every dimension, because the scalar load upper-bounds each
+    dimension's normalized load. The result is then checked against the
+    true vector constraints, and {!repair} runs vector-aware greedy sweeps
+    if (rarely) the conservative bound was not tight enough or the
+    scalarized instance was over-constrained. *)
+
+open Ppnpart_graph
+
+type constraints = {
+  k : int;
+  bmax : int;
+  rmax : int array;  (** per-dimension part budgets, all positive *)
+}
+
+val constraints : k:int -> bmax:int -> rmax:int array -> constraints
+(** @raise Invalid_argument on an empty or non-positive budget vector. *)
+
+val dims : constraints -> int
+
+val validate_requirements : constraints -> int array array -> unit
+(** [validate_requirements c rvec] checks the requirement matrix: one
+    non-negative vector of length [dims c] per node.
+    @raise Invalid_argument otherwise. *)
+
+val part_loads : constraints -> int array array -> int array -> int array array
+(** [part_loads c rvec part] is the [k x dims] matrix of per-part,
+    per-dimension sums. *)
+
+val resource_excess : constraints -> int array array -> int array -> int
+(** Sum over parts and dimensions of the budget overshoot, each dimension
+    normalized by its budget (parts-per-thousand, like
+    {!Metrics.normalized_violation}); 0 iff every budget holds. *)
+
+val feasible : Wgraph.t -> constraints -> int array array -> int array -> bool
+(** Both the bandwidth bound and every resource dimension. *)
+
+val violation : Wgraph.t -> constraints -> int array array -> int array -> int
+(** Combined normalized violation (bandwidth + all resource dimensions,
+    each in parts-per-thousand of its bound); 0 iff {!feasible}. This is
+    the quantity {!repair} never worsens. *)
+
+val scalarize :
+  ?scale:int -> constraints -> int array array -> int array * int
+(** [scalarize c rvec] is [(vwgt, rmax_scalar)]: node [u] gets weight
+    [max_d (ceil (rvec.(u).(d) * scale / rmax.(d)))] and the scalar budget
+    is [scale] (default 1000). A part whose scalar load is within
+    [rmax_scalar] satisfies every dimension. *)
+
+val repair :
+  ?max_passes:int ->
+  Random.State.t ->
+  Wgraph.t ->
+  constraints ->
+  int array array ->
+  int array ->
+  int array * bool
+(** Vector-aware greedy repair sweeps on (bandwidth excess, resource
+    excess, cut), lexicographic; returns the improved partition and its
+    feasibility. Never worsens the combined violation. *)
+
+val partition :
+  solver:(Wgraph.t -> Types.constraints -> int array) ->
+  ?seed:int ->
+  Wgraph.t ->
+  constraints ->
+  int array array ->
+  int array * bool
+(** [partition ~solver g c rvec]: scalarize, solve the single-resource
+    instance with [solver] (e.g. [Ppnpart_core.Gp.partition] wrapped to
+    return the part array), then {!repair} against the true vector
+    constraints. Returns the partition and whether it meets all of them.
+    [seed] (default 0) drives the repair sweeps' order. *)

@@ -1,0 +1,125 @@
+open Ppnpart_graph
+
+type t = {
+  g : Wgraph.t;
+  c : Types.constraints;
+  part : int array;
+  bw : int array array;
+  load : int array;
+  members : int array;
+  mutable bw_excess : int;
+  mutable res_excess : int;
+  mutable cut : int;
+}
+
+let init g (c : Types.constraints) part =
+  let k = c.Types.k in
+  let bw = Metrics.bandwidth_matrix g ~k part in
+  let load = Metrics.part_resources g ~k part in
+  let members = Array.make k 0 in
+  Array.iter (fun p -> members.(p) <- members.(p) + 1) part;
+  {
+    g;
+    c;
+    part = Array.copy part;
+    bw;
+    load;
+    members;
+    bw_excess = Metrics.bandwidth_excess g c part;
+    res_excess = Metrics.resource_excess g c part;
+    cut = Metrics.cut g part;
+  }
+
+let connectivity st conn u =
+  Array.fill conn 0 st.c.Types.k 0;
+  Wgraph.iter_neighbors st.g u (fun v w ->
+      conn.(st.part.(v)) <- conn.(st.part.(v)) + w)
+
+let excess_over bound v = if v > bound then v - bound else 0
+
+let move_deltas st u t conn =
+  let c = st.c in
+  let k = c.Types.k in
+  let p = st.part.(u) in
+  let bmax = c.Types.bmax and rmax = c.Types.rmax in
+  let d_bw = ref 0 in
+  for q = 0 to k - 1 do
+    if q <> p && q <> t && conn.(q) <> 0 then
+      (* pair (p, q) loses conn q; pair (t, q) gains conn q *)
+      d_bw :=
+        !d_bw
+        + excess_over bmax (st.bw.(p).(q) - conn.(q))
+        - excess_over bmax st.bw.(p).(q)
+        + excess_over bmax (st.bw.(t).(q) + conn.(q))
+        - excess_over bmax st.bw.(t).(q)
+  done;
+  (* pair (p, t): edges to t become internal, edges to p become crossing *)
+  let pt = st.bw.(p).(t) in
+  let pt' = pt - conn.(t) + conn.(p) in
+  d_bw := !d_bw + excess_over bmax pt' - excess_over bmax pt;
+  let w_u = Wgraph.node_weight st.g u in
+  let d_res =
+    excess_over rmax (st.load.(p) - w_u)
+    - excess_over rmax st.load.(p)
+    + excess_over rmax (st.load.(t) + w_u)
+    - excess_over rmax st.load.(t)
+  in
+  let d_cut = conn.(p) - conn.(t) in
+  (!d_bw, d_res, d_cut)
+
+let apply_move st u t conn =
+  let p = st.part.(u) in
+  let d_bw, d_res, d_cut = move_deltas st u t conn in
+  let k = st.c.Types.k in
+  for q = 0 to k - 1 do
+    if q <> p && q <> t && conn.(q) <> 0 then begin
+      st.bw.(p).(q) <- st.bw.(p).(q) - conn.(q);
+      st.bw.(q).(p) <- st.bw.(p).(q);
+      st.bw.(t).(q) <- st.bw.(t).(q) + conn.(q);
+      st.bw.(q).(t) <- st.bw.(t).(q)
+    end
+  done;
+  let pt' = st.bw.(p).(t) - conn.(t) + conn.(p) in
+  st.bw.(p).(t) <- pt';
+  st.bw.(t).(p) <- pt';
+  let w_u = Wgraph.node_weight st.g u in
+  st.load.(p) <- st.load.(p) - w_u;
+  st.load.(t) <- st.load.(t) + w_u;
+  st.members.(p) <- st.members.(p) - 1;
+  st.members.(t) <- st.members.(t) + 1;
+  st.part.(u) <- t;
+  st.bw_excess <- st.bw_excess + d_bw;
+  st.res_excess <- st.res_excess + d_res;
+  st.cut <- st.cut + d_cut
+
+let violation st =
+  Metrics.normalized_violation st.c ~bw_excess:st.bw_excess
+    ~res_excess:st.res_excess
+
+let goodness st = { Metrics.violation = violation st; cut_value = st.cut }
+
+let best_target st conn u =
+  let k = st.c.Types.k in
+  let p = st.part.(u) in
+  let best_t = ref (-1) in
+  let best_v = ref max_int and best_cut = ref max_int in
+  if st.members.(p) > 1 then
+    for t = 0 to k - 1 do
+      if t <> p then begin
+        let d_bw, d_res, d_cut = move_deltas st u t conn in
+        let v =
+          Metrics.normalized_violation st.c
+            ~bw_excess:(st.bw_excess + d_bw)
+            ~res_excess:(st.res_excess + d_res)
+        in
+        let cut' = st.cut + d_cut in
+        if v < !best_v || (v = !best_v && cut' < !best_cut) then begin
+          best_v := v;
+          best_cut := cut';
+          best_t := t
+        end
+      end
+    done;
+  (!best_v, !best_cut, !best_t)
+
+let snapshot st = Array.copy st.part

@@ -1,0 +1,50 @@
+(** Incrementally maintained partition state.
+
+    Holds a partition together with everything the constrained local
+    searches need in O(1)-amortized per move: the k x k pairwise bandwidth
+    matrix, per-part resource loads and member counts, and the running raw
+    excess totals and cut. Shared by the greedy/FM refinement
+    ({!Refine_constrained}), tabu search ({!Refine_tabu}) and the
+    simulated-annealing baseline. *)
+
+open Ppnpart_graph
+
+type t = private {
+  g : Wgraph.t;
+  c : Types.constraints;
+  part : int array;
+  bw : int array array;
+  load : int array;
+  members : int array;
+  mutable bw_excess : int;
+  mutable res_excess : int;
+  mutable cut : int;
+}
+
+val init : Wgraph.t -> Types.constraints -> int array -> t
+(** Copies the partition; the caller's array is not mutated. *)
+
+val connectivity : t -> int array -> int -> unit
+(** [connectivity st conn u] fills [conn] (length [k]) with [u]'s total
+    edge weight toward every part. *)
+
+val move_deltas : t -> int -> int -> int array -> int * int * int
+(** [move_deltas st u target conn] is
+    [(d_bw_excess, d_res_excess, d_cut)] of moving [u] to [target], given
+    [u]'s connectivity vector. Pure. *)
+
+val apply_move : t -> int -> int -> int array -> unit
+(** Applies the move and updates every maintained quantity. [conn] must be
+    [u]'s current connectivity (as produced by {!connectivity}). *)
+
+val goodness : t -> Metrics.goodness
+val violation : t -> int
+(** Normalized violation of the current state (0 iff feasible). *)
+
+val best_target : t -> int array -> int -> int * int * int
+(** [best_target st conn u] is [(violation', cut', target)] for the best
+    target part of [u] (never emptying [u]'s part); [target = -1] when no
+    legal target exists. *)
+
+val snapshot : t -> int array
+(** Copy of the current partition. *)

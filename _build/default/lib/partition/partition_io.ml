@@ -1,0 +1,57 @@
+let to_string ~k part =
+  Types.check_partition ~n:(Array.length part) ~k part;
+  let b = Buffer.create (16 + (2 * Array.length part)) in
+  Buffer.add_string b (Printf.sprintf "%d %d\n" (Array.length part) k);
+  Array.iter (fun p -> Buffer.add_string b (Printf.sprintf "%d\n" p)) part;
+  Buffer.contents b
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '%')
+  in
+  match lines with
+  | [] -> failwith "Partition_io.of_string: empty input"
+  | header :: rest -> (
+    match String.split_on_char ' ' (String.trim header) with
+    | [ n_s; k_s ] -> (
+      match (int_of_string_opt n_s, int_of_string_opt k_s) with
+      | Some n, Some k ->
+        if List.length rest <> n then
+          failwith
+            (Printf.sprintf
+               "Partition_io.of_string: header says %d nodes, found %d" n
+               (List.length rest));
+        let part =
+          Array.of_list
+            (List.map
+               (fun l ->
+                 match int_of_string_opt (String.trim l) with
+                 | Some p -> p
+                 | None ->
+                   failwith "Partition_io.of_string: not an integer label")
+               rest)
+        in
+        (try Types.check_partition ~n ~k part
+         with Invalid_argument msg ->
+           failwith ("Partition_io.of_string: " ^ msg));
+        (part, k)
+      | _ -> failwith "Partition_io.of_string: bad header")
+    | _ -> failwith "Partition_io.of_string: bad header")
+
+let save path ~k part =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~k part))
+
+let load path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string text

@@ -1,0 +1,19 @@
+(** Serialization of partitions.
+
+    The format mirrors METIS's [.part] files: one part label per line, line
+    [u] holding node [u]'s part — prefixed by a header line ["n k"] so
+    files are self-describing and mismatches are caught on load. Lines
+    starting with [%] are comments. *)
+
+val to_string : k:int -> int array -> string
+(** @raise Invalid_argument if a label is outside [0 .. k-1]. *)
+
+val of_string : string -> int array * int
+(** [of_string text] is [(partition, k)].
+    @raise Failure on malformed input, a label out of range, or a node
+    count that disagrees with the header. *)
+
+val save : string -> k:int -> int array -> unit
+(** [save path ~k part] writes the file. *)
+
+val load : string -> int array * int

@@ -1,0 +1,108 @@
+open Ppnpart_graph
+
+(* Greedy sweeps: strictly improving moves only, random node order. *)
+let greedy_sweeps max_passes rng (st : Part_state.t) =
+  let n = Wgraph.n_nodes st.Part_state.g in
+  let k = st.Part_state.c.Types.k in
+  let conn = Array.make k 0 in
+  let order = Array.init n (fun i -> i) in
+  let shuffle () =
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done
+  in
+  let moved = ref true in
+  let passes = ref 0 in
+  while !moved && !passes < max_passes do
+    moved := false;
+    incr passes;
+    shuffle ();
+    Array.iter
+      (fun u ->
+        Part_state.connectivity st conn u;
+        let cur_violation = Part_state.violation st in
+        let v, cut', t = Part_state.best_target st conn u in
+        if
+          t >= 0
+          && (v < cur_violation
+             || (v = cur_violation && cut' < st.Part_state.cut))
+        then begin
+          Part_state.apply_move st u t conn;
+          moved := true
+        end)
+      order
+  done
+
+(* One FM pass: tentative moves (worsening allowed), each node moved at
+   most once, rollback to the best state seen. The hill-climbing ability
+   the paper relies on to escape the greedy sweeps' local minima. O(n) in
+   moves but O(n * k) per move, so it is gated on graph size by the
+   caller. Returns true when the pass strictly improved the goodness. *)
+let fm_pass (st : Part_state.t) =
+  let n = Wgraph.n_nodes st.Part_state.g in
+  let k = st.Part_state.c.Types.k in
+  let conn = Array.make k 0 in
+  let locked = Array.make n false in
+  let moves = Array.make (max n 1) (-1, -1) in
+  let n_moves = ref 0 in
+  let start = Part_state.goodness st in
+  let best = ref start and best_prefix = ref 0 in
+  let continue = ref true in
+  while !continue && !n_moves < n do
+    (* Globally best tentative move among unlocked nodes. *)
+    let chosen = ref None in
+    for u = 0 to n - 1 do
+      if not locked.(u) then begin
+        Part_state.connectivity st conn u;
+        let v, cut', t = Part_state.best_target st conn u in
+        if t >= 0 then
+          match !chosen with
+          | Some (_, _, v', cut'') when (v', cut'') <= (v, cut') -> ()
+          | _ -> chosen := Some (u, t, v, cut')
+      end
+    done;
+    match !chosen with
+    | None -> continue := false
+    | Some (u, t, _, _) ->
+      let from = st.Part_state.part.(u) in
+      Part_state.connectivity st conn u;
+      Part_state.apply_move st u t conn;
+      locked.(u) <- true;
+      moves.(!n_moves) <- (u, from);
+      incr n_moves;
+      let now = Part_state.goodness st in
+      if Metrics.compare_goodness now !best < 0 then begin
+        best := now;
+        best_prefix := !n_moves
+      end
+  done;
+  (* Roll back to the best prefix. *)
+  let conn = Array.make k 0 in
+  for i = !n_moves - 1 downto !best_prefix do
+    let u, from = moves.(i) in
+    Part_state.connectivity st conn u;
+    Part_state.apply_move st u from conn
+  done;
+  Metrics.compare_goodness !best start < 0
+
+(* Above this size the O(n^2 k) tentative pass is skipped; greedy sweeps
+   alone handle the fine levels, where the coarse levels have already
+   shaped the partition. *)
+let fm_pass_node_limit = 512
+
+let refine ?(max_passes = 16) rng g (c : Types.constraints) part0 =
+  let n = Wgraph.n_nodes g in
+  let k = c.Types.k in
+  Types.check_partition ~n ~k part0;
+  let st = Part_state.init g c part0 in
+  let rounds = ref 0 in
+  let improving = ref true in
+  while !improving && !rounds < max_passes do
+    incr rounds;
+    greedy_sweeps max_passes rng st;
+    improving := n <= fm_pass_node_limit && fm_pass st
+  done;
+  (Part_state.snapshot st, Part_state.goodness st)

@@ -1,0 +1,28 @@
+(** FM-based refinement toward the paper's bandwidth and resource
+    constraints.
+
+    This is the local search the GP algorithm runs after initial
+    partitioning and at every un-coarsening level (Sections IV.B/IV.C):
+    nodes move between partitions "as far as constraints met". A move is
+    accepted when it strictly improves the partition's
+    {!Metrics.goodness} — first the normalized constraint violation
+    (pairwise bandwidth over [bmax], per-part resources over [rmax]), then
+    the global cut. The pairwise bandwidth matrix and part loads are
+    maintained incrementally, so a pass costs O(moves * k + n * k) rather
+    than recomputing k x k matrices from scratch.
+
+    Unlike the balance-driven refiners, this one never empties a part (the
+    network must occupy all K FPGAs). *)
+
+open Ppnpart_graph
+
+val refine :
+  ?max_passes:int ->
+  Random.State.t ->
+  Wgraph.t ->
+  Types.constraints ->
+  int array ->
+  int array * Metrics.goodness
+(** [refine rng g c part] returns the improved copy and its goodness.
+    [max_passes] defaults to 16; each pass sweeps all nodes in random order
+    and stops early once feasible with no further cut gain available. *)

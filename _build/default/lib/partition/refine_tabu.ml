@@ -1,0 +1,50 @@
+open Ppnpart_graph
+
+let refine ?iterations ?tenure ?stall_limit g (c : Types.constraints) part0 =
+  let n = Wgraph.n_nodes g in
+  let k = c.Types.k in
+  Types.check_partition ~n ~k part0;
+  let iterations = Option.value iterations ~default:(4 * n) in
+  let tenure = Option.value tenure ~default:(7 + (n / 16)) in
+  let stall_limit = Option.value stall_limit ~default:(2 * n) in
+  let st = Part_state.init g c part0 in
+  let conn = Array.make k 0 in
+  let tabu_until = Array.make n 0 in
+  let best_part = ref (Part_state.snapshot st) in
+  let best = ref (Part_state.goodness st) in
+  let stall = ref 0 in
+  let step = ref 0 in
+  let continue = ref (n > 1 && k > 1) in
+  while !continue && !step < iterations && !stall < stall_limit do
+    incr step;
+    (* Globally best move; tabu nodes are skipped unless the move beats
+       the best goodness seen so far (aspiration criterion). *)
+    let chosen = ref None in
+    for u = 0 to n - 1 do
+      Part_state.connectivity st conn u;
+      let v, cut', t = Part_state.best_target st conn u in
+      if t >= 0 then begin
+        let candidate = { Metrics.violation = v; cut_value = cut' } in
+        let tabu = tabu_until.(u) > !step in
+        let aspirated = Metrics.compare_goodness candidate !best < 0 in
+        if (not tabu) || aspirated then
+          match !chosen with
+          | Some (_, _, v', cut'') when (v', cut'') <= (v, cut') -> ()
+          | _ -> chosen := Some (u, t, v, cut')
+      end
+    done;
+    match !chosen with
+    | None -> continue := false
+    | Some (u, t, _, _) ->
+      Part_state.connectivity st conn u;
+      Part_state.apply_move st u t conn;
+      tabu_until.(u) <- !step + tenure;
+      let now = Part_state.goodness st in
+      if Metrics.compare_goodness now !best < 0 then begin
+        best := now;
+        best_part := Part_state.snapshot st;
+        stall := 0
+      end
+      else incr stall
+  done;
+  (!best_part, !best)

@@ -1,0 +1,34 @@
+(** Shared types of the partitioning stack.
+
+    A partition of a graph with [n] nodes into [k] parts is an [int array]
+    of length [n] with entries in [0 .. k-1] — part [p] is the set of
+    processes mapped onto FPGA [p].
+
+    The mapping constraints of the paper (Section I):
+    - [bmax]: between each pair of FPGAs only [bmax] data can be transferred
+      per unit of time, so the cut between each pair of parts must not
+      exceed it;
+    - [rmax]: each FPGA offers [rmax] resources, so the node weights in each
+      part must not exceed it. *)
+
+type constraints = {
+  k : int;  (** number of parts (FPGAs) *)
+  bmax : int;  (** pairwise bandwidth bound *)
+  rmax : int;  (** per-part resource bound *)
+}
+
+val constraints : k:int -> bmax:int -> rmax:int -> constraints
+(** @raise Invalid_argument unless [k >= 1], [bmax >= 0], [rmax >= 0]. *)
+
+val unconstrained : k:int -> constraints
+(** [bmax] and [rmax] set to [max_int] — what a pure cut minimizer such as
+    METIS assumes. *)
+
+val check_partition : n:int -> k:int -> int array -> unit
+(** @raise Invalid_argument if the array has the wrong length or an entry
+    outside [0 .. k-1]. *)
+
+val parts_used : int array -> int
+(** Number of distinct part labels present. *)
+
+val pp_constraints : Format.formatter -> constraints -> unit

@@ -1,0 +1,1 @@
+lib/poly/dataflow_check.ml: Access Dependence Domain Hashtbl Interp List Option Stmt

@@ -1,0 +1,1 @@
+lib/poly/dataflow_check.mli: Interp Stmt

@@ -1,0 +1,1 @@
+lib/poly/dependence.ml: Access Domain Hashtbl List Option Stmt

@@ -1,0 +1,1 @@
+lib/poly/domain.ml: Affine Array Format List

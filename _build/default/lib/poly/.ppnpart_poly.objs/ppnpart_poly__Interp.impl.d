@@ -1,0 +1,1 @@
+lib/poly/interp.ml: Access Array Domain Hashtbl List Option Stmt

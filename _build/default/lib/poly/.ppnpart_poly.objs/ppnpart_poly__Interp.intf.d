@@ -1,0 +1,1 @@
+lib/poly/interp.mli: Hashtbl Stmt

@@ -1,0 +1,1 @@
+lib/poly/stmt.ml: Access Domain Format List Printf

@@ -1,0 +1,1 @@
+lib/poly/stmt.mli: Access Domain Format

@@ -1,0 +1,34 @@
+type t = { array : string; subscripts : Affine.t array }
+
+let make array subscripts =
+  if array = "" then invalid_arg "Access.make: empty array name";
+  let n = Array.length subscripts in
+  if n > 0 then begin
+    let d = Affine.dim subscripts.(0) in
+    Array.iter
+      (fun s ->
+        if Affine.dim s <> d then
+          invalid_arg "Access.make: subscripts of mixed dimension")
+      subscripts
+  end;
+  { array; subscripts = Array.copy subscripts }
+
+let scalar _d name = make name [||]
+let array_name t = t.array
+let arity t = Array.length t.subscripts
+
+let iter_dim t =
+  if arity t = 0 then 0 else Affine.dim t.subscripts.(0)
+
+let eval t point = Array.map (fun s -> Affine.eval s point) t.subscripts
+
+let equal a b =
+  a.array = b.array
+  && arity a = arity b
+  && Array.for_all2 Affine.equal a.subscripts b.subscripts
+
+let pp ppf t =
+  Format.fprintf ppf "%s" t.array;
+  Array.iter
+    (fun s -> Format.fprintf ppf "[%a]" (Affine.pp ?names:None) s)
+    t.subscripts

@@ -1,0 +1,28 @@
+(** Affine array accesses.
+
+    An access names an array and maps an iteration vector to an index vector
+    through per-dimension affine subscripts, e.g. [A[i+1][j-1]] in a 2-deep
+    loop is [{ array = "A"; subscripts = [| i+1; j-1 |] }]. *)
+
+type t = private { array : string; subscripts : Affine.t array }
+
+val make : string -> Affine.t array -> t
+(** @raise Invalid_argument if the subscripts disagree on dimension or the
+    array name is empty. *)
+
+val scalar : int -> string -> t
+(** [scalar d name]: a 0-subscript access (plain scalar) in iteration
+    dimension [d]. *)
+
+val array_name : t -> string
+val arity : t -> int
+(** Number of subscripts (array rank). *)
+
+val iter_dim : t -> int
+(** Dimension of the iteration vectors this access accepts. *)
+
+val eval : t -> int array -> int array
+(** The accessed element's index vector at a given iteration point. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type t = { coeffs : int array; const : int }
+
+let make coeffs const = { coeffs = Array.copy coeffs; const }
+let const d c = { coeffs = Array.make d 0; const = c }
+
+let var d j =
+  if j < 0 || j >= d then invalid_arg "Affine.var: index out of range";
+  let coeffs = Array.make d 0 in
+  coeffs.(j) <- 1;
+  { coeffs; const = 0 }
+
+let dim e = Array.length e.coeffs
+
+let eval e point =
+  if Array.length point <> dim e then
+    invalid_arg "Affine.eval: dimension mismatch";
+  let acc = ref e.const in
+  for j = 0 to dim e - 1 do
+    acc := !acc + (e.coeffs.(j) * point.(j))
+  done;
+  !acc
+
+let map2 f a b =
+  if dim a <> dim b then invalid_arg "Affine: dimension mismatch";
+  {
+    coeffs = Array.init (dim a) (fun j -> f a.coeffs.(j) b.coeffs.(j));
+    const = f a.const b.const;
+  }
+
+let add a b = map2 ( + ) a b
+let sub a b = map2 ( - ) a b
+let neg a = { coeffs = Array.map (fun c -> -c) a.coeffs; const = -a.const }
+let scale s a = { coeffs = Array.map (fun c -> s * c) a.coeffs; const = s * a.const }
+let add_const a c = { a with const = a.const + c }
+
+let is_constant a = Array.for_all (fun c -> c = 0) a.coeffs
+let equal a b = a.coeffs = b.coeffs && a.const = b.const
+
+let uses_only_prefix e j =
+  let ok = ref true in
+  Array.iteri (fun idx c -> if idx >= j && c <> 0 then ok := false) e.coeffs;
+  !ok
+
+let default_names d = Array.init d (fun j -> Printf.sprintf "i%d" j)
+
+let pp ?names ppf e =
+  let names =
+    match names with Some n -> n | None -> default_names (dim e)
+  in
+  let printed = ref false in
+  Array.iteri
+    (fun j c ->
+      if c <> 0 then begin
+        if !printed then
+          Format.fprintf ppf (if c > 0 then " + " else " - ")
+        else if c < 0 then Format.fprintf ppf "-";
+        let a = abs c in
+        if a = 1 then Format.fprintf ppf "%s" names.(j)
+        else Format.fprintf ppf "%d*%s" a names.(j);
+        printed := true
+      end)
+    e.coeffs;
+  if e.const <> 0 || not !printed then begin
+    if !printed then
+      Format.fprintf ppf (if e.const >= 0 then " + %d" else " - %d")
+        (abs e.const)
+    else Format.fprintf ppf "%d" e.const
+  end
+
+let to_string ?names e = Format.asprintf "%a" (pp ?names) e

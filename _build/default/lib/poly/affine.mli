@@ -1,0 +1,40 @@
+(** Integer affine expressions over a fixed-dimension iteration vector.
+
+    An expression [e] of dimension [d] denotes
+    [e.coeffs.(0) * i0 + ... + e.coeffs.(d-1) * i(d-1) + e.const].
+    These are the building blocks of loop bounds ({!Domain}) and array
+    subscripts ({!Access}) in the polyhedral-lite front end that derives
+    process networks from affine loop nests. *)
+
+type t = private { coeffs : int array; const : int }
+
+val make : int array -> int -> t
+(** [make coeffs const]; the coefficient array is copied. *)
+
+val const : int -> int -> t
+(** [const d c] is the constant expression [c] in dimension [d]. *)
+
+val var : int -> int -> t
+(** [var d j] is the single variable [i_j] in dimension [d].
+    @raise Invalid_argument if [j] is out of range. *)
+
+val dim : t -> int
+val eval : t -> int array -> int
+(** @raise Invalid_argument on dimension mismatch. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val add_const : t -> int -> t
+
+val is_constant : t -> bool
+val equal : t -> t -> bool
+
+val uses_only_prefix : t -> int -> bool
+(** [uses_only_prefix e j] is [true] when every nonzero coefficient of [e]
+    is at an index [< j] — i.e. [e] is a legal bound for loop level [j] in a
+    perfectly nested affine loop. *)
+
+val pp : ?names:string array -> Format.formatter -> t -> unit
+val to_string : ?names:string array -> t -> string

@@ -1,0 +1,160 @@
+type element = string * int array
+
+let written_elements stmt array =
+  let set = Hashtbl.create 256 in
+  let accesses =
+    List.filter (fun a -> Access.array_name a = array) (Stmt.writes stmt)
+  in
+  if accesses <> [] then
+    Domain.iter (Stmt.domain stmt) (fun point ->
+        List.iter
+          (fun a -> Hashtbl.replace set (Access.eval a point) ())
+          accesses);
+  set
+
+let volume ~writer ~reader ~array =
+  let written = written_elements writer array in
+  let reads =
+    List.filter (fun a -> Access.array_name a = array) (Stmt.reads reader)
+  in
+  if reads = [] || Hashtbl.length written = 0 then 0
+  else
+    Domain.fold (Stmt.domain reader)
+      (fun acc point ->
+        List.fold_left
+          (fun acc a ->
+            if Hashtbl.mem written (Access.eval a point) then acc + 1
+            else acc)
+          acc reads)
+      0
+
+type flow = { src : int; dst : int; array : string; tokens : int }
+
+(* element index vector -> index of its last writer, one table per array *)
+let last_writer_maps stmts =
+  let maps : (string, (int array, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let map_for array =
+    match Hashtbl.find_opt maps array with
+    | Some m -> m
+    | None ->
+      let m = Hashtbl.create 256 in
+      Hashtbl.add maps array m;
+      m
+  in
+  List.iteri
+    (fun idx stmt ->
+      let writes = Stmt.writes stmt in
+      if writes <> [] then
+        Domain.iter (Stmt.domain stmt) (fun point ->
+            List.iter
+              (fun a ->
+                Hashtbl.replace
+                  (map_for (Access.array_name a))
+                  (Access.eval a point) idx)
+              writes))
+    stmts;
+  maps
+
+let flow_edges stmts =
+  let maps = last_writer_maps stmts in
+  let counts : (int * int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun j stmt ->
+      let reads = Stmt.reads stmt in
+      if reads <> [] then
+        Domain.iter (Stmt.domain stmt) (fun point ->
+            List.iter
+              (fun a ->
+                let array = Access.array_name a in
+                match Hashtbl.find_opt maps array with
+                | None -> ()
+                | Some m -> (
+                  match Hashtbl.find_opt m (Access.eval a point) with
+                  | Some i when i <> j ->
+                    let key = (i, j, array) in
+                    let c =
+                      Option.value ~default:0 (Hashtbl.find_opt counts key)
+                    in
+                    Hashtbl.replace counts key (c + 1)
+                  | Some _ | None -> ()))
+              reads))
+    stmts;
+  Hashtbl.fold
+    (fun (src, dst, array) tokens acc -> { src; dst; array; tokens } :: acc)
+    counts []
+  |> List.sort (fun a b -> compare (a.src, a.dst, a.array) (b.src, b.dst, b.array))
+
+let external_reads stmts =
+  let maps = last_writer_maps stmts in
+  let counts : (int * string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun j stmt ->
+      let reads = Stmt.reads stmt in
+      if reads <> [] then
+        Domain.iter (Stmt.domain stmt) (fun point ->
+            List.iter
+              (fun a ->
+                let array = Access.array_name a in
+                let produced =
+                  match Hashtbl.find_opt maps array with
+                  | None -> false
+                  | Some m -> Hashtbl.mem m (Access.eval a point)
+                in
+                if not produced then begin
+                  let key = (j, array) in
+                  let c =
+                    Option.value ~default:0 (Hashtbl.find_opt counts key)
+                  in
+                  Hashtbl.replace counts key (c + 1)
+                end)
+              reads))
+    stmts;
+  Hashtbl.fold (fun (j, array) n acc -> (j, array, n) :: acc) counts []
+  |> List.sort compare
+
+let external_writes stmts =
+  let maps = last_writer_maps stmts in
+  (* all elements read from each array, by any statement *)
+  let read_sets : (string, (int array, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let read_set_for array =
+    match Hashtbl.find_opt read_sets array with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 256 in
+      Hashtbl.add read_sets array s;
+      s
+  in
+  List.iter
+    (fun stmt ->
+      let reads = Stmt.reads stmt in
+      if reads <> [] then
+        Domain.iter (Stmt.domain stmt) (fun point ->
+            List.iter
+              (fun a ->
+                Hashtbl.replace
+                  (read_set_for (Access.array_name a))
+                  (Access.eval a point) ())
+              reads))
+    stmts;
+  let counts : (int * string, int) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun array m ->
+      let reads =
+        Option.value ~default:(Hashtbl.create 1)
+          (Hashtbl.find_opt read_sets array)
+      in
+      Hashtbl.iter
+        (fun element writer ->
+          if not (Hashtbl.mem reads element) then begin
+            let key = (writer, array) in
+            let c = Option.value ~default:0 (Hashtbl.find_opt counts key) in
+            Hashtbl.replace counts key (c + 1)
+          end)
+        m)
+    maps;
+  Hashtbl.fold (fun (i, array) n acc -> (i, array, n) :: acc) counts []
+  |> List.sort compare

@@ -1,0 +1,127 @@
+type t = {
+  dim : int;
+  lower : Affine.t array;
+  upper : Affine.t array;
+  guards : Affine.t list;
+  is_box : bool;  (** all bounds constant and no guards: O(1) cardinal *)
+}
+
+let make ?(guards = []) ~lower ~upper () =
+  let d = Array.length lower in
+  if Array.length upper <> d then
+    invalid_arg "Domain.make: bound arrays differ in length";
+  let check_level j e =
+    if Affine.dim e <> d then
+      invalid_arg "Domain.make: bound of wrong dimension";
+    if not (Affine.uses_only_prefix e j) then
+      invalid_arg "Domain.make: bound reads an inner variable"
+  in
+  Array.iteri check_level lower;
+  Array.iteri check_level upper;
+  List.iter
+    (fun g ->
+      if Affine.dim g <> d then
+        invalid_arg "Domain.make: guard of wrong dimension")
+    guards;
+  let is_box =
+    guards = []
+    && Array.for_all Affine.is_constant lower
+    && Array.for_all Affine.is_constant upper
+  in
+  { dim = d; lower; upper; guards; is_box }
+
+let box bounds =
+  let d = Array.length bounds in
+  let lower = Array.map (fun (l, _) -> Affine.const d l) bounds in
+  let upper = Array.map (fun (_, u) -> Affine.const d u) bounds in
+  make ~lower ~upper ()
+
+let empty d =
+  let lower = Array.make (max d 1) (Affine.const d 1)
+  and upper = Array.make (max d 1) (Affine.const d 0) in
+  if d = 0 then
+    (* A 0-dimensional domain has exactly one point (the empty vector); an
+       empty one is encoded with an unsatisfiable guard. *)
+    make ~guards:[ Affine.const 0 (-1) ] ~lower:[||] ~upper:[||] ()
+  else make ~lower ~upper ()
+
+let dim t = t.dim
+let guards t = t.guards
+
+let restrict t gs =
+  List.iter
+    (fun g ->
+      if Affine.dim g <> t.dim then
+        invalid_arg "Domain.restrict: guard of wrong dimension")
+    gs;
+  let guards = gs @ t.guards in
+  { t with guards; is_box = t.is_box && guards = [] }
+
+let bounds t = Array.init t.dim (fun j -> (t.lower.(j), t.upper.(j)))
+
+let mem t point =
+  Array.length point = t.dim
+  && (let ok = ref true in
+      for j = 0 to t.dim - 1 do
+        if
+          point.(j) < Affine.eval t.lower.(j) point
+          || point.(j) > Affine.eval t.upper.(j) point
+        then ok := false
+      done;
+      !ok)
+  && List.for_all (fun g -> Affine.eval g point >= 0) t.guards
+
+let iter t f =
+  let point = Array.make t.dim 0 in
+  let rec level j =
+    if j = t.dim then begin
+      if List.for_all (fun g -> Affine.eval g point >= 0) t.guards then
+        f point
+    end
+    else begin
+      let lo = Affine.eval t.lower.(j) point
+      and hi = Affine.eval t.upper.(j) point in
+      for v = lo to hi do
+        point.(j) <- v;
+        level (j + 1)
+      done
+    end
+  in
+  if t.dim = 0 then begin
+    if List.for_all (fun g -> Affine.eval g point >= 0) t.guards then f point
+  end
+  else level 0
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun p -> acc := f !acc p);
+  !acc
+
+let cardinal t =
+  if t.is_box then begin
+    let n = ref 1 in
+    let zero = Array.make t.dim 0 in
+    for j = 0 to t.dim - 1 do
+      let extent =
+        Affine.eval t.upper.(j) zero - Affine.eval t.lower.(j) zero + 1
+      in
+      n := !n * max 0 extent
+    done;
+    !n
+  end
+  else fold t (fun acc _ -> acc + 1) 0
+
+let is_empty t = cardinal t = 0
+let points t = List.rev (fold t (fun acc p -> Array.copy p :: acc) [])
+
+let pp ppf t =
+  Format.fprintf ppf "@[{ ";
+  for j = 0 to t.dim - 1 do
+    if j > 0 then Format.fprintf ppf ", ";
+    Format.fprintf ppf "%a <= i%d <= %a" (Affine.pp ?names:None) t.lower.(j)
+      j (Affine.pp ?names:None) t.upper.(j)
+  done;
+  List.iter
+    (fun g -> Format.fprintf ppf ", %a >= 0" (Affine.pp ?names:None) g)
+    t.guards;
+  Format.fprintf ppf " }@]"

@@ -1,0 +1,57 @@
+(** Iteration domains of affine loop nests.
+
+    A domain of dimension [d] is the set of integer vectors
+    [(i0, ..., i(d-1))] with [lower.(j) <= i_j <= upper.(j)] for every level
+    [j], where the bound expressions for level [j] may only use the outer
+    variables [i0 .. i(j-1)] (loop-nest form), optionally intersected with
+    extra affine guards [g(i) >= 0].
+
+    This covers rectangular and triangular domains — everything the kernel
+    library in {!module:Ppnpart_ppn.Kernels} needs — while keeping point
+    counting exact via direct enumeration (no Barvinok machinery; see
+    DESIGN.md §5). *)
+
+type t
+
+val make :
+  ?guards:Affine.t list -> lower:Affine.t array -> upper:Affine.t array ->
+  unit -> t
+(** @raise Invalid_argument if the two bound arrays differ in length, or a
+    bound at level [j] reads a variable at level [>= j]. Guards may use all
+    variables. *)
+
+val box : (int * int) array -> t
+(** [box [|(l0, u0); ...|]] is the rectangular domain with constant bounds. *)
+
+val empty : int -> t
+(** The empty domain of the given dimension. *)
+
+val dim : t -> int
+val guards : t -> Affine.t list
+
+val restrict : t -> Affine.t list -> t
+(** [restrict t gs] intersects [t] with the half-spaces [g(i) >= 0] for each
+    [g] in [gs].
+    @raise Invalid_argument on a guard of the wrong dimension. *)
+
+val bounds : t -> (Affine.t * Affine.t) array
+(** The per-level [(lower, upper)] bound expressions. *)
+
+val mem : t -> int array -> bool
+
+val iter : t -> (int array -> unit) -> unit
+(** Enumerates points in lexicographic order. The array passed to the
+    callback is reused between calls; copy it if retained. *)
+
+val fold : t -> ('a -> int array -> 'a) -> 'a -> 'a
+
+val cardinal : t -> int
+(** Number of integer points. Closed form (product of extents) for guard-free
+    rectangular domains, enumeration otherwise. *)
+
+val is_empty : t -> bool
+
+val points : t -> int array list
+(** Materialized point list, lexicographic order. Intended for tests. *)
+
+val pp : Format.formatter -> t -> unit

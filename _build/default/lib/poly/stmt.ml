@@ -1,0 +1,43 @@
+(** See stmt.mli. *)
+
+type t = {
+  name : string;
+  domain : Domain.t;
+  writes : Access.t list;
+  reads : Access.t list;
+  work : int;
+}
+
+let make ?(writes = []) ?(reads = []) ?(work = 1) name domain =
+  if name = "" then invalid_arg "Stmt.make: empty name";
+  if work < 0 then invalid_arg "Stmt.make: negative work";
+  let check a =
+    if Access.arity a > 0 && Access.iter_dim a <> Domain.dim domain then
+      invalid_arg
+        (Printf.sprintf "Stmt.make(%s): access %s has wrong dimension" name
+           (Access.array_name a))
+  in
+  List.iter check writes;
+  List.iter check reads;
+  { name; domain; writes; reads; work }
+
+let name t = t.name
+let domain t = t.domain
+let writes t = t.writes
+let reads t = t.reads
+let work t = t.work
+let iterations t = Domain.cardinal t.domain
+let total_work t = t.work * iterations t
+
+let written_arrays t =
+  List.sort_uniq compare (List.map Access.array_name t.writes)
+
+let read_arrays t =
+  List.sort_uniq compare (List.map Access.array_name t.reads)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>stmt %s: %a (work=%d)@," t.name Domain.pp
+    t.domain t.work;
+  List.iter (fun a -> Format.fprintf ppf "write %a@," Access.pp a) t.writes;
+  List.iter (fun a -> Format.fprintf ppf "read  %a@," Access.pp a) t.reads;
+  Format.fprintf ppf "@]"

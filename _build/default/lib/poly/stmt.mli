@@ -1,0 +1,39 @@
+(** Statements of an affine program.
+
+    A statement couples an iteration {!Domain} with the array elements it
+    writes and reads at each iteration, plus a per-iteration work estimate
+    (abstract operation count, used by the FPGA resource model). One
+    statement becomes one process in the derived process network. *)
+
+type t
+
+val make :
+  ?writes:Access.t list ->
+  ?reads:Access.t list ->
+  ?work:int ->
+  string ->
+  Domain.t ->
+  t
+(** [make name domain] with optional accesses. [work] defaults to [1]
+    abstract op per iteration.
+    @raise Invalid_argument on empty name, negative work, or an access whose
+    iteration dimension disagrees with the domain. *)
+
+val name : t -> string
+val domain : t -> Domain.t
+val writes : t -> Access.t list
+val reads : t -> Access.t list
+val work : t -> int
+
+val iterations : t -> int
+(** [Domain.cardinal (domain t)]. *)
+
+val total_work : t -> int
+(** [work t * iterations t]. *)
+
+val written_arrays : t -> string list
+(** Distinct array names written, sorted. *)
+
+val read_arrays : t -> string list
+
+val pp : Format.formatter -> t -> unit

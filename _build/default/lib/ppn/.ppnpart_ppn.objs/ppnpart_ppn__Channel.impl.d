@@ -1,0 +1,1 @@
+lib/ppn/channel.ml: Format

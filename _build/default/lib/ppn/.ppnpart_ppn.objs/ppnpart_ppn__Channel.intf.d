@@ -1,0 +1,1 @@
+lib/ppn/channel.mli: Format

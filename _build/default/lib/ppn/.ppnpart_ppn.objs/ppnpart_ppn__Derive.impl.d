@@ -1,0 +1,1 @@
+lib/ppn/derive.ml: Array Channel Hashtbl List Option Ppn Ppnpart_poly Printf Process Resource_model

@@ -1,0 +1,1 @@
+lib/ppn/derive.mli: Ppn Ppnpart_poly Resource_model

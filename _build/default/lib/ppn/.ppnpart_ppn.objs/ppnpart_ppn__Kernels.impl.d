@@ -1,0 +1,1 @@
+lib/ppn/kernels.ml: Derive List Ppnpart_poly Printf

@@ -1,0 +1,1 @@
+lib/ppn/kernels.mli: Ppnpart_poly

@@ -1,0 +1,1 @@
+lib/ppn/ppn.ml: Array Buffer Channel Format Hashtbl List Option Ppnpart_graph Printf Process Queue

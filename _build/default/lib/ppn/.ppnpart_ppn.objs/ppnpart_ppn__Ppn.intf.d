@@ -1,0 +1,1 @@
+lib/ppn/ppn.mli: Channel Format Ppnpart_graph Process

@@ -1,0 +1,1 @@
+lib/ppn/process.mli: Format

@@ -1,0 +1,1 @@
+lib/ppn/resource_model.ml:

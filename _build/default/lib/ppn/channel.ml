@@ -1,0 +1,13 @@
+type t = { src : int; dst : int; array : string; tokens : int; width : int }
+
+let make ~src ~dst ?(array = "?") ?(width = 1) tokens =
+  if src < 0 || dst < 0 then invalid_arg "Channel.make: negative endpoint";
+  if tokens < 0 then invalid_arg "Channel.make: negative token count";
+  if width <= 0 then invalid_arg "Channel.make: non-positive width";
+  { src; dst; array; tokens; width }
+
+let data_volume t = t.tokens * t.width
+
+let pp ppf t =
+  Format.fprintf ppf "P%d -[%s:%d*%d]-> P%d" t.src t.array t.tokens t.width
+    t.dst

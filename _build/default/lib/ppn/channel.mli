@@ -1,0 +1,25 @@
+(** A FIFO channel between two processes.
+
+    Channels are characterized by the amount of sustained data transferred
+    (Section I): [tokens] total tokens per network execution, each [width]
+    abstract data units wide. [bandwidth] is the edge weight the partitioner
+    sees; {!Ppn} computes it when lowering to a graph. *)
+
+type t = private {
+  src : int;  (** producer process id *)
+  dst : int;  (** consumer process id *)
+  array : string;  (** the array carried, for provenance *)
+  tokens : int;
+  width : int;
+}
+
+val make : src:int -> dst:int -> ?array:string -> ?width:int -> int -> t
+(** [make ~src ~dst tokens]; [width] defaults to 1.
+    @raise Invalid_argument on negative fields. Self channels
+    ([src = dst]) are allowed here — {!Ppn.to_graph} drops them since they
+    never cross a partition. *)
+
+val data_volume : t -> int
+(** [tokens * width]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+module Stmt = Ppnpart_poly.Stmt
+module Domain = Ppnpart_poly.Domain
+module Affine = Ppnpart_poly.Affine
+module Dependence = Ppnpart_poly.Dependence
+
+let derive ?(resource_config = Resource_model.default)
+    ?(token_width = fun _ -> 1) ?(io = true) stmts =
+  if stmts = [] then invalid_arg "Derive.derive: empty program";
+  let n_stmts = List.length stmts in
+  let flows = Dependence.flow_edges stmts in
+  let channels =
+    List.map
+      (fun { Dependence.src; dst; array; tokens } ->
+        Channel.make ~src ~dst ~array ~width:(token_width array) tokens)
+      flows
+  in
+  (* I/O stream processes get ids after the statement processes: one source
+     per external input array (fanning out to every consumer statement) and
+     one sink per output array. *)
+  let next_id = ref n_stmts in
+  let io_processes = ref [] in
+  let io_channels = ref [] in
+  if io then begin
+    let group kind tuples =
+      (* array -> (stmt_idx, tokens) list, preserving sorted order *)
+      let by_array = Hashtbl.create 8 in
+      List.iter
+        (fun (stmt_idx, array, tokens) ->
+          let cur =
+            Option.value ~default:[] (Hashtbl.find_opt by_array array)
+          in
+          Hashtbl.replace by_array array ((stmt_idx, tokens) :: cur))
+        tuples;
+      Hashtbl.fold (fun array ends acc -> (kind, array, List.rev ends) :: acc)
+        by_array []
+      |> List.sort compare
+    in
+    let groups =
+      group `Src (Dependence.external_reads stmts)
+      @ group `Snk (Dependence.external_writes stmts)
+    in
+    List.iter
+      (fun (kind, array, ends) ->
+        let id = !next_id in
+        incr next_id;
+        let prefix = match kind with `Src -> "src" | `Snk -> "snk" in
+        let total = List.fold_left (fun acc (_, t) -> acc + t) 0 ends in
+        (* I/O heads do one op per token: stream interface logic only. *)
+        io_processes :=
+          (id, Printf.sprintf "%s_%s" prefix array, total, 1)
+          :: !io_processes;
+        List.iter
+          (fun (stmt_idx, tokens) ->
+            let channel =
+              match kind with
+              | `Src ->
+                Channel.make ~src:id ~dst:stmt_idx ~array
+                  ~width:(token_width array) tokens
+              | `Snk ->
+                Channel.make ~src:stmt_idx ~dst:id ~array
+                  ~width:(token_width array) tokens
+            in
+            io_channels := channel :: !io_channels)
+          ends)
+      groups
+  end;
+  let all_channels = channels @ List.rev !io_channels in
+  let n_total = !next_id in
+  let fan_in = Array.make n_total 0 and fan_out = Array.make n_total 0 in
+  List.iter
+    (fun (c : Channel.t) ->
+      fan_out.(c.Channel.src) <- fan_out.(c.Channel.src) + 1;
+      fan_in.(c.Channel.dst) <- fan_in.(c.Channel.dst) + 1)
+    all_channels;
+  let stmt_processes =
+    List.mapi
+      (fun i stmt ->
+        let resources =
+          Resource_model.process_luts resource_config ~work:(Stmt.work stmt)
+            ~fan_in:fan_in.(i) ~fan_out:fan_out.(i)
+        in
+        Process.make ~id:i ~name:(Stmt.name stmt)
+          ~iterations:(Stmt.iterations stmt) ~work:(Stmt.work stmt)
+          ~resources)
+      stmts
+  in
+  let io_procs =
+    List.rev_map
+      (fun (id, name, iterations, work) ->
+        let resources =
+          Resource_model.process_luts resource_config ~work
+            ~fan_in:fan_in.(id) ~fan_out:fan_out.(id)
+        in
+        Process.make ~id ~name ~iterations ~work ~resources)
+      !io_processes
+  in
+  let processes = Array.of_list (stmt_processes @ io_procs) in
+  Ppn.make processes all_channels
+
+let split_stmt p stmt =
+  if p < 1 then invalid_arg "Derive.split_stmt: p < 1";
+  let domain = Stmt.domain stmt in
+  let d = Domain.dim domain in
+  if d < 1 then invalid_arg "Derive.split_stmt: 0-dimensional domain";
+  let outer_lower, outer_upper = (Domain.bounds domain).(0) in
+  if not (Affine.is_constant outer_lower && Affine.is_constant outer_upper)
+  then invalid_arg "Derive.split_stmt: outermost bounds not constant";
+  let zero = Array.make d 0 in
+  let lo = Affine.eval outer_lower zero
+  and hi = Affine.eval outer_upper zero in
+  if hi < lo then invalid_arg "Derive.split_stmt: empty domain";
+  let extent = hi - lo + 1 in
+  let chunks = min p extent in
+  List.init chunks (fun k ->
+      let c_lo = lo + (k * extent / chunks) in
+      let c_hi = lo + (((k + 1) * extent / chunks) - 1) in
+      (* Restrict dimension 0 to [c_lo, c_hi] with two guards
+         i0 - c_lo >= 0 and c_hi - i0 >= 0. *)
+      let g_lo = Affine.add_const (Affine.var d 0) (-c_lo) in
+      let g_hi = Affine.sub (Affine.const d c_hi) (Affine.var d 0) in
+      let restricted = Domain.restrict domain [ g_lo; g_hi ] in
+      Stmt.make
+        ~writes:(Stmt.writes stmt) ~reads:(Stmt.reads stmt)
+        ~work:(Stmt.work stmt)
+        (Printf.sprintf "%s.%d" (Stmt.name stmt) k)
+        restricted)

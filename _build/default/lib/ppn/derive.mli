@@ -1,0 +1,31 @@
+(** Derivation of a polyhedral process network from an affine program.
+
+    One statement becomes one process; one flow dependence (producer
+    statement, consumer statement, array) becomes one FIFO channel whose
+    token count is the exact dependence volume ({!Ppnpart_poly.Dependence}).
+    Arrays read but never written become input-stream source processes;
+    final values never consumed become output-stream sink processes (both
+    can be disabled with [~io:false]).
+
+    Process resources are estimated with {!Resource_model} from the
+    statement's per-firing work and the process fan-in/out. *)
+
+val derive :
+  ?resource_config:Resource_model.config ->
+  ?token_width:(string -> int) ->
+  ?io:bool ->
+  Ppnpart_poly.Stmt.t list ->
+  Ppn.t
+(** [derive stmts] builds the network. [token_width array] gives the data
+    width of tokens carried from [array] (default: 1 for all). [io] defaults
+    to [true].
+    @raise Invalid_argument on an empty program. *)
+
+val split_stmt : int -> Ppnpart_poly.Stmt.t -> Ppnpart_poly.Stmt.t list
+(** [split_stmt p stmt] blocks the outermost loop of [stmt] into [p]
+    contiguous chunks, yielding [p] statements [name.0 .. name.(p-1)] that
+    together cover the original domain. This models increasing the parallel
+    portions of the computation — the paper's reason node counts grow.
+    @raise Invalid_argument if the outermost bounds are not constant, the
+    domain is not at least 1-dimensional, or [p < 1]. Chunks that would be
+    empty are dropped, so fewer than [p] statements can be returned. *)

@@ -1,0 +1,240 @@
+module Affine = Ppnpart_poly.Affine
+module Domain = Ppnpart_poly.Domain
+module Access = Ppnpart_poly.Access
+module Stmt = Ppnpart_poly.Stmt
+
+(* Subscript [i_j + c] in iteration dimension [d]. *)
+let idx d j c = Affine.add_const (Affine.var d j) c
+let acc1 name e = Access.make name [| e |]
+let acc2 name e0 e1 = Access.make name [| e0; e1 |]
+
+let chain ?(work = fun s -> 4 + (3 * s)) ~stages ~tokens () =
+  if stages < 1 || tokens < 1 then invalid_arg "Kernels.chain: bad sizes";
+  let d = 1 in
+  let domain = Domain.box [| (0, tokens - 1) |] in
+  List.init stages (fun s ->
+      let input = if s = 0 then "A0in" else Printf.sprintf "A%d" (s - 1) in
+      Stmt.make
+        ~reads:[ acc1 input (idx d 0 0) ]
+        ~writes:[ acc1 (Printf.sprintf "A%d" s) (idx d 0 0) ]
+        ~work:(work s)
+        (Printf.sprintf "stage%d" s)
+        domain)
+
+let fir ~taps ~samples () =
+  if taps < 1 || samples < 1 then invalid_arg "Kernels.fir: bad sizes";
+  let d = 1 in
+  let domain = Domain.box [| (0, samples - 1) |] in
+  List.init taps (fun k ->
+      let reads =
+        acc1 "x" (idx d 0 k)
+        ::
+        (if k = 0 then []
+         else [ acc1 (Printf.sprintf "acc%d" (k - 1)) (idx d 0 0) ])
+      in
+      Stmt.make ~reads
+        ~writes:[ acc1 (Printf.sprintf "acc%d" k) (idx d 0 0) ]
+        ~work:2 (* one multiply, one add *)
+        (Printf.sprintf "tap%d" k)
+        domain)
+
+let stencil1d ?(radius = 1) ~stages ~points () =
+  if radius < 1 || stages < 1 then invalid_arg "Kernels.stencil1d: bad sizes";
+  let window = (2 * radius) + 1 in
+  if points <= 2 * radius * stages then
+    invalid_arg "Kernels.stencil1d: too few points for that many stages";
+  let d = 1 in
+  List.init stages (fun s ->
+      let extent = points - (2 * radius * (s + 1)) in
+      let domain = Domain.box [| (0, extent - 1) |] in
+      let input = if s = 0 then "In" else Printf.sprintf "S%d" (s - 1) in
+      let reads = List.init window (fun o -> acc1 input (idx d 0 o)) in
+      Stmt.make ~reads
+        ~writes:[ acc1 (Printf.sprintf "S%d" s) (idx d 0 0) ]
+        ~work:(window + 1)
+        (Printf.sprintf "stencil%d" s)
+        domain)
+
+let jacobi2d ~n () =
+  if n < 3 then invalid_arg "Kernels.jacobi2d: n < 3";
+  let d = 2 in
+  let interior = Domain.box [| (1, n - 2); (1, n - 2) |] in
+  let compute =
+    Stmt.make
+      ~reads:
+        [
+          acc2 "grid" (idx d 0 0) (idx d 1 0);
+          acc2 "grid" (idx d 0 (-1)) (idx d 1 0);
+          acc2 "grid" (idx d 0 1) (idx d 1 0);
+          acc2 "grid" (idx d 0 0) (idx d 1 (-1));
+          acc2 "grid" (idx d 0 0) (idx d 1 1);
+        ]
+      ~writes:[ acc2 "new" (idx d 0 0) (idx d 1 0) ]
+      ~work:5 "compute" interior
+  in
+  let copy =
+    Stmt.make
+      ~reads:[ acc2 "new" (idx d 0 0) (idx d 1 0) ]
+      ~writes:[ acc2 "out" (idx d 0 0) (idx d 1 0) ]
+      ~work:1 "copy" interior
+  in
+  [ compute; copy ]
+
+let sobel ~width ~height () =
+  if width < 3 || height < 3 then invalid_arg "Kernels.sobel: too small";
+  let d = 2 in
+  let interior = Domain.box [| (1, height - 2); (1, width - 2) |] in
+  let window offsets =
+    List.map (fun (di, dj) -> acc2 "img" (idx d 0 di) (idx d 1 dj)) offsets
+  in
+  let gx =
+    Stmt.make
+      ~reads:
+        (window [ (-1, -1); (-1, 1); (0, -1); (0, 1); (1, -1); (1, 1) ])
+      ~writes:[ acc2 "gx" (idx d 0 0) (idx d 1 0) ]
+      ~work:8 "grad_x" interior
+  in
+  let gy =
+    Stmt.make
+      ~reads:
+        (window [ (-1, -1); (-1, 0); (-1, 1); (1, -1); (1, 0); (1, 1) ])
+      ~writes:[ acc2 "gy" (idx d 0 0) (idx d 1 0) ]
+      ~work:8 "grad_y" interior
+  in
+  let mag =
+    Stmt.make
+      ~reads:
+        [ acc2 "gx" (idx d 0 0) (idx d 1 0); acc2 "gy" (idx d 0 0) (idx d 1 0) ]
+      ~writes:[ acc2 "edge" (idx d 0 0) (idx d 1 0) ]
+      ~work:4 "magnitude" interior
+  in
+  [ gx; gy; mag ]
+
+let matmul ?(blocks = 4) ~n () =
+  if n < 1 || blocks < 1 then invalid_arg "Kernels.matmul: bad sizes";
+  let d = 3 in
+  let domain = Domain.box [| (0, n - 1); (0, n - 1); (0, n - 1) |] in
+  let compute =
+    Stmt.make
+      ~reads:
+        [
+          Access.make "A" [| idx d 0 0; idx d 2 0 |];
+          Access.make "B" [| idx d 2 0; idx d 1 0 |];
+        ]
+      ~writes:[ Access.make "C" [| idx d 0 0; idx d 1 0 |] ]
+      ~work:2 "mm" domain
+  in
+  Derive.split_stmt blocks compute
+
+let pyramid ?(levels = 3) ~n () =
+  if levels < 1 then invalid_arg "Kernels.pyramid: levels < 1";
+  let d = 1 in
+  let rec build level size input acc =
+    if level = levels then List.rev acc
+    else begin
+      if size < 4 then invalid_arg "Kernels.pyramid: image too small";
+      let blur_size = size - 2 in
+      let blur_name = Printf.sprintf "B%d" level in
+      let blur =
+        Stmt.make
+          ~reads:
+            [ acc1 input (idx d 0 0); acc1 input (idx d 0 1);
+              acc1 input (idx d 0 2) ]
+          ~writes:[ acc1 blur_name (idx d 0 0) ]
+          ~work:4
+          (Printf.sprintf "blur%d" level)
+          (Domain.box [| (0, blur_size - 1) |])
+      in
+      let down_size = blur_size / 2 in
+      let down_name = Printf.sprintf "D%d" level in
+      let down =
+        Stmt.make
+          (* strided access B[2i]: the factor-2 rate change *)
+          ~reads:[ acc1 blur_name (Affine.scale 2 (Affine.var d 0)) ]
+          ~writes:[ acc1 down_name (idx d 0 0) ]
+          ~work:1
+          (Printf.sprintf "down%d" level)
+          (Domain.box [| (0, down_size - 1) |])
+      in
+      build (level + 1) down_size down_name (down :: blur :: acc)
+    end
+  in
+  build 0 n "In" []
+
+let unsharp ~n () =
+  if n < 3 then invalid_arg "Kernels.unsharp: n < 3";
+  let d = 1 in
+  let interior = Domain.box [| (1, n - 2) |] in
+  let blur =
+    Stmt.make
+      ~reads:
+        [ acc1 "In" (idx d 0 (-1)); acc1 "In" (idx d 0 0);
+          acc1 "In" (idx d 0 1) ]
+      ~writes:[ acc1 "Blur" (idx d 0 0) ]
+      ~work:4 "blur" interior
+  in
+  let mask =
+    (* reads the external input a second time: the forwarding edge *)
+    Stmt.make
+      ~reads:[ acc1 "In" (idx d 0 0); acc1 "Blur" (idx d 0 0) ]
+      ~writes:[ acc1 "Mask" (idx d 0 0) ]
+      ~work:2 "mask" interior
+  in
+  let clamp =
+    Stmt.make
+      ~reads:[ acc1 "Mask" (idx d 0 0) ]
+      ~writes:[ acc1 "Out" (idx d 0 0) ]
+      ~work:2 "clamp" interior
+  in
+  [ blur; mask; clamp ]
+
+let trmv ~n () =
+  if n < 2 then invalid_arg "Kernels.trmv: n < 2";
+  let d2 = 2 in
+  let init =
+    Stmt.make
+      ~reads:
+        [
+          Access.make "L" [| Affine.var 1 0; Affine.const 1 0 |];
+          acc1 "x" (Affine.const 1 0);
+        ]
+      ~writes:[ Access.make "acc" [| Affine.var 1 0; Affine.const 1 0 |] ]
+      ~work:1 "init"
+      (Domain.box [| (0, n - 1) |])
+  in
+  let mac =
+    (* triangular domain: 1 <= i <= n-1, 1 <= j <= i *)
+    let lower = [| Affine.const d2 1; Affine.const d2 1 |] in
+    let upper = [| Affine.const d2 (n - 1); Affine.var d2 0 |] in
+    Stmt.make
+      ~reads:
+        [
+          Access.make "acc" [| Affine.var d2 0; idx d2 1 (-1) |];
+          Access.make "L" [| Affine.var d2 0; Affine.var d2 1 |];
+          acc1 "x" (Affine.var d2 1);
+        ]
+      ~writes:[ Access.make "acc" [| Affine.var d2 0; Affine.var d2 1 |] ]
+      ~work:2 "mac"
+      (Domain.make ~lower ~upper ())
+  in
+  let collect =
+    Stmt.make
+      ~reads:[ Access.make "acc" [| Affine.var 1 0; Affine.var 1 0 |] ]
+      ~writes:[ acc1 "y" (Affine.var 1 0) ]
+      ~work:1 "collect"
+      (Domain.box [| (0, n - 1) |])
+  in
+  [ init; mac; collect ]
+
+let all =
+  [
+    ("chain", chain ~stages:6 ~tokens:64 ());
+    ("fir", fir ~taps:8 ~samples:64 ());
+    ("stencil1d", stencil1d ~stages:5 ~points:64 ());
+    ("jacobi2d", jacobi2d ~n:16 ());
+    ("sobel", sobel ~width:16 ~height:16 ());
+    ("matmul", matmul ~n:8 ());
+    ("pyramid", pyramid ~n:64 ());
+    ("unsharp", unsharp ~n:64 ());
+    ("trmv", trmv ~n:16 ());
+  ]

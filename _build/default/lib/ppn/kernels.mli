@@ -1,0 +1,64 @@
+(** Affine kernel programs used to derive process networks.
+
+    These are the application classes the paper's introduction motivates
+    (streaming / reconfigurable-hardware workloads expressed as process
+    networks): pipelines, filters, stencils and linear algebra. Each function
+    returns the statement list of an affine program; feed it to
+    {!Derive.derive} to obtain a PPN and {!Ppn.to_graph} to obtain the
+    partitioning instance. All sizes are in iterations, kept modest because
+    dependence volumes are computed by exact enumeration. *)
+
+val chain : ?work:(int -> int) -> stages:int -> tokens:int -> unit ->
+  Ppnpart_poly.Stmt.t list
+(** Linear pipeline: stage [s] reads [A(s-1)[i]] and writes [As[i]] for
+    [i < tokens]. [work s] is the per-firing work of stage [s] (default
+    [4 + 3*s], giving a spread of node weights). Stage 0 reads the external
+    stream [A0in]. *)
+
+val fir : taps:int -> samples:int -> unit -> Ppnpart_poly.Stmt.t list
+(** FIR filter as a multiply-accumulate cascade: tap [k] computes
+    [acc_k[i] = acc_(k-1)[i] + h_k * x[i + k]]; the external input [x] fans
+    out to every tap. [samples] output samples. *)
+
+val stencil1d : ?radius:int -> stages:int -> points:int -> unit ->
+  Ppnpart_poly.Stmt.t list
+(** Iterated 1-D stencil pipeline with explicit stage arrays: stage [s]
+    reads stage [s-1] at offsets [-radius .. radius] (clamped by domain) and
+    writes its own array. Channel volumes ≈ [(2*radius+1) * points]. *)
+
+val jacobi2d : n:int -> unit -> Ppnpart_poly.Stmt.t list
+(** One sweep of a 2-D 5-point Jacobi: compute from the external grid, then
+    a copy-back stage — a two-stage pipe with a heavy channel. *)
+
+val sobel : width:int -> height:int -> unit -> Ppnpart_poly.Stmt.t list
+(** Sobel edge detection: horizontal and vertical gradient statements read
+    the external image; a magnitude statement joins them — the classic
+    diamond PPN. *)
+
+val matmul : ?blocks:int -> n:int -> unit -> Ppnpart_poly.Stmt.t list
+(** Dense [n x n] matrix product, compute statement split into [blocks] row
+    bands (default 4) so the derived network has parallel workers fed by the
+    input streams. *)
+
+val pyramid : ?levels:int -> n:int -> unit -> Ppnpart_poly.Stmt.t list
+(** Image pyramid: per level a 3-point blur followed by a factor-2
+    downsample (strided affine access [B[2i]]), halving the data rate at
+    every level — a multirate network whose channel volumes shrink
+    geometrically. [levels] defaults to 3; requires [n >= 4 * 2^levels]. *)
+
+val unsharp : n:int -> unit -> Ppnpart_poly.Stmt.t list
+(** Unsharp masking: blur the input, subtract the blur from the original
+    (reading the external input twice), and clamp — a diamond with a
+    forwarding edge from the source. *)
+
+val trmv : n:int -> unit -> Ppnpart_poly.Stmt.t list
+(** Lower-triangular matrix-vector product [y = L x] as an accumulation
+    cascade over the triangular domain [{(i, j) | 1 <= j <= i <= n-1}]:
+    an init statement seeds [acc[i][0]], the MAC statement computes
+    [acc[i][j] = acc[i][j-1] + L[i][j] * x[j]], and a collect statement
+    reads the diagonal [acc[i][i]]. Exercises non-rectangular domains and
+    diagonal accesses in the derivation. *)
+
+val all : (string * Ppnpart_poly.Stmt.t list) list
+(** The default-size instance of every kernel, with a short name; used by
+    the benchmark suite and tests. *)

@@ -1,0 +1,144 @@
+type t = { processes : Process.t array; channels : Channel.t list }
+
+let make processes channels =
+  let n = Array.length processes in
+  let names = Hashtbl.create n in
+  Array.iteri
+    (fun i (p : Process.t) ->
+      if p.Process.id <> i then
+        invalid_arg "Ppn.make: process ids must be 0 .. n-1 in order";
+      if Hashtbl.mem names p.Process.name then
+        invalid_arg ("Ppn.make: duplicate process name " ^ p.Process.name);
+      Hashtbl.add names p.Process.name ())
+    processes;
+  List.iter
+    (fun (c : Channel.t) ->
+      if c.Channel.src >= n || c.Channel.dst >= n then
+        invalid_arg "Ppn.make: channel endpoint out of range")
+    channels;
+  { processes; channels }
+
+let n_processes t = Array.length t.processes
+let process t i = t.processes.(i)
+let channels t = t.channels
+
+let in_channels t i =
+  List.filter (fun (c : Channel.t) -> c.Channel.dst = i) t.channels
+
+let out_channels t i =
+  List.filter (fun (c : Channel.t) -> c.Channel.src = i) t.channels
+
+let fan_in t i = List.length (in_channels t i)
+let fan_out t i = List.length (out_channels t i)
+
+let total_resources t =
+  Array.fold_left (fun acc (p : Process.t) -> acc + p.Process.resources) 0
+    t.processes
+
+let total_tokens t =
+  List.fold_left (fun acc (c : Channel.t) -> acc + c.Channel.tokens) 0
+    t.channels
+
+(* Kahn's algorithm over the channel multigraph, self channels ignored. *)
+let topological_order t =
+  let n = n_processes t in
+  let indeg = Array.make n 0 in
+  let succ = Array.make n [] in
+  List.iter
+    (fun (c : Channel.t) ->
+      if c.Channel.src <> c.Channel.dst then begin
+        indeg.(c.Channel.dst) <- indeg.(c.Channel.dst) + 1;
+        succ.(c.Channel.src) <- c.Channel.dst :: succ.(c.Channel.src)
+      end)
+    t.channels;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = Array.make n (-1) in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!filled) <- u;
+    incr filled;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      succ.(u)
+  done;
+  if !filled = n then Some order else None
+
+let is_acyclic t = topological_order t <> None
+
+let to_graph ?(bandwidth_scale = 1) t =
+  if bandwidth_scale <= 0 then
+    invalid_arg "Ppn.to_graph: non-positive bandwidth_scale";
+  let n = n_processes t in
+  let el = Ppnpart_graph.Edge_list.create n in
+  (* Sum both directions between a pair before scaling, so that scaling a
+     bidirectional pair rounds once, not twice. *)
+  let volumes : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Channel.t) ->
+      if c.Channel.src <> c.Channel.dst then begin
+        let u = min c.Channel.src c.Channel.dst
+        and v = max c.Channel.src c.Channel.dst in
+        let cur = Option.value ~default:0 (Hashtbl.find_opt volumes (u, v)) in
+        Hashtbl.replace volumes (u, v) (cur + Channel.data_volume c)
+      end)
+    t.channels;
+  Hashtbl.iter
+    (fun (u, v) vol ->
+      let w = (vol + bandwidth_scale - 1) / bandwidth_scale in
+      Ppnpart_graph.Edge_list.add el u v w)
+    volumes;
+  let vwgt =
+    Array.map (fun (p : Process.t) -> p.Process.resources) t.processes
+  in
+  Ppnpart_graph.Wgraph.build ~vwgt el
+
+let to_dot ?assignment t =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "digraph ppn {\n  rankdir=LR;\n  node [shape=box];\n";
+  let emit_process (p : Process.t) =
+    Buffer.add_string b
+      (Printf.sprintf "    p%d [label=\"%s\\n%d luts\"];\n" p.Process.id
+         p.Process.name p.Process.resources)
+  in
+  (match assignment with
+  | None -> Array.iter emit_process t.processes
+  | Some a ->
+    let k = Array.fold_left max 0 a + 1 in
+    for fpga = 0 to k - 1 do
+      Buffer.add_string b
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"FPGA %d\";\n"
+           fpga fpga);
+      Array.iter
+        (fun (p : Process.t) ->
+          if a.(p.Process.id) = fpga then emit_process p)
+        t.processes;
+      Buffer.add_string b "  }\n"
+    done);
+  List.iter
+    (fun (c : Channel.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "  p%d -> p%d [label=\"%dx%d\"];\n" c.Channel.src
+           c.Channel.dst c.Channel.tokens c.Channel.width))
+    t.channels;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ppn with %d processes, %d channels@,"
+    (n_processes t)
+    (List.length t.channels);
+  Array.iter (fun p -> Format.fprintf ppf "  %a@," Process.pp p) t.processes;
+  List.iter (fun c -> Format.fprintf ppf "  %a@," Channel.pp c) t.channels;
+  Format.fprintf ppf "@]"
+
+let summary t =
+  Printf.sprintf "processes=%d channels=%d resources=%d tokens=%d"
+    (n_processes t)
+    (List.length t.channels)
+    (total_resources t) (total_tokens t)

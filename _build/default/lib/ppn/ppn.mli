@@ -1,0 +1,48 @@
+(** Process network container: processes plus FIFO channels.
+
+    This is the model the partitioner consumes (after lowering with
+    {!to_graph}): nodes are processes weighted by FPGA resources, edges are
+    channels weighted by communicated data volume. *)
+
+type t = private {
+  processes : Process.t array;
+  channels : Channel.t list;
+}
+
+val make : Process.t array -> Channel.t list -> t
+(** @raise Invalid_argument if process ids are not exactly [0 .. n-1] in
+    array order, a name is duplicated, or a channel endpoint is out of
+    range. *)
+
+val n_processes : t -> int
+val process : t -> int -> Process.t
+val channels : t -> Channel.t list
+
+val in_channels : t -> int -> Channel.t list
+val out_channels : t -> int -> Channel.t list
+val fan_in : t -> int -> int
+val fan_out : t -> int -> int
+
+val total_resources : t -> int
+val total_tokens : t -> int
+
+val is_acyclic : t -> bool
+(** [true] when the channel graph (ignoring self channels) is a DAG. *)
+
+val topological_order : t -> int array option
+(** Some order with producers before consumers when acyclic. *)
+
+val to_graph : ?bandwidth_scale:int -> t -> Ppnpart_graph.Wgraph.t
+(** Lower to the undirected weighted graph the partitioner runs on: node
+    weight = process resources; edge weight = total data volume between the
+    pair (both directions summed), divided by [bandwidth_scale] (default 1)
+    rounding up; self channels dropped. Process ids become node ids. *)
+
+val to_dot : ?assignment:int array -> t -> string
+(** Graphviz digraph of the network: one box per process (labelled with
+    name and resources), one arrow per channel (labelled with
+    [tokens x width]). With [~assignment], processes are grouped into one
+    cluster per FPGA. *)
+
+val pp : Format.formatter -> t -> unit
+val summary : t -> string

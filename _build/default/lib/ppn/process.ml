@@ -1,0 +1,21 @@
+type t = {
+  id : int;
+  name : string;
+  iterations : int;
+  work : int;
+  resources : int;
+}
+
+let make ~id ~name ~iterations ~work ~resources =
+  if name = "" then invalid_arg "Process.make: empty name";
+  if id < 0 || iterations < 0 || work < 0 || resources < 0 then
+    invalid_arg "Process.make: negative field";
+  { id; name; iterations; work; resources }
+
+let with_resources t r =
+  if r < 0 then invalid_arg "Process.with_resources: negative";
+  { t with resources = r }
+
+let pp ppf t =
+  Format.fprintf ppf "P%d:%s(iter=%d, work=%d, res=%d)" t.id t.name
+    t.iterations t.work t.resources

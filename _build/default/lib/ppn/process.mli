@@ -1,0 +1,22 @@
+(** A process of a process network.
+
+    A process is a potentially recurrent task (one statement of the source
+    affine program, or an I/O stream head) characterized — as in Section I of
+    the paper — by the amount of FPGA resources [resources] required to
+    implement it. [iterations] and [work] record how it was derived and feed
+    the multi-FPGA simulator. *)
+
+type t = private {
+  id : int;
+  name : string;
+  iterations : int;  (** number of firings in one network execution *)
+  work : int;  (** abstract ops per firing *)
+  resources : int;  (** FPGA resources (e.g. LUTs) consumed *)
+}
+
+val make :
+  id:int -> name:string -> iterations:int -> work:int -> resources:int -> t
+(** @raise Invalid_argument on negative fields or empty name. *)
+
+val with_resources : t -> int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+type config = {
+  base_luts : int;
+  luts_per_op : int;
+  luts_per_port : int;
+  fifo_luts_per_width : int;
+}
+
+let default =
+  { base_luts = 8; luts_per_op = 6; luts_per_port = 4; fifo_luts_per_width = 2 }
+
+let ceil_log2 n =
+  if n <= 1 then 0
+  else begin
+    let k = ref 0 and v = ref 1 in
+    while !v < n do
+      v := !v * 2;
+      incr k
+    done;
+    !k
+  end
+
+let process_luts c ~work ~fan_in ~fan_out =
+  c.base_luts + (c.luts_per_op * work) + (c.luts_per_port * (fan_in + fan_out))
+
+let fifo_luts c ~width ~depth =
+  c.fifo_luts_per_width * width * max 1 (ceil_log2 depth)

@@ -1,0 +1,33 @@
+(** FPGA resource estimation for processes and channels.
+
+    The paper characterizes each process by "an amount of resources required
+    in order to implement such process on an FPGA (only one resource is
+    considered at this time, for example LUTs)". This module provides that
+    single-resource estimate with a simple, documented linear model:
+
+    [process = base + luts_per_op * work + luts_per_port * (fan_in + fan_out)]
+
+    and a per-channel FIFO buffer cost proportional to token width and the
+    logarithm of the required depth. The coefficients are configurable; the
+    defaults are in the right ballpark for small fixed-point operators on a
+    7-series-class device but their absolute values do not matter to the
+    partitioner — only the induced weight distribution does. *)
+
+type config = {
+  base_luts : int;  (** control FSM of any process *)
+  luts_per_op : int;  (** datapath cost per abstract op per firing *)
+  luts_per_port : int;  (** FIFO interface logic per channel endpoint *)
+  fifo_luts_per_width : int;  (** buffer cost per data-unit of width *)
+}
+
+val default : config
+
+val process_luts : config -> work:int -> fan_in:int -> fan_out:int -> int
+(** Resource estimate for one process. *)
+
+val fifo_luts : config -> width:int -> depth:int -> int
+(** Resource estimate for one FIFO buffer of the given width and depth
+    (cost grows with [width * ceil_log2 depth]). *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [k] with [2^k >= n]; [0] for [n <= 1]. *)

@@ -1,0 +1,1 @@
+lib/workloads/evaluation.ml: Buffer Format List Metrics Ppnpart_baselines Ppnpart_core Ppnpart_graph Ppnpart_partition Printf Random Types Unix Wgraph

@@ -1,0 +1,1 @@
+lib/workloads/evaluation.mli: Format Ppnpart_core Ppnpart_graph Ppnpart_partition Types Wgraph

@@ -1,0 +1,1 @@
+lib/workloads/paper_graphs.ml: Ppnpart_graph Ppnpart_partition Rand_graph Random Types Wgraph

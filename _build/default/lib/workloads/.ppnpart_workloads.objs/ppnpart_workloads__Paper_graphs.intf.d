@@ -1,0 +1,1 @@
+lib/workloads/paper_graphs.mli: Ppnpart_graph Ppnpart_partition Types Wgraph

@@ -1,0 +1,1 @@
+lib/workloads/ppn_suite.ml: Hashtbl List Metrics Ppnpart_baselines Ppnpart_graph Ppnpart_partition Ppnpart_ppn Rand_graph Random Types Wgraph

@@ -1,0 +1,1 @@
+lib/workloads/ppn_suite.mli: Ppnpart_graph Ppnpart_partition Ppnpart_poly Random Types Wgraph

@@ -1,0 +1,1 @@
+lib/workloads/rand_graph.ml: Array Edge_list Hashtbl Ppnpart_graph Ppnpart_partition Random Seq Wgraph

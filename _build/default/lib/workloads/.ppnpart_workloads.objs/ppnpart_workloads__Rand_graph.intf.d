@@ -1,0 +1,1 @@
+lib/workloads/rand_graph.mli: Ppnpart_graph Ppnpart_partition Random Wgraph

@@ -1,0 +1,42 @@
+open Ppnpart_graph
+open Ppnpart_partition
+
+type instance = {
+  name : string;
+  graph : Wgraph.t;
+  constraints : Types.constraints;
+}
+
+let graph_of_kernel stmts =
+  let ppn = Ppnpart_ppn.Derive.derive stmts in
+  let raw = Ppnpart_ppn.Ppn.to_graph ppn in
+  let max_ew = Wgraph.fold_edges raw (fun acc _ _ w -> max acc w) 0 in
+  if max_ew <= 100 then raw
+  else Ppnpart_ppn.Ppn.to_graph ~bandwidth_scale:(max_ew / 50) ppn
+
+let instances ~k =
+  if k < 2 then invalid_arg "Ppn_suite.instances: k < 2";
+  List.map
+    (fun (name, stmts) ->
+      let graph = graph_of_kernel stmts in
+      let total = Wgraph.total_node_weight graph in
+      (* Probe an achievable K-way partition with spectral bisection; the
+         probe anchors both bounds so the instance is feasible by
+         construction (the probe partition itself satisfies them). *)
+      let rng = Random.State.make [| 7; Hashtbl.hash name |] in
+      let probe = Ppnpart_baselines.Spectral.kway rng graph ~k in
+      let rmax =
+        max ((total / k * 4 / 3) + 1) (Metrics.max_resource graph ~k probe)
+      in
+      let bmax = (Metrics.max_local_bandwidth graph ~k probe * 4 / 3) + 1 in
+      { name; graph; constraints = Types.constraints ~k ~bmax ~rmax })
+    Ppnpart_ppn.Kernels.all
+
+let scaling_graphs rng =
+  let sizes = [ ("pn-100", 10, 10); ("pn-1k", 40, 25); ("pn-10k", 100, 100) ] in
+  List.map
+    (fun (name, layers, width) ->
+      ( name,
+        Rand_graph.layered ~vw_range:(5, 50) ~ew_range:(1, 10) rng ~layers
+          ~width ))
+    sizes

@@ -1,0 +1,30 @@
+(** Partitioning instances derived from the PPN kernel library.
+
+    Each entry lowers a kernel program to its process-network graph (node
+    weights: estimated LUTs; edge weights: FIFO data volume, scaled) and
+    pairs it with constraints derived from the graph itself so that every
+    instance is non-trivially constrained yet feasible by construction: a
+    spectral K-way probe partition anchors both bounds ([rmax] at least the
+    probe's max part load and a third above the balanced load; [bmax] a
+    third above the probe's pairwise bandwidth), so the probe itself
+    witnesses feasibility. *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+
+type instance = {
+  name : string;
+  graph : Wgraph.t;
+  constraints : Types.constraints;
+}
+
+val instances : k:int -> instance list
+(** One instance per kernel in {!Ppnpart_ppn.Kernels.all}. Deterministic. *)
+
+val graph_of_kernel : Ppnpart_poly.Stmt.t list -> Wgraph.t
+(** Derivation + lowering with default parameters and a bandwidth scale
+    that keeps edge weights in the tens. *)
+
+val scaling_graphs : Random.State.t -> (string * Wgraph.t) list
+(** Synthetic layered process networks of growing size (10^2 .. ~10^4
+    nodes) for the runtime scaling benchmark. *)

@@ -1,0 +1,64 @@
+(** Random weighted graph generators.
+
+    Used for the paper-style synthetic experiments ("randomly generated
+    graphs... representing Process Networks") and for the scaling
+    benchmarks. All generators are deterministic in the supplied random
+    state. *)
+
+open Ppnpart_graph
+
+val gnm :
+  ?connected:bool ->
+  ?vw_range:int * int ->
+  ?ew_range:int * int ->
+  Random.State.t ->
+  n:int ->
+  m:int ->
+  Wgraph.t
+(** Uniform random simple graph with [n] nodes and [m] distinct edges, node
+    weights uniform in [vw_range] (default [(1, 1)]) and edge weights in
+    [ew_range] (default [(1, 1)]). With [connected] (default [true]) a
+    random spanning tree is laid down first, so [m >= n - 1] is required.
+    @raise Invalid_argument when [m] exceeds [n*(n-1)/2] or is too small
+    for connectivity. *)
+
+val layered :
+  ?vw_range:int * int ->
+  ?ew_range:int * int ->
+  ?skip_prob:float ->
+  Random.State.t ->
+  layers:int ->
+  width:int ->
+  Wgraph.t
+(** Pipeline-shaped process-network graph: [layers] layers of [width] nodes;
+    each node connects to 1–3 random nodes of the next layer, plus
+    occasional skip-level edges with probability [skip_prob] (default
+    0.1) — the shape PPN derivation produces for streaming applications. *)
+
+val rmat :
+  ?vw_range:int * int ->
+  ?ew_range:int * int ->
+  ?probabilities:float * float * float * float ->
+  Random.State.t ->
+  scale:int ->
+  m:int ->
+  Wgraph.t
+(** R-MAT graph on [2^scale] nodes with [m] distinct edges: each edge is
+    drawn by recursive quadrant descent with the given probabilities
+    (default the classic skewed [(0.57, 0.19, 0.19, 0.05)]), producing the
+    heavy-tailed degree distributions of real communication graphs. Self
+    loops and duplicates are rejected; isolated nodes may remain (pass the
+    result through your own connectivity check if that matters).
+    @raise Invalid_argument when [scale < 1], probabilities do not sum to
+    ~1, or [m] exceeds the simple-graph bound. *)
+
+val random_partitionable :
+  Random.State.t ->
+  n:int ->
+  k:int ->
+  Wgraph.t * Ppnpart_partition.Types.constraints
+(** A graph built from [k] dense clusters with sparse inter-cluster edges,
+    together with constraints that the planted [k]-way clustering satisfies
+    with ~25% slack — so a feasible partition is guaranteed to exist. Used
+    by property tests ("GP finds a feasible partition whenever one
+    provably exists"). Requires [n >= 2 * k]. *)

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Filename Format Fun List Partition_io Ppnpart_core Ppnpart_flow Ppnpart_fpga Ppnpart_partition Ppnpart_ppn QCheck2 QCheck_alcotest String Sys Types Unix

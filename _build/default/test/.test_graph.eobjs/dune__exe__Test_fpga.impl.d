@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Analysis Array List Mapping Platform Ppnpart_fpga Ppnpart_partition Ppnpart_ppn QCheck2 QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Edge_list Graph_io List Ppnpart_graph QCheck2 QCheck_alcotest String Union_find Wgraph

@@ -1,0 +1,1 @@
+test/test_interp.ml: Access Affine Alcotest Array Dataflow_check Dependence Domain Interp List Option Ppnpart_poly Ppnpart_ppn QCheck2 QCheck_alcotest Stmt

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest List Ppnpart_lang Ppnpart_poly Ppnpart_ppn Printf QCheck2 QCheck_alcotest String

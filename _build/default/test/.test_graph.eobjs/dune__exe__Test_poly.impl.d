@@ -1,0 +1,1 @@
+test/test_poly.ml: Access Affine Alcotest Array Dependence Domain Hashtbl List Ppnpart_poly QCheck2 QCheck_alcotest Stmt

@@ -1,0 +1,1 @@
+test/test_ppn.ml: Alcotest Channel Derive Kernels List Ppn Ppnpart_graph Ppnpart_poly Ppnpart_ppn Process QCheck2 QCheck_alcotest Resource_model

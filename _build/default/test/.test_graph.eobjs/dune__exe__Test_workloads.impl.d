@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Evaluation List Metrics Paper_graphs Ppn_suite Ppnpart_graph Ppnpart_partition Ppnpart_workloads Rand_graph Random String Types Wgraph

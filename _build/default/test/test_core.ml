@@ -1,0 +1,277 @@
+(* Tests for the core GP partitioner: Config, Gp, Report. *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+open Ppnpart_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let two_triangles () =
+  Wgraph.of_edges ~vwgt:[| 3; 3; 3; 3; 3; 3 |] 6
+    [
+      (0, 1, 5); (0, 2, 5); (1, 2, 5);
+      (3, 4, 5); (3, 5, 5); (4, 5, 5);
+      (2, 3, 1);
+    ]
+
+let quick_config =
+  { Config.default with Config.coarsen_target = 30; max_cycles = 20 }
+
+(* --- Config --- *)
+
+let test_config_defaults_match_paper () =
+  check_int "coarsen to 100" 100 Config.default.Config.coarsen_target;
+  check_int "10 seeds" 10 Config.default.Config.n_initial_seeds;
+  Config.validate Config.default
+
+let test_config_validation () =
+  Alcotest.check_raises "no strategies"
+    (Invalid_argument "Config: no matching strategies") (fun () ->
+      Config.validate { Config.default with Config.strategies = [] });
+  Alcotest.check_raises "target"
+    (Invalid_argument "Config: coarsen_target < 1") (fun () ->
+      Config.validate { Config.default with Config.coarsen_target = 0 })
+
+(* --- Gp on hand-made instances --- *)
+
+let test_gp_two_triangles_feasible () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let r = Gp.partition ~config:quick_config g c in
+  check_bool "feasible" true r.Gp.feasible;
+  check_int "optimal cut found" 1 r.Gp.report.Metrics.total_cut
+
+let test_gp_detects_infeasible () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:0 ~rmax:9 in
+  let r = Gp.partition ~config:quick_config g c in
+  check_bool "reported infeasible" false r.Gp.feasible;
+  check_bool "violation positive" true (r.Gp.goodness.Metrics.violation > 0);
+  Alcotest.check_raises "partition_exn raises"
+    (Failure
+       "GP: partitioning with these constraints is either impossible or \
+        the tool needs more iterations (increase max_cycles)") (fun () ->
+      ignore (Gp.partition_exn ~config:quick_config g c))
+
+let test_gp_deterministic () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:3 ~rmax:9 in
+  let a = Gp.partition ~config:quick_config g c in
+  let b = Gp.partition ~config:quick_config g c in
+  check_bool "same partition" true (a.Gp.part = b.Gp.part);
+  let other =
+    Gp.partition ~config:{ quick_config with Config.seed = 99 } g c
+  in
+  check_int "same feasibility across seeds"
+    (Bool.to_int a.Gp.feasible) (Bool.to_int other.Gp.feasible)
+
+let test_gp_tiny_graphs () =
+  let c = Types.constraints ~k:4 ~bmax:10 ~rmax:10 in
+  let empty = Gp.partition (Wgraph.of_edges 0 []) c in
+  check_int "empty" 0 (Array.length empty.Gp.part);
+  let small = Gp.partition (Wgraph.of_edges 3 [ (0, 1, 1) ]) c in
+  check_bool "n <= k: one node per part" true (small.Gp.part = [| 0; 1; 2 |]);
+  check_bool "feasible" true small.Gp.feasible
+
+let test_gp_edgeless_graph () =
+  let g = Wgraph.of_edges ~vwgt:[| 5; 5; 5; 5; 5; 5; 5; 5 |] 8 [] in
+  let c = Types.constraints ~k:4 ~bmax:1 ~rmax:10 in
+  let r = Gp.partition ~config:quick_config g c in
+  check_bool "feasible spread" true r.Gp.feasible;
+  check_int "no cut" 0 r.Gp.report.Metrics.total_cut
+
+let test_gp_history_monotone () =
+  let g = two_triangles () in
+  (* Tight enough to force some V-cycles. *)
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let r = Gp.partition ~config:quick_config g c in
+  check_bool "history non-empty" true (r.Gp.history <> []);
+  check_int "history length = cycles + 1" (r.Gp.cycles_used + 1)
+    (List.length r.Gp.history);
+  (* best-so-far never worsens *)
+  let rec monotone = function
+    | a :: (b :: _ as tl) ->
+      Metrics.compare_goodness b a <= 0 && monotone tl
+    | _ -> true
+  in
+  check_bool "monotone" true (monotone r.Gp.history);
+  check_bool "last entry is the result" true
+    (Metrics.compare_goodness (List.nth r.Gp.history
+                                 (List.length r.Gp.history - 1))
+       r.Gp.goodness = 0)
+
+let test_gp_respects_used_parts () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:5 ~rmax:9 in
+  let r = Gp.partition ~config:quick_config g c in
+  Types.check_partition ~n:6 ~k:2 r.Gp.part
+
+(* --- Gp on the paper's experiments (the headline result) --- *)
+
+let paper_experiment_case (e : Ppnpart_workloads.Paper_graphs.experiment) ()
+    =
+  let module PG = Ppnpart_workloads.Paper_graphs in
+  let g = e.PG.graph in
+  let c = e.PG.constraints in
+  check_int "12 nodes" 12 (Wgraph.n_nodes g);
+  let gp = Gp.partition g c in
+  check_bool "GP meets both constraints" true gp.Gp.feasible;
+  let ms = Ppnpart_baselines.Metis_like.partition g ~k:c.Types.k in
+  let mrep = Metrics.report g c ms.Ppnpart_baselines.Metis_like.part in
+  check_bool "METIS-like violates at least one constraint" true
+    ((not mrep.Metrics.bandwidth_ok) || not mrep.Metrics.resource_ok)
+
+let test_experiment_edge_counts () =
+  let module PG = Ppnpart_workloads.Paper_graphs in
+  check_int "exp1 edges" 33 (Wgraph.n_edges PG.experiment1.PG.graph);
+  check_int "exp2 edges" 30 (Wgraph.n_edges PG.experiment2.PG.graph);
+  check_int "exp3 edges" 32 (Wgraph.n_edges PG.experiment3.PG.graph)
+
+let test_exp1_metis_violates_both () =
+  let module PG = Ppnpart_workloads.Paper_graphs in
+  let e = PG.experiment1 in
+  let ms =
+    Ppnpart_baselines.Metis_like.partition e.PG.graph
+      ~k:e.PG.constraints.Types.k
+  in
+  let r =
+    Metrics.report e.PG.graph e.PG.constraints
+      ms.Ppnpart_baselines.Metis_like.part
+  in
+  check_bool "bandwidth violated" false r.Metrics.bandwidth_ok;
+  check_bool "resource violated" false r.Metrics.resource_ok
+
+let test_exp2_gp_improves_cut () =
+  (* The paper's Experiment II curiosity: GP's constrained refinement also
+     lands a better global cut than the cut-minimizing baseline. *)
+  let module PG = Ppnpart_workloads.Paper_graphs in
+  let e = PG.experiment2 in
+  let gp = Gp.partition e.PG.graph e.PG.constraints in
+  let ms =
+    Ppnpart_baselines.Metis_like.partition e.PG.graph
+      ~k:e.PG.constraints.Types.k
+  in
+  check_bool "gp cut < metis cut" true
+    (gp.Gp.report.Metrics.total_cut < ms.Ppnpart_baselines.Metis_like.cut)
+
+let test_gp_feasibility_certified_by_exact () =
+  (* On the 12-node instances the exact oracle confirms what GP found:
+     a feasible partition exists. *)
+  let module PG = Ppnpart_workloads.Paper_graphs in
+  List.iter
+    (fun (e : PG.experiment) ->
+      check_bool
+        (e.PG.name ^ " exact agrees feasible")
+        true
+        (Ppnpart_baselines.Exact.is_feasible e.PG.graph e.PG.constraints))
+    PG.all
+
+(* --- Report --- *)
+
+let test_report_table_format () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let ok = Metrics.report g c [| 0; 0; 0; 1; 1; 1 |] in
+  let bad = Metrics.report g c [| 0; 1; 0; 1; 0; 1 |] in
+  let table =
+    Report.table ~title:"Experiment T" ~constraints:c
+      [ ("METIS", bad); ("GP", ok) ]
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+    loop 0
+  in
+  check_bool "title" true (contains table "Experiment T");
+  check_bool "violation marker" true (contains table "*");
+  check_bool "legend" true (contains table "constraint violated");
+  check_bool "csv row" true
+    (contains (Report.row_csv "GP" ok) "GP,1,")
+
+(* --- properties --- *)
+
+(* The central property: whenever a feasible partition provably exists
+   (planted construction), GP finds one. *)
+let prop_gp_finds_planted_feasible =
+  QCheck2.Test.make ~name:"GP finds planted feasible partitions" ~count:25
+    QCheck2.Gen.(pair (int_range 8 40) (int_range 2 4))
+    (fun (n, k) ->
+      QCheck2.assume (n >= 2 * k);
+      let r = Random.State.make [| n; k; 13 |] in
+      let g, c = Ppnpart_workloads.Rand_graph.random_partitionable r ~n ~k in
+      let gp = Gp.partition ~config:quick_config g c in
+      gp.Gp.feasible)
+
+(* GP's result is never infeasible when METIS-like's happens to satisfy the
+   constraints: GP is at least as good at meeting them as cut-only
+   partitioning. *)
+let prop_gp_goodness_not_worse_than_metis =
+  QCheck2.Test.make ~name:"GP violation <= METIS-like violation" ~count:20
+    QCheck2.Gen.(pair (int_range 10 40) (int_range 2 4))
+    (fun (n, k) ->
+      let r = Random.State.make [| n; k; 31 |] in
+      let m = min (n * (n - 1) / 2) (3 * n) in
+      let g =
+        Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 20) ~ew_range:(1, 9) r
+          ~n ~m
+      in
+      let total = Wgraph.total_node_weight g in
+      let c =
+        Types.constraints ~k
+          ~rmax:((total / k * 3 / 2) + 1)
+          ~bmax:((Wgraph.total_edge_weight g / k) + 1)
+      in
+      let gp = Gp.partition ~config:quick_config g c in
+      let ms = Ppnpart_baselines.Metis_like.partition g ~k in
+      let mgd = Metrics.goodness g c ms.Ppnpart_baselines.Metis_like.part in
+      gp.Gp.goodness.Metrics.violation <= mgd.Metrics.violation)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_gp_finds_planted_feasible; prop_gp_goodness_not_worse_than_metis ]
+
+let () =
+  let module PG = Ppnpart_workloads.Paper_graphs in
+  Alcotest.run "core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "paper defaults" `Quick
+            test_config_defaults_match_paper;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+      ( "gp",
+        [
+          Alcotest.test_case "two triangles feasible" `Quick
+            test_gp_two_triangles_feasible;
+          Alcotest.test_case "detects infeasible" `Quick
+            test_gp_detects_infeasible;
+          Alcotest.test_case "deterministic" `Quick test_gp_deterministic;
+          Alcotest.test_case "tiny graphs" `Quick test_gp_tiny_graphs;
+          Alcotest.test_case "edgeless graph" `Quick test_gp_edgeless_graph;
+          Alcotest.test_case "valid labels" `Quick test_gp_respects_used_parts;
+          Alcotest.test_case "history monotone" `Quick
+            test_gp_history_monotone;
+        ] );
+      ( "paper_experiments",
+        [
+          Alcotest.test_case "edge counts" `Quick test_experiment_edge_counts;
+          Alcotest.test_case "experiment 1" `Slow
+            (paper_experiment_case PG.experiment1);
+          Alcotest.test_case "experiment 2" `Slow
+            (paper_experiment_case PG.experiment2);
+          Alcotest.test_case "experiment 3" `Slow
+            (paper_experiment_case PG.experiment3);
+          Alcotest.test_case "exp1 METIS violates both" `Slow
+            test_exp1_metis_violates_both;
+          Alcotest.test_case "exp2 GP improves cut" `Slow
+            test_exp2_gp_improves_cut;
+          Alcotest.test_case "exact certifies feasibility" `Slow
+            test_gp_feasibility_certified_by_exact;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "table format" `Quick test_report_table_format ]
+      );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,364 @@
+(* Tests for the extensions beyond the paper's core algorithm: tabu-search
+   refinement, the simulated-annealing baseline, multi-resource
+   constraints, and ring/mesh platform topologies with routed traffic. *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let rng () = Random.State.make [| 5 |]
+
+let two_triangles () =
+  Wgraph.of_edges ~vwgt:[| 3; 3; 3; 3; 3; 3 |] 6
+    [
+      (0, 1, 5); (0, 2, 5); (1, 2, 5);
+      (3, 4, 5); (3, 5, 5); (4, 5, 5);
+      (2, 3, 1);
+    ]
+
+(* --- Part_state --- *)
+
+let test_part_state_init_matches_metrics () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:3 ~rmax:8 in
+  let part = [| 0; 1; 0; 1; 0; 1 |] in
+  let st = Part_state.init g c part in
+  check_int "cut" (Metrics.cut g part) st.Part_state.cut;
+  check_int "bw excess" (Metrics.bandwidth_excess g c part)
+    st.Part_state.bw_excess;
+  check_int "res excess" (Metrics.resource_excess g c part)
+    st.Part_state.res_excess
+
+let test_part_state_apply_move_consistent () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:3 ~rmax:9 in
+  let st = Part_state.init g c [| 0; 1; 0; 1; 0; 1 |] in
+  let conn = Array.make 2 0 in
+  (* Move every node once and cross-check against recomputation. *)
+  for u = 0 to 5 do
+    if st.Part_state.members.(st.Part_state.part.(u)) > 1 then begin
+      Part_state.connectivity st conn u;
+      Part_state.apply_move st u (1 - st.Part_state.part.(u)) conn;
+      let part = Part_state.snapshot st in
+      check_int "cut consistent" (Metrics.cut g part) st.Part_state.cut;
+      check_int "bw consistent" (Metrics.bandwidth_excess g c part)
+        st.Part_state.bw_excess;
+      check_int "res consistent" (Metrics.resource_excess g c part)
+        st.Part_state.res_excess
+    end
+  done
+
+(* --- Refine_tabu --- *)
+
+let test_tabu_never_worse () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let start = [| 0; 1; 0; 1; 0; 1 |] in
+  let before = Metrics.goodness g c start in
+  let _, after = Refine_tabu.refine g c start in
+  check_bool "not worse" true (Metrics.compare_goodness after before <= 0)
+
+let test_tabu_escapes_greedy_minimum () =
+  (* From the interleaved start every single move worsens something; tabu's
+     forced moves walk out and find the bridge cut. *)
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let part, gd = Refine_tabu.refine ~iterations:200 g c [| 0; 1; 0; 1; 0; 1 |] in
+  check_int "feasible" 0 gd.Metrics.violation;
+  check_int "optimal cut" 1 gd.Metrics.cut_value;
+  check_bool "triangle together" true
+    (part.(0) = part.(1) && part.(1) = part.(2))
+
+let test_tabu_reported_goodness_matches () =
+  let r = rng () in
+  let g =
+    Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 9) ~ew_range:(1, 9) r
+      ~n:18 ~m:40
+  in
+  let c = Types.constraints ~k:3 ~bmax:30 ~rmax:40 in
+  let start = Initial.random_kway r g ~k:3 in
+  let part, gd = Refine_tabu.refine g c start in
+  let fresh = Metrics.goodness g c part in
+  check_int "violation agrees" fresh.Metrics.violation gd.Metrics.violation;
+  check_int "cut agrees" fresh.Metrics.cut_value gd.Metrics.cut_value
+
+let test_gp_with_tabu_polish () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let config =
+    { Ppnpart_core.Config.default with tabu_iterations = 100 }
+  in
+  let r = Ppnpart_core.Gp.partition ~config g c in
+  check_bool "feasible" true r.Ppnpart_core.Gp.feasible;
+  check_int "optimal" 1 r.Ppnpart_core.Gp.report.Metrics.total_cut
+
+(* --- Annealing --- *)
+
+let test_annealing_finds_bridge () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let _, gd = Ppnpart_baselines.Annealing.partition (rng ()) g c in
+  check_int "feasible" 0 gd.Metrics.violation
+
+let test_annealing_goodness_matches () =
+  let r = rng () in
+  let g =
+    Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 9) ~ew_range:(1, 9) r
+      ~n:16 ~m:32
+  in
+  let c = Types.constraints ~k:3 ~bmax:40 ~rmax:40 in
+  let part, gd = Ppnpart_baselines.Annealing.partition r g c in
+  let fresh = Metrics.goodness g c part in
+  check_int "violation agrees" fresh.Metrics.violation gd.Metrics.violation;
+  check_int "cut agrees" fresh.Metrics.cut_value gd.Metrics.cut_value
+
+let test_annealing_empty_graph () =
+  let g = Wgraph.of_edges 0 [] in
+  let part, _ =
+    Ppnpart_baselines.Annealing.partition (rng ()) g
+      (Types.constraints ~k:2 ~bmax:1 ~rmax:1)
+  in
+  check_int "empty" 0 (Array.length part)
+
+(* --- Multires --- *)
+
+let test_multires_validation () =
+  Alcotest.check_raises "empty budgets"
+    (Invalid_argument "Multires.constraints: empty budget vector")
+    (fun () -> ignore (Multires.constraints ~k:2 ~bmax:1 ~rmax:[||]));
+  let c = Multires.constraints ~k:2 ~bmax:10 ~rmax:[| 10; 4 |] in
+  check_int "dims" 2 (Multires.dims c);
+  Alcotest.check_raises "ragged requirements"
+    (Invalid_argument "Multires: requirement vector of wrong length")
+    (fun () -> Multires.validate_requirements c [| [| 1 |] |])
+
+let test_multires_loads_and_excess () =
+  let c = Multires.constraints ~k:2 ~bmax:100 ~rmax:[| 10; 4 |] in
+  let rvec = [| [| 6; 1 |]; [| 6; 1 |]; [| 2; 3 |] |] in
+  let part = [| 0; 0; 1 |] in
+  let loads = Multires.part_loads c rvec part in
+  check_bool "loads" true (loads = [| [| 12; 2 |]; [| 2; 3 |] |]);
+  (* dim 0 of part 0 overshoots by 2 -> normalized 1 + 2*1000/10 = 201 *)
+  check_int "excess" 201 (Multires.resource_excess c rvec part);
+  check_int "feasible split has 0 excess" 0
+    (Multires.resource_excess c rvec [| 0; 1; 0 |])
+
+let test_multires_scalarize_conservative () =
+  let c = Multires.constraints ~k:2 ~bmax:100 ~rmax:[| 100; 10 |] in
+  let rvec = [| [| 50; 1 |]; [| 10; 9 |]; [| 40; 2 |] |] in
+  let vwgt, budget = Multires.scalarize c rvec in
+  check_int "budget" 1000 budget;
+  (* node 1: max(10*1000/100, 9*1000/10) = 900 *)
+  check_int "worst dimension wins" 900 vwgt.(1);
+  (* Any subset within the scalar budget satisfies both dimensions. *)
+  check_bool "conservative" true (vwgt.(0) + vwgt.(2) <= budget);
+  let g = Wgraph.of_edges ~vwgt:[| 1; 1; 1 |] 3 [ (0, 1, 1); (1, 2, 1) ] in
+  check_bool "witness" true
+    (Multires.feasible g c rvec [| 0; 1; 0 |])
+
+let test_multires_repair () =
+  let g = two_triangles () in
+  let c = Multires.constraints ~k:2 ~bmax:1 ~rmax:[| 9; 12 |] in
+  let rvec = Array.make 6 [| 3; 4 |] in
+  (* violating start: 4 nodes in part 0 -> dim0 load 12 > 9 *)
+  let start = [| 0; 0; 0; 0; 1; 1 |] in
+  check_bool "starts infeasible" false (Multires.feasible g c rvec start);
+  let part, ok = Multires.repair (rng ()) g c rvec start in
+  check_bool "repaired" true ok;
+  check_bool "feasible" true (Multires.feasible g c rvec part)
+
+let test_multires_partition_end_to_end () =
+  let g = two_triangles () in
+  let c = Multires.constraints ~k:2 ~bmax:1 ~rmax:[| 9; 12 |] in
+  let rvec = Array.make 6 [| 3; 4 |] in
+  let solver sg sc =
+    (Ppnpart_core.Gp.partition sg sc).Ppnpart_core.Gp.part
+  in
+  let part, ok = Multires.partition ~solver g c rvec in
+  check_bool "feasible" true ok;
+  check_bool "clusters preserved" true
+    (part.(0) = part.(1) && part.(3) = part.(4))
+
+let prop_multires_repair_monotone =
+  QCheck2.Test.make ~name:"multires repair never worsens violation"
+    ~count:30
+    QCheck2.Gen.(pair (int_range 6 20) (int_range 2 4))
+    (fun (n, k) ->
+      let r = Random.State.make [| n; k; 99 |] in
+      let m = min (n * (n - 1) / 2) (2 * n) in
+      let g =
+        Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 5) ~ew_range:(1, 5) r
+          ~n ~m
+      in
+      let rvec =
+        Array.init n (fun _ ->
+            [| 1 + Random.State.int r 5; 1 + Random.State.int r 3 |])
+      in
+      let c =
+        Multires.constraints ~k
+          ~bmax:(1 + Wgraph.total_edge_weight g / k)
+          ~rmax:[| 2 + (3 * n / k); 2 + (2 * n / k) |]
+      in
+      let start = Initial.random_kway r g ~k in
+      let before = Multires.violation g c rvec start in
+      let part, _ = Multires.repair r g c rvec start in
+      Multires.violation g c rvec part <= before)
+
+(* --- Topologies and routing --- *)
+
+module Platform = Ppnpart_fpga.Platform
+module Mapping = Ppnpart_fpga.Mapping
+module Sim = Ppnpart_fpga.Sim
+
+let test_ring_routes () =
+  let p = Platform.make ~topology:Platform.Ring ~n_fpgas:6 ~rmax:10 ~bmax:5 () in
+  check_bool "adjacent linked" true (Platform.linked p 2 3);
+  check_bool "wraparound linked" true (Platform.linked p 0 5);
+  check_bool "distant not linked" false (Platform.linked p 0 3);
+  Alcotest.(check (list (pair int int)))
+    "short way" [ (0, 1); (1, 2) ] (Platform.route p 0 2);
+  Alcotest.(check (list (pair int int)))
+    "wrap the other way" [ (0, 5) ] (Platform.route p 0 5);
+  check_int "ring has n links" 6 (List.length (Platform.links p))
+
+let test_mesh_routes () =
+  let p =
+    Platform.make ~topology:(Platform.Mesh (2, 3)) ~n_fpgas:6 ~rmax:10
+      ~bmax:5 ()
+  in
+  (* ids: 0 1 2 / 3 4 5 *)
+  check_bool "horizontal" true (Platform.linked p 0 1);
+  check_bool "vertical" true (Platform.linked p 1 4);
+  check_bool "diagonal not" false (Platform.linked p 0 4);
+  (* X-then-Y from 0 to 5: 0-1, 1-2, 2-5 *)
+  Alcotest.(check (list (pair int int)))
+    "xy routing" [ (0, 1); (1, 2); (2, 5) ] (Platform.route p 0 5);
+  check_int "mesh 2x3 has 7 links" 7 (List.length (Platform.links p))
+
+let test_mesh_dimension_check () =
+  Alcotest.check_raises "bad mesh"
+    (Invalid_argument "Platform.make: mesh dimensions must multiply to n_fpgas")
+    (fun () ->
+      ignore
+        (Platform.make ~topology:(Platform.Mesh (2, 2)) ~n_fpgas:6 ~rmax:1
+           ~bmax:1 ()))
+
+let test_routed_link_traffic () =
+  (* 3-FPGA ring... ring needs >= 2; use a 1x3 mesh (a path): traffic from
+     FPGA 0 to FPGA 2 loads both links. *)
+  let plat =
+    Platform.make ~topology:(Platform.Mesh (1, 3)) ~n_fpgas:3 ~rmax:1000
+      ~bmax:1000 ()
+  in
+  let procs =
+    [|
+      Ppnpart_ppn.Process.make ~id:0 ~name:"a" ~iterations:4 ~work:1
+        ~resources:1;
+      Ppnpart_ppn.Process.make ~id:1 ~name:"b" ~iterations:4 ~work:1
+        ~resources:1;
+    |]
+  in
+  let ppn =
+    Ppnpart_ppn.Ppn.make procs [ Ppnpart_ppn.Channel.make ~src:0 ~dst:1 4 ]
+  in
+  let m = Mapping.of_partition plat ppn [| 0; 2 |] in
+  let pair = Mapping.pair_traffic m and link = Mapping.link_traffic m in
+  check_int "pair traffic endpoint" 4 pair.(0).(2);
+  check_int "pair traffic not on middle" 0 pair.(0).(1);
+  check_int "link 0-1 loaded" 4 link.(0).(1);
+  check_int "link 1-2 loaded" 4 link.(1).(2);
+  check_int "no direct 0-2 link traffic" 0 link.(0).(2)
+
+let test_sim_on_path_topology () =
+  (* The same channel across a 3-FPGA path completes, moving data over
+     both physical links. *)
+  let plat =
+    Platform.make ~topology:(Platform.Mesh (1, 3)) ~n_fpgas:3 ~rmax:1000
+      ~bmax:2 ()
+  in
+  let ppn =
+    Ppnpart_ppn.Derive.derive (Ppnpart_ppn.Kernels.chain ~stages:3 ~tokens:24 ())
+  in
+  let n = Ppnpart_ppn.Ppn.n_processes ppn in
+  (* place consecutive stages on consecutive FPGAs *)
+  let assignment = Array.init n (fun i -> min 2 (i * 3 / n)) in
+  match Sim.run plat ppn ~assignment with
+  | Ok r ->
+    check_bool "completes" true (r.Sim.cycles > 0);
+    check_bool "no phantom 0-2 link" true (r.Sim.data_moved.(0).(2) = 0)
+  | Error e -> Alcotest.failf "sim error: %a" Sim.pp_error e
+
+let test_sim_multihop_slower_than_direct () =
+  (* Identical network and mapping; path topology forces 2-hop traffic
+     through the middle link, all-to-all gives a private link: the path
+     run can never be faster. *)
+  let ppn =
+    Ppnpart_ppn.Derive.derive (Ppnpart_ppn.Kernels.chain ~stages:4 ~tokens:48 ())
+  in
+  let n = Ppnpart_ppn.Ppn.n_processes ppn in
+  let assignment = Array.init n (fun i -> i mod 3) in
+  let run topology =
+    let plat = Platform.make ~topology ~n_fpgas:3 ~rmax:100_000 ~bmax:1 () in
+    match Sim.run plat ppn ~assignment with
+    | Ok r -> r.Sim.cycles
+    | Error e -> Alcotest.failf "sim error: %a" Sim.pp_error e
+  in
+  let direct = run Platform.All_to_all in
+  let path = run (Platform.Mesh (1, 3)) in
+  check_bool "path never faster" true (path >= direct)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_multires_repair_monotone ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "part_state",
+        [
+          Alcotest.test_case "init matches metrics" `Quick
+            test_part_state_init_matches_metrics;
+          Alcotest.test_case "apply_move consistent" `Quick
+            test_part_state_apply_move_consistent;
+        ] );
+      ( "tabu",
+        [
+          Alcotest.test_case "never worse" `Quick test_tabu_never_worse;
+          Alcotest.test_case "escapes greedy minimum" `Quick
+            test_tabu_escapes_greedy_minimum;
+          Alcotest.test_case "goodness matches" `Quick
+            test_tabu_reported_goodness_matches;
+          Alcotest.test_case "gp polish" `Quick test_gp_with_tabu_polish;
+        ] );
+      ( "annealing",
+        [
+          Alcotest.test_case "finds bridge" `Quick test_annealing_finds_bridge;
+          Alcotest.test_case "goodness matches" `Quick
+            test_annealing_goodness_matches;
+          Alcotest.test_case "empty graph" `Quick test_annealing_empty_graph;
+        ] );
+      ( "multires",
+        [
+          Alcotest.test_case "validation" `Quick test_multires_validation;
+          Alcotest.test_case "loads and excess" `Quick
+            test_multires_loads_and_excess;
+          Alcotest.test_case "scalarize conservative" `Quick
+            test_multires_scalarize_conservative;
+          Alcotest.test_case "repair" `Quick test_multires_repair;
+          Alcotest.test_case "end to end" `Quick
+            test_multires_partition_end_to_end;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "ring routes" `Quick test_ring_routes;
+          Alcotest.test_case "mesh routes" `Quick test_mesh_routes;
+          Alcotest.test_case "mesh dimension check" `Quick
+            test_mesh_dimension_check;
+          Alcotest.test_case "routed link traffic" `Quick
+            test_routed_link_traffic;
+          Alcotest.test_case "sim on path" `Quick test_sim_on_path_topology;
+          Alcotest.test_case "multihop slower" `Quick
+            test_sim_multihop_slower_than_direct;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the end-to-end flow library and partition serialization. *)
+
+open Ppnpart_partition
+module Flow = Ppnpart_flow.Flow
+module Kernels = Ppnpart_ppn.Kernels
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Partition_io --- *)
+
+let test_partition_io_roundtrip () =
+  let part = [| 0; 2; 1; 1; 0; 3 |] in
+  let text = Partition_io.to_string ~k:4 part in
+  let part', k = Partition_io.of_string text in
+  check_bool "partition" true (part = part');
+  check_int "k" 4 k
+
+let test_partition_io_rejects_bad_label () =
+  Alcotest.check_raises "label range"
+    (Invalid_argument "Types.check_partition: part label out of range")
+    (fun () -> ignore (Partition_io.to_string ~k:2 [| 0; 2 |]))
+
+let test_partition_io_rejects_count_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Partition_io.of_string "3 2\n0\n1\n");
+       false
+     with Failure _ -> true)
+
+let test_partition_io_comments () =
+  let part, k = Partition_io.of_string "% a comment\n2 2\n0\n1\n" in
+  check_bool "parsed" true (part = [| 0; 1 |]);
+  check_int "k" 2 k
+
+let test_partition_io_file_roundtrip () =
+  let path = Filename.temp_file "ppnpart" ".part" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Partition_io.save path ~k:3 [| 2; 0; 1 |];
+      let part, k = Partition_io.load path in
+      check_bool "file roundtrip" true (part = [| 2; 0; 1 |] && k = 3))
+
+(* --- Flow --- *)
+
+let test_flow_chain_end_to_end () =
+  let opts = Flow.default_options ~k:4 in
+  let t = Flow.run opts (Kernels.chain ~stages:12 ~tokens:64 ()) in
+  check_bool "feasible with derived bounds" true t.Flow.feasible;
+  check_int "assignment covers all processes"
+    (Ppnpart_ppn.Ppn.n_processes t.Flow.ppn)
+    (Array.length t.Flow.assignment);
+  check_bool "no routed violations on all-to-all" true
+    (t.Flow.mapping_violations = []);
+  match t.Flow.simulation with
+  | Some (Ok r) -> check_bool "simulated" true (r.Ppnpart_fpga.Sim.cycles > 0)
+  | Some (Error _) -> Alcotest.fail "simulation failed"
+  | None -> Alcotest.fail "simulation requested but absent"
+
+let test_flow_simulation_off () =
+  let opts = { (Flow.default_options ~k:2) with Flow.simulate = false } in
+  let t = Flow.run opts (Kernels.sobel ~width:12 ~height:12 ()) in
+  check_bool "no simulation" true (t.Flow.simulation = None)
+
+let test_flow_explicit_constraints () =
+  let c = Types.constraints ~k:2 ~bmax:1_000_000 ~rmax:1_000_000 in
+  let opts =
+    {
+      (Flow.default_options ~k:2) with
+      Flow.explicit_constraints = Some c;
+      simulate = false;
+    }
+  in
+  let t = Flow.run opts (Kernels.chain ~stages:4 ~tokens:16 ()) in
+  check_int "constraints taken verbatim" 1_000_000
+    t.Flow.constraints.Types.bmax;
+  check_bool "trivially feasible" true t.Flow.feasible
+
+let test_flow_explicit_constraints_k_mismatch () =
+  let c = Types.constraints ~k:3 ~bmax:1 ~rmax:1 in
+  let opts =
+    { (Flow.default_options ~k:2) with Flow.explicit_constraints = Some c }
+  in
+  Alcotest.check_raises "k mismatch"
+    (Invalid_argument "Flow: explicit constraints disagree with options.k")
+    (fun () -> ignore (Flow.run opts (Kernels.chain ~stages:3 ~tokens:8 ())))
+
+let test_flow_algorithms_agree_on_shape () =
+  let program = Kernels.fir ~taps:6 ~samples:32 () in
+  List.iter
+    (fun algorithm ->
+      let opts =
+        {
+          (Flow.default_options ~k:2) with
+          Flow.algorithm;
+          simulate = false;
+        }
+      in
+      let t = Flow.run opts program in
+      Types.check_partition
+        ~n:(Array.length t.Flow.assignment)
+        ~k:2 t.Flow.assignment)
+    [ Flow.Gp Ppnpart_core.Config.default; Flow.Metis_like; Flow.Spectral ]
+
+let test_flow_ring_topology () =
+  let opts =
+    {
+      (Flow.default_options ~k:4) with
+      Flow.topology = Ppnpart_fpga.Platform.Ring;
+      link_bandwidth = 4;
+    }
+  in
+  let t = Flow.run opts (Kernels.chain ~stages:8 ~tokens:32 ()) in
+  match t.Flow.simulation with
+  | Some (Ok _) -> ()
+  | Some (Error e) ->
+    Alcotest.failf "ring simulation failed: %a" Ppnpart_fpga.Sim.pp_error e
+  | None -> Alcotest.fail "expected simulation"
+
+let test_flow_deterministic () =
+  let opts = Flow.default_options ~k:3 in
+  let program = Kernels.stencil1d ~stages:4 ~points:40 () in
+  let a = Flow.run opts program and b = Flow.run opts program in
+  check_bool "same assignment" true (a.Flow.assignment = b.Flow.assignment)
+
+let test_flow_write_artifacts () =
+  let opts = Flow.default_options ~k:2 in
+  let t = Flow.run opts (Kernels.chain ~stages:4 ~tokens:16 ()) in
+  let dir = Filename.temp_file "ppnpart" "" in
+  Sys.remove dir;
+  let paths = Flow.write_artifacts ~dir t in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove paths;
+      Unix.rmdir dir)
+    (fun () ->
+      check_int "four artifacts" 4 (List.length paths);
+      List.iter
+        (fun p -> check_bool (p ^ " exists") true (Sys.file_exists p))
+        paths;
+      (* the partition file round-trips *)
+      let part, k =
+        Partition_io.load (Filename.concat dir "assignment.part")
+      in
+      check_int "k" 2 k;
+      check_bool "same assignment" true (part = t.Flow.assignment))
+
+let test_flow_summary_prints () =
+  let opts = Flow.default_options ~k:2 in
+  let t = Flow.run opts (Kernels.chain ~stages:4 ~tokens:16 ()) in
+  let s = Format.asprintf "%a" Flow.pp_summary t in
+  check_bool "mentions network" true (String.length s > 40)
+
+let prop_flow_feasible_on_kernels =
+  QCheck2.Test.make ~name:"flow with GP is feasible on every kernel"
+    ~count:9
+    QCheck2.Gen.(int_range 0 8)
+    (fun i ->
+      let _, stmts = List.nth Kernels.all i in
+      let opts =
+        { (Flow.default_options ~k:4) with Flow.simulate = false }
+      in
+      (Flow.run opts stmts).Flow.feasible)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_flow_feasible_on_kernels ]
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "partition_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_partition_io_roundtrip;
+          Alcotest.test_case "bad label" `Quick
+            test_partition_io_rejects_bad_label;
+          Alcotest.test_case "count mismatch" `Quick
+            test_partition_io_rejects_count_mismatch;
+          Alcotest.test_case "comments" `Quick test_partition_io_comments;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_partition_io_file_roundtrip;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "chain end to end" `Quick
+            test_flow_chain_end_to_end;
+          Alcotest.test_case "simulation off" `Quick test_flow_simulation_off;
+          Alcotest.test_case "explicit constraints" `Quick
+            test_flow_explicit_constraints;
+          Alcotest.test_case "constraints k mismatch" `Quick
+            test_flow_explicit_constraints_k_mismatch;
+          Alcotest.test_case "algorithms agree on shape" `Quick
+            test_flow_algorithms_agree_on_shape;
+          Alcotest.test_case "ring topology" `Quick test_flow_ring_topology;
+          Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
+          Alcotest.test_case "summary prints" `Quick test_flow_summary_prints;
+          Alcotest.test_case "write artifacts" `Quick
+            test_flow_write_artifacts;
+        ] );
+      ("properties", qcheck_cases);
+    ]

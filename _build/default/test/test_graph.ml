@@ -1,0 +1,324 @@
+(* Tests for the graph substrate: Edge_list, Wgraph, Union_find, Graph_io. *)
+
+open Ppnpart_graph
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* A small fixed graph used across tests:
+   0-1 (w 3), 0-2 (w 1), 1-2 (w 2), 2-3 (w 5); vwgt = [|2; 4; 1; 7|]. *)
+let sample () =
+  Wgraph.of_edges ~vwgt:[| 2; 4; 1; 7 |] 4
+    [ (0, 1, 3); (0, 2, 1); (1, 2, 2); (2, 3, 5) ]
+
+(* --- Union_find --- *)
+
+let test_uf_singletons () =
+  let uf = Union_find.create 5 in
+  check_int "classes" 5 (Union_find.count uf);
+  for i = 0 to 4 do
+    check_int "find self" i (Union_find.find uf i)
+  done
+
+let test_uf_union () =
+  let uf = Union_find.create 5 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  check_int "classes after 2 unions" 3 (Union_find.count uf);
+  check_bool "same 0 1" true (Union_find.same uf 0 1);
+  check_bool "not same 1 2" false (Union_find.same uf 1 2);
+  ignore (Union_find.union uf 1 3);
+  check_bool "same 0 2 transitively" true (Union_find.same uf 0 2);
+  check_int "classes" 2 (Union_find.count uf)
+
+let test_uf_idempotent () =
+  let uf = Union_find.create 3 in
+  let r1 = Union_find.union uf 0 1 in
+  let r2 = Union_find.union uf 0 1 in
+  check_int "same representative" r1 r2;
+  check_int "classes" 2 (Union_find.count uf)
+
+(* --- Edge_list --- *)
+
+let test_el_dedup_merges_weights () =
+  let el = Edge_list.create 3 in
+  Edge_list.add el 0 1 2;
+  Edge_list.add el 1 0 3;
+  Edge_list.add el 0 1 1;
+  let edges = Edge_list.normalized el in
+  check_int "one edge" 1 (Array.length edges);
+  Alcotest.check
+    (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+    "merged" (0, 1, 6) edges.(0)
+
+let test_el_drops_self_loops () =
+  let el = Edge_list.create 2 in
+  Edge_list.add el 0 0 9;
+  Edge_list.add el 0 1 1;
+  Edge_list.add el 1 1 4;
+  let edges = Edge_list.normalized el in
+  check_int "self loops gone" 1 (Array.length edges)
+
+let test_el_bounds () =
+  let el = Edge_list.create 2 in
+  Alcotest.check_raises "node out of range"
+    (Invalid_argument "Edge_list.add: node v out of range") (fun () ->
+      Edge_list.add el 0 2 1);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Edge_list.add: negative weight") (fun () ->
+      Edge_list.add el 0 1 (-1))
+
+let test_el_sorted_output () =
+  let el = Edge_list.create 4 in
+  Edge_list.add el 3 2 1;
+  Edge_list.add el 1 0 1;
+  Edge_list.add el 2 0 1;
+  let edges = Edge_list.normalized el in
+  check_bool "sorted" true
+    (edges = [| (0, 1, 1); (0, 2, 1); (2, 3, 1) |])
+
+(* --- Wgraph construction and accessors --- *)
+
+let test_build_counts () =
+  let g = sample () in
+  check_int "nodes" 4 (Wgraph.n_nodes g);
+  check_int "edges" 4 (Wgraph.n_edges g);
+  check_int "total vwgt" 14 (Wgraph.total_node_weight g);
+  check_int "total ewgt" 11 (Wgraph.total_edge_weight g)
+
+let test_degrees () =
+  let g = sample () in
+  check_int "deg 0" 2 (Wgraph.degree g 0);
+  check_int "deg 2" 3 (Wgraph.degree g 2);
+  check_int "deg 3" 1 (Wgraph.degree g 3);
+  check_int "wdeg 2" 8 (Wgraph.weighted_degree g 2)
+
+let test_edge_weight_lookup () =
+  let g = sample () in
+  check_int "0-1" 3 (Wgraph.edge_weight g 0 1);
+  check_int "1-0 symmetric" 3 (Wgraph.edge_weight g 1 0);
+  check_int "absent" 0 (Wgraph.edge_weight g 0 3);
+  check_bool "mem" true (Wgraph.mem_edge g 2 3);
+  check_bool "not mem" false (Wgraph.mem_edge g 1 3)
+
+let test_default_vwgt () =
+  let g = Wgraph.of_edges 3 [ (0, 1, 1) ] in
+  check_int "unit weights" 3 (Wgraph.total_node_weight g)
+
+let test_vwgt_validation () =
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Wgraph.build: vwgt length mismatch") (fun () ->
+      ignore (Wgraph.of_edges ~vwgt:[| 1 |] 2 [ (0, 1, 1) ]))
+
+let test_iter_edges_each_once () =
+  let g = sample () in
+  let count = ref 0 in
+  Wgraph.iter_edges g (fun u v _ ->
+      incr count;
+      check_bool "u < v" true (u < v));
+  check_int "edges visited once" 4 !count
+
+let test_validate_ok () =
+  Wgraph.validate (sample ())
+
+let test_components () =
+  let g = Wgraph.of_edges 5 [ (0, 1, 1); (2, 3, 1) ] in
+  let comp, n = Wgraph.components g in
+  check_int "3 components" 3 n;
+  check_int "0 and 1 together" comp.(0) comp.(1);
+  check_bool "separate" true (comp.(0) <> comp.(2));
+  check_bool "connected sample" true (Wgraph.is_connected (sample ()))
+
+let test_bfs_order () =
+  let g = Wgraph.of_edges 4 [ (0, 1, 1); (1, 2, 1); (2, 3, 1) ] in
+  let order = Wgraph.bfs_order g 0 in
+  check_bool "path order" true (order = [| 0; 1; 2; 3 |]);
+  let g2 = Wgraph.of_edges 4 [ (0, 1, 1) ] in
+  check_int "component only" 2 (Array.length (Wgraph.bfs_order g2 0))
+
+let test_induced () =
+  let g = sample () in
+  let sub, back = Wgraph.induced g [| 0; 1; 2 |] in
+  check_int "3 nodes" 3 (Wgraph.n_nodes sub);
+  check_int "3 edges" 3 (Wgraph.n_edges sub);
+  check_int "weights follow" 4 (Wgraph.node_weight sub 1);
+  check_bool "back map" true (back = [| 0; 1; 2 |]);
+  let sub2, _ = Wgraph.induced g [| 3; 0 |] in
+  check_int "no edges between 0 and 3" 0 (Wgraph.n_edges sub2)
+
+let test_relabel () =
+  let g = sample () in
+  let perm = [| 3; 2; 1; 0 |] in
+  let h = Wgraph.relabel g perm in
+  check_int "edge follows relabel" 3 (Wgraph.edge_weight h 3 2);
+  check_int "vwgt follows" 2 (Wgraph.node_weight h 3);
+  check_int "total preserved" (Wgraph.total_edge_weight g)
+    (Wgraph.total_edge_weight h);
+  Wgraph.validate h
+
+let test_equal () =
+  check_bool "same graph" true (Wgraph.equal (sample ()) (sample ()));
+  let other = Wgraph.of_edges ~vwgt:[| 2; 4; 1; 7 |] 4 [ (0, 1, 3) ] in
+  check_bool "different" false (Wgraph.equal (sample ()) other)
+
+(* --- Graph_io --- *)
+
+let test_metis_roundtrip () =
+  let g = sample () in
+  let g' = Graph_io.of_metis (Graph_io.to_metis g) in
+  check_bool "roundtrip" true (Wgraph.equal g g')
+
+let test_metis_comments_and_unweighted () =
+  let text = "% a comment\n3 3\n2 3\n1 3\n1 2\n" in
+  let g = Graph_io.of_metis text in
+  check_int "nodes" 3 (Wgraph.n_nodes g);
+  check_int "edges" 3 (Wgraph.n_edges g);
+  check_int "unit edge weight" 1 (Wgraph.edge_weight g 0 1)
+
+let test_metis_bad_edge_count () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Graph_io.of_metis "2 5 000\n2\n1\n");
+       false
+     with Failure _ -> true)
+
+let test_adjacency_roundtrip () =
+  let g = sample () in
+  let g' = Graph_io.of_adjacency_matrix (Graph_io.to_adjacency_matrix g) in
+  check_bool "roundtrip" true (Wgraph.equal g g')
+
+let test_adjacency_rejects_asymmetric () =
+  let text = "2\n1 1\n0 3\n2 0\n" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Graph_io.of_adjacency_matrix text);
+       false
+     with Failure _ -> true)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1))
+  in
+  loop 0
+
+let test_dot_contains_clusters () =
+  let g = sample () in
+  let dot = Graph_io.to_dot ~partition:[| 0; 0; 1; 1 |] g in
+  check_bool "cluster 0" true (contains dot "cluster_0");
+  check_bool "cluster 1" true (contains dot "cluster_1");
+  check_bool "edge label" true (contains dot "label=\"5\"")
+
+(* --- qcheck properties --- *)
+
+let arbitrary_edges n max_w =
+  QCheck2.Gen.(
+    list_size (int_bound (3 * n))
+      (triple (int_bound (n - 1)) (int_bound (n - 1)) (int_range 0 max_w)))
+
+let prop_build_valid =
+  QCheck2.Test.make ~name:"random edge lists build valid graphs" ~count:200
+    (arbitrary_edges 12 9)
+    (fun edges ->
+      let el = Edge_list.create 12 in
+      List.iter (fun (u, v, w) -> Edge_list.add el u v w) edges;
+      let g = Wgraph.build el in
+      Wgraph.validate g;
+      true)
+
+let prop_total_edge_weight_matches_list =
+  QCheck2.Test.make
+    ~name:"total edge weight = sum of normalized list" ~count:200
+    (arbitrary_edges 10 9)
+    (fun edges ->
+      let el = Edge_list.create 10 in
+      List.iter (fun (u, v, w) -> Edge_list.add el u v w) edges;
+      let g = Wgraph.build el in
+      let expected =
+        List.fold_left
+          (fun acc (u, v, w) -> if u <> v then acc + w else acc)
+          0 edges
+      in
+      Wgraph.total_edge_weight g = expected)
+
+let prop_metis_roundtrip =
+  QCheck2.Test.make ~name:"metis format roundtrip" ~count:100
+    (arbitrary_edges 8 9)
+    (fun edges ->
+      let el = Edge_list.create 8 in
+      List.iter (fun (u, v, w) -> Edge_list.add el u v (w + 1)) edges;
+      let g = Wgraph.build el in
+      Wgraph.equal g (Graph_io.of_metis (Graph_io.to_metis g)))
+
+let prop_relabel_preserves_structure =
+  QCheck2.Test.make ~name:"relabel by reversal preserves totals" ~count:100
+    (arbitrary_edges 9 5)
+    (fun edges ->
+      let el = Edge_list.create 9 in
+      List.iter (fun (u, v, w) -> Edge_list.add el u v w) edges;
+      let g = Wgraph.build el in
+      let perm = Array.init 9 (fun i -> 8 - i) in
+      let h = Wgraph.relabel g perm in
+      Wgraph.total_edge_weight g = Wgraph.total_edge_weight h
+      && Wgraph.total_node_weight g = Wgraph.total_node_weight h
+      && Wgraph.n_edges g = Wgraph.n_edges h)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_build_valid;
+      prop_total_edge_weight_matches_list;
+      prop_metis_roundtrip;
+      prop_relabel_preserves_structure;
+    ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "union_find",
+        [
+          Alcotest.test_case "singletons" `Quick test_uf_singletons;
+          Alcotest.test_case "union" `Quick test_uf_union;
+          Alcotest.test_case "idempotent" `Quick test_uf_idempotent;
+        ] );
+      ( "edge_list",
+        [
+          Alcotest.test_case "dedup merges weights" `Quick
+            test_el_dedup_merges_weights;
+          Alcotest.test_case "drops self loops" `Quick
+            test_el_drops_self_loops;
+          Alcotest.test_case "bounds checked" `Quick test_el_bounds;
+          Alcotest.test_case "sorted output" `Quick test_el_sorted_output;
+        ] );
+      ( "wgraph",
+        [
+          Alcotest.test_case "counts" `Quick test_build_counts;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "edge lookup" `Quick test_edge_weight_lookup;
+          Alcotest.test_case "default vwgt" `Quick test_default_vwgt;
+          Alcotest.test_case "vwgt validation" `Quick test_vwgt_validation;
+          Alcotest.test_case "iter_edges once" `Quick
+            test_iter_edges_each_once;
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "bfs order" `Quick test_bfs_order;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "graph_io",
+        [
+          Alcotest.test_case "metis roundtrip" `Quick test_metis_roundtrip;
+          Alcotest.test_case "metis comments/unweighted" `Quick
+            test_metis_comments_and_unweighted;
+          Alcotest.test_case "metis bad edge count" `Quick
+            test_metis_bad_edge_count;
+          Alcotest.test_case "adjacency roundtrip" `Quick
+            test_adjacency_roundtrip;
+          Alcotest.test_case "adjacency asymmetric" `Quick
+            test_adjacency_rejects_asymmetric;
+          Alcotest.test_case "dot clusters" `Quick test_dot_contains_clusters;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,627 @@
+(* Tests for the partitioning infrastructure: Types, Metrics, Bucket,
+   Matching, Coarsen, Fm2, Refine_kway, Refine_constrained, Initial. *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let rng () = Random.State.make [| 42 |]
+
+(* 6-node "two triangles + bridge" graph: the canonical bisection example.
+   Triangle {0,1,2} (heavy edges), triangle {3,4,5}, bridge 2-3 (light). *)
+let two_triangles () =
+  Wgraph.of_edges ~vwgt:[| 3; 3; 3; 3; 3; 3 |] 6
+    [
+      (0, 1, 5); (0, 2, 5); (1, 2, 5);
+      (3, 4, 5); (3, 5, 5); (4, 5, 5);
+      (2, 3, 1);
+    ]
+
+let grid ~w ~h =
+  let el = Edge_list.create (w * h) in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let u = (y * w) + x in
+      if x + 1 < w then Edge_list.add el u (u + 1) 1;
+      if y + 1 < h then Edge_list.add el u (u + w) 1
+    done
+  done;
+  Wgraph.build el
+
+(* --- Types --- *)
+
+let test_constraints_validation () =
+  Alcotest.check_raises "k" (Invalid_argument "Types.constraints: k < 1")
+    (fun () -> ignore (Types.constraints ~k:0 ~bmax:1 ~rmax:1));
+  let c = Types.unconstrained ~k:4 in
+  check_int "k kept" 4 c.Types.k;
+  check_int "bmax inf" max_int c.Types.bmax
+
+let test_check_partition () =
+  Types.check_partition ~n:3 ~k:2 [| 0; 1; 0 |];
+  Alcotest.check_raises "label range"
+    (Invalid_argument "Types.check_partition: part label out of range")
+    (fun () -> Types.check_partition ~n:3 ~k:2 [| 0; 2; 0 |]);
+  check_int "parts used" 2 (Types.parts_used [| 0; 1; 0 |])
+
+(* --- Metrics --- *)
+
+let test_cut () =
+  let g = two_triangles () in
+  check_int "bridge only" 1 (Metrics.cut g [| 0; 0; 0; 1; 1; 1 |]);
+  check_int "worse split" 21 (Metrics.cut g [| 0; 0; 1; 0; 1; 1 |]);
+  check_int "all together" 0 (Metrics.cut g [| 0; 0; 0; 0; 0; 0 |])
+
+let test_bandwidth_matrix () =
+  let g = two_triangles () in
+  let m = Metrics.bandwidth_matrix g ~k:3 [| 0; 0; 1; 1; 2; 2 |] in
+  check_int "0-1" 10 m.(0).(1);
+  (* edges 0-2(5), 1-2(5) *)
+  (* parts: {0,1} {2,3} {4,5}; pair (1,2) edges: 3-4 (5), 3-5 (5) *)
+  check_int "1-2 pair" 10 m.(1).(2);
+  check_int "symmetric" m.(0).(1) m.(1).(0);
+  check_int "diag" 0 m.(1).(1)
+
+let test_max_local_bandwidth () =
+  let g = two_triangles () in
+  check_int "single pair" 1
+    (Metrics.max_local_bandwidth g ~k:2 [| 0; 0; 0; 1; 1; 1 |])
+
+let test_part_resources () =
+  let g = two_triangles () in
+  let r = Metrics.part_resources g ~k:2 [| 0; 0; 0; 1; 1; 1 |] in
+  check_bool "balanced" true (r = [| 9; 9 |]);
+  check_int "max" 9 (Metrics.max_resource g ~k:2 [| 0; 0; 0; 1; 1; 1 |])
+
+let test_excesses_and_feasible () =
+  let g = two_triangles () in
+  let part = [| 0; 0; 0; 1; 1; 1 |] in
+  let tight = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  check_int "no bw excess" 0 (Metrics.bandwidth_excess g tight part);
+  check_int "no res excess" 0 (Metrics.resource_excess g tight part);
+  check_bool "feasible" true (Metrics.feasible g tight part);
+  let tighter = Types.constraints ~k:2 ~bmax:0 ~rmax:8 in
+  check_int "bw excess 1" 1 (Metrics.bandwidth_excess g tighter part);
+  check_int "res excess 2" 2 (Metrics.resource_excess g tighter part);
+  check_bool "infeasible" false (Metrics.feasible g tighter part)
+
+let test_goodness_ordering () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let good = Metrics.goodness g c [| 0; 0; 0; 1; 1; 1 |] in
+  let bad = Metrics.goodness g c [| 0; 0; 1; 0; 1; 1 |] in
+  check_bool "feasible beats infeasible" true
+    (Metrics.compare_goodness good bad < 0);
+  check_int "violation zero when feasible" 0 good.Metrics.violation;
+  (* two infeasible candidates rank by violation then cut *)
+  let c0 = Types.constraints ~k:2 ~bmax:0 ~rmax:9 in
+  let a = Metrics.goodness g c0 [| 0; 0; 0; 1; 1; 1 |] in
+  let b = Metrics.goodness g c0 [| 0; 0; 1; 0; 1; 1 |] in
+  check_bool "smaller violation first" true
+    (Metrics.compare_goodness a b < 0)
+
+let test_report () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let r = Metrics.report g c [| 0; 0; 0; 1; 1; 1 |] in
+  check_int "cut" 1 r.Metrics.total_cut;
+  check_bool "both ok" true (r.Metrics.bandwidth_ok && r.Metrics.resource_ok)
+
+(* --- Bucket --- *)
+
+let test_bucket_basic () =
+  let b = Bucket.create ~n:10 ~max_gain:5 in
+  check_bool "empty" true (Bucket.is_empty b);
+  Bucket.insert b 3 2;
+  Bucket.insert b 7 (-4);
+  Bucket.insert b 1 5;
+  check_int "cardinal" 3 (Bucket.cardinal b);
+  check_bool "mem" true (Bucket.mem b 7);
+  (match Bucket.pop_max b with
+  | Some (node, gain) ->
+    check_int "max node" 1 node;
+    check_int "max gain" 5 gain
+  | None -> Alcotest.fail "expected max");
+  check_int "after pop" 2 (Bucket.cardinal b)
+
+let test_bucket_adjust () =
+  let b = Bucket.create ~n:4 ~max_gain:10 in
+  Bucket.insert b 0 1;
+  Bucket.insert b 1 2;
+  Bucket.adjust b 0 9;
+  (match Bucket.peek_max b with
+  | Some (node, _) -> check_int "adjusted wins" 0 node
+  | None -> Alcotest.fail "expected");
+  check_int "gain read" 9 (Bucket.gain b 0)
+
+let test_bucket_errors () =
+  let b = Bucket.create ~n:2 ~max_gain:3 in
+  Bucket.insert b 0 0;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Bucket.insert: already present") (fun () ->
+      Bucket.insert b 0 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bucket: gain out of range") (fun () ->
+      Bucket.insert b 1 7);
+  Alcotest.check_raises "remove absent"
+    (Invalid_argument "Bucket.remove: absent") (fun () -> Bucket.remove b 1)
+
+let test_bucket_pop_order () =
+  let b = Bucket.create ~n:6 ~max_gain:6 in
+  List.iter (fun (n, g) -> Bucket.insert b n g)
+    [ (0, -6); (1, 3); (2, 0); (3, 6); (4, 3) ];
+  let popped = ref [] in
+  let rec drain () =
+    match Bucket.pop_max b with
+    | Some (_, g) ->
+      popped := g :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_bool "non-increasing gains" true
+    (List.rev !popped = [ 6; 3; 3; 0; -6 ])
+
+(* --- Matching --- *)
+
+let all_matchings_valid g =
+  List.for_all
+    (fun s -> Matching.is_valid g (Matching.compute s (rng ()) g))
+    Matching.all_strategies
+
+let test_matchings_valid_on_samples () =
+  check_bool "two triangles" true (all_matchings_valid (two_triangles ()));
+  check_bool "grid" true (all_matchings_valid (grid ~w:5 ~h:4));
+  check_bool "edgeless" true
+    (all_matchings_valid (Wgraph.of_edges 4 []))
+
+let test_heavy_edge_prefers_heavy () =
+  (* path a-b-c with weights 10 and 1: HEM must match (a,b). *)
+  let g = Wgraph.of_edges 3 [ (0, 1, 10); (1, 2, 1) ] in
+  let m = Matching.heavy_edge (rng ()) g in
+  check_int "a-b matched" 1 m.(0);
+  check_int "c alone" 2 m.(2);
+  check_int "matched weight" 10 (Matching.matched_weight g m)
+
+let test_random_matching_maximal () =
+  (* On a path every maximal matching leaves at most ceil(n/2) unmatched;
+     specifically no two adjacent nodes may both stay unmatched. *)
+  let g = grid ~w:6 ~h:1 in
+  let m = Matching.random_maximal (rng ()) g in
+  Wgraph.iter_edges g (fun u v _ ->
+      check_bool "no adjacent unmatched pair" false
+        (m.(u) = u && m.(v) = v))
+
+let test_best_of_picks_max_weight () =
+  let g = two_triangles () in
+  let _, m = Matching.best_of (rng ()) g in
+  let w = Matching.matched_weight g m in
+  List.iter
+    (fun s ->
+      let w' = Matching.matched_weight g (Matching.compute s (rng ()) g) in
+      check_bool "best is at least this strategy" true (w >= w'))
+    Matching.all_strategies
+
+let prop_matchings_valid =
+  QCheck2.Test.make ~name:"all matchings valid on random graphs" ~count:60
+    QCheck2.Gen.(pair (int_range 2 20) (int_range 0 2))
+    (fun (n, _salt) ->
+      let r = rng () in
+      let m = min (n * (n - 1) / 2) (2 * n) in
+      let g =
+        Ppnpart_workloads.Rand_graph.gnm ~connected:(m >= n - 1)
+          ~vw_range:(1, 9) ~ew_range:(1, 9) r ~n ~m
+      in
+      List.for_all
+        (fun s -> Matching.is_valid g (Matching.compute s r g))
+        Matching.all_strategies)
+
+(* --- Coarsen --- *)
+
+let test_contract_preserves_weights () =
+  let g = two_triangles () in
+  let m = Matching.heavy_edge (rng ()) g in
+  let coarse, cmap = Coarsen.contract g m in
+  check_int "node weight preserved" (Wgraph.total_node_weight g)
+    (Wgraph.total_node_weight coarse);
+  check_int "cmap length" (Wgraph.n_nodes g) (Array.length cmap);
+  Wgraph.validate coarse
+
+let test_contract_cut_equivalence () =
+  (* A coarse partition's cut equals its projection's cut on the fine
+     graph — the core multilevel invariant. *)
+  let g = grid ~w:4 ~h:4 in
+  let r = rng () in
+  let m = Matching.random_maximal r g in
+  let coarse, cmap = Coarsen.contract g m in
+  let coarse_part =
+    Array.init (Wgraph.n_nodes coarse) (fun i -> i mod 2)
+  in
+  let fine_part = Coarsen.project_one cmap coarse_part in
+  check_int "cut preserved" (Metrics.cut coarse coarse_part)
+    (Metrics.cut g fine_part);
+  check_int "resources preserved"
+    (Metrics.max_resource coarse ~k:2 coarse_part)
+    (Metrics.max_resource g ~k:2 fine_part)
+
+let test_hierarchy_shrinks () =
+  let g = grid ~w:12 ~h:12 in
+  let h = Coarsen.build ~target:20 (rng ()) g in
+  check_bool "multiple levels" true (Coarsen.levels h >= 2);
+  check_bool "coarsest small or stalled" true
+    (Wgraph.n_nodes (Coarsen.coarsest h) < Wgraph.n_nodes g);
+  let sizes =
+    List.init (Coarsen.levels h) (fun l ->
+        Wgraph.n_nodes (Coarsen.graph_at h l))
+  in
+  check_bool "monotone decreasing" true
+    (List.for_all2 ( > )
+       (List.filteri (fun i _ -> i < List.length sizes - 1) sizes)
+       (List.tl sizes))
+
+let test_project_through_hierarchy () =
+  let g = grid ~w:8 ~h:8 in
+  let h = Coarsen.build ~target:8 (rng ()) g in
+  let coarsest = Coarsen.coarsest h in
+  let part = Array.init (Wgraph.n_nodes coarsest) (fun i -> i mod 3) in
+  let fine = Coarsen.project h ~coarse_level:(Coarsen.levels h - 1) part in
+  check_int "finest length" (Wgraph.n_nodes g) (Array.length fine);
+  check_int "cut equal through projection"
+    (Metrics.cut coarsest part) (Metrics.cut g fine)
+
+let test_extend_restarts_coarsening () =
+  let g = grid ~w:10 ~h:10 in
+  let r = rng () in
+  let h = Coarsen.build ~target:10 r g in
+  let h2 = Coarsen.extend ~target:10 r h ~from_level:0 in
+  check_bool "same finest graph" true
+    (Wgraph.equal (Coarsen.finest h) (Coarsen.finest h2));
+  check_bool "recoarsened to target-ish" true
+    (Wgraph.n_nodes (Coarsen.coarsest h2) <= Wgraph.n_nodes g)
+
+let prop_contract_edge_weight_conserved =
+  QCheck2.Test.make
+    ~name:"contract conserves edge weight (internal + cut)" ~count:50
+    QCheck2.Gen.(int_range 4 24)
+    (fun n ->
+      let r = rng () in
+      let m = min (n * (n - 1) / 2) (2 * n) in
+      let g =
+        Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 5) ~ew_range:(1, 9) r
+          ~n ~m
+      in
+      let partner = Matching.random_maximal r g in
+      let coarse, _ = Coarsen.contract g partner in
+      (* Total fine edge weight = coarse edge weight + weight inside pairs *)
+      let inside = Matching.matched_weight g partner in
+      Wgraph.total_edge_weight g
+      = Wgraph.total_edge_weight coarse + inside)
+
+(* --- Fm2 --- *)
+
+let test_fm2_finds_bridge () =
+  let g = two_triangles () in
+  (* Worst start: interleaved. *)
+  (* nodes weigh 3 of a total 18, so intermediate states need a
+     tolerance above 12/9 for any single move to be legal *)
+  let part, cut = Fm2.refine ~balance_tolerance:1.4 g [| 0; 1; 0; 1; 0; 1 |] in
+  check_int "optimal cut" 1 cut;
+  check_bool "sides intact" true (part.(0) = part.(1) && part.(1) = part.(2))
+
+let test_fm2_never_worsens () =
+  let g = grid ~w:5 ~h:5 in
+  let start = Array.init 25 (fun i -> i mod 2) in
+  let start_cut = Metrics.cut g start in
+  let _, cut = Fm2.refine g start in
+  check_bool "no worse" true (cut <= start_cut)
+
+let test_fm2_rejects_bad_labels () =
+  let g = two_triangles () in
+  Alcotest.check_raises "three-way"
+    (Invalid_argument "Fm2.refine: not two-way") (fun () ->
+      ignore (Fm2.refine g [| 0; 1; 2; 0; 1; 2 |]))
+
+let test_fm2_bisect_balanced () =
+  let g = grid ~w:6 ~h:6 in
+  let part, _ = Fm2.bisect (rng ()) g in
+  let r = Metrics.part_resources g ~k:2 part in
+  let total = Wgraph.total_node_weight g in
+  check_bool "both sides within tolerance" true
+    (r.(0) <= (total * 11 / 20) + 1 && r.(1) <= (total * 11 / 20) + 1)
+
+let prop_fm2_improves_or_keeps =
+  QCheck2.Test.make ~name:"fm2 never increases the cut" ~count:50
+    QCheck2.Gen.(int_range 4 30)
+    (fun n ->
+      let r = rng () in
+      let m = min (n * (n - 1) / 2) (2 * n) in
+      let g =
+        Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 4) ~ew_range:(1, 9) r
+          ~n ~m
+      in
+      let start = Array.init n (fun i -> i mod 2) in
+      let before = Metrics.cut g start in
+      let _, after = Fm2.refine g start in
+      after <= before)
+
+(* --- Refine_kway --- *)
+
+let test_refine_kway_improves () =
+  let g = grid ~w:6 ~h:6 in
+  let r = rng () in
+  let start = Initial.random_kway r g ~k:4 in
+  let before = Metrics.cut g start in
+  let part, after = Refine_kway.refine r g ~k:4 start in
+  Types.check_partition ~n:36 ~k:4 part;
+  check_bool "no worse" true (after <= before)
+
+let test_refine_kway_respects_balance () =
+  let g = grid ~w:6 ~h:6 in
+  let r = rng () in
+  let start = Initial.graph_growing r g ~k:4 in
+  let part, _ = Refine_kway.refine ~imbalance:1.1 r g ~k:4 start in
+  let loads = Metrics.part_resources g ~k:4 part in
+  let limit = int_of_float (ceil (1.1 *. 36. /. 4.)) in
+  Array.iter (fun l -> check_bool "within limit" true (l <= limit)) loads
+
+let test_refine_fm_never_worsens () =
+  let g = grid ~w:6 ~h:6 in
+  let r = rng () in
+  let start = Initial.random_kway r g ~k:4 in
+  let before = Metrics.cut g start in
+  let part, after = Refine_kway.refine_fm g ~k:4 start in
+  Types.check_partition ~n:36 ~k:4 part;
+  check_bool "no worse" true (after <= before);
+  check_int "reported = recomputed" (Metrics.cut g part) after
+
+let test_refine_fm_escapes_interleaved () =
+  (* Hill-climbing case the greedy sweeps cannot fix at tolerance 1.4. *)
+  let g = two_triangles () in
+  let part, cut =
+    Refine_kway.refine_fm ~imbalance:1.4 g ~k:2 [| 0; 1; 0; 1; 0; 1 |]
+  in
+  check_int "bridge found" 1 cut;
+  check_bool "triangles intact" true
+    (part.(0) = part.(1) && part.(1) = part.(2))
+
+let test_refine_fm_respects_balance () =
+  let g = grid ~w:6 ~h:6 in
+  let start = Initial.graph_growing (rng ()) g ~k:3 in
+  let part, _ = Refine_kway.refine_fm ~imbalance:1.1 g ~k:3 start in
+  let limit = int_of_float (ceil (1.1 *. 36. /. 3.)) in
+  Array.iter
+    (fun l -> check_bool "within limit" true (l <= limit))
+    (Metrics.part_resources g ~k:3 part)
+
+let prop_refine_fm_quality_at_least_greedy =
+  QCheck2.Test.make
+    ~name:"bucket FM cut <= greedy cut from the same start" ~count:30
+    QCheck2.Gen.(pair (int_range 8 30) (int_range 2 4))
+    (fun (n, k) ->
+      let r = rng () in
+      let m = min (n * (n - 1) / 2) (2 * n) in
+      let g =
+        Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 4) ~ew_range:(1, 9) r
+          ~n ~m
+      in
+      let start = Initial.graph_growing r g ~k in
+      let _, greedy = Refine_kway.refine r g ~k start in
+      let _, fm = Refine_kway.refine_fm g ~k start in
+      (* FM subsumes greedy moves; allow slack for tie-breaking noise. *)
+      fm <= greedy + (greedy / 4) + 2)
+
+(* --- Refine_constrained --- *)
+
+let test_constrained_repairs_violation () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  (* Start in violation: split cuts through a triangle. *)
+  let start = [| 0; 0; 1; 1; 1; 1 |] in
+  check_bool "starts infeasible" false (Metrics.feasible g c start);
+  let part, gd = Refine_constrained.refine (rng ()) g c start in
+  check_int "violation repaired" 0 gd.Metrics.violation;
+  check_bool "feasible now" true (Metrics.feasible g c part)
+
+let test_constrained_keeps_feasible () =
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:9 in
+  let start = [| 0; 0; 0; 1; 1; 1 |] in
+  let part, gd = Refine_constrained.refine (rng ()) g c start in
+  check_bool "still feasible" true (Metrics.feasible g c part);
+  check_int "cut not worse" 1 gd.Metrics.cut_value
+
+let test_constrained_never_empties_part () =
+  let g = grid ~w:4 ~h:4 in
+  let c = Types.constraints ~k:4 ~bmax:1000 ~rmax:1000 in
+  let start = Array.init 16 (fun i -> i mod 4) in
+  let part, _ = Refine_constrained.refine (rng ()) g c start in
+  check_int "all parts used" 4 (Types.parts_used part)
+
+let prop_constrained_goodness_monotone =
+  QCheck2.Test.make
+    ~name:"constrained refine never worsens goodness" ~count:40
+    QCheck2.Gen.(pair (int_range 6 24) (int_range 2 4))
+    (fun (n, k) ->
+      let r = rng () in
+      let m = min (n * (n - 1) / 2) (2 * n) in
+      let g =
+        Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 9) ~ew_range:(1, 9) r
+          ~n ~m
+      in
+      let c =
+        Types.constraints ~k
+          ~bmax:(1 + Wgraph.total_edge_weight g / 4)
+          ~rmax:(1 + Wgraph.total_node_weight g / 2)
+      in
+      let start = Initial.random_kway r g ~k in
+      let before = Metrics.goodness g c start in
+      let _, after = Refine_constrained.refine r g c start in
+      Metrics.compare_goodness after before <= 0)
+
+let prop_constrained_incremental_state_consistent =
+  QCheck2.Test.make
+    ~name:"constrained refine's reported goodness matches recomputation"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 6 20) (int_range 2 4))
+    (fun (n, k) ->
+      let r = rng () in
+      let m = min (n * (n - 1) / 2) (2 * n) in
+      let g =
+        Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 9) ~ew_range:(1, 9) r
+          ~n ~m
+      in
+      let c =
+        Types.constraints ~k
+          ~bmax:(1 + Wgraph.total_edge_weight g / 6)
+          ~rmax:(1 + Wgraph.total_node_weight g / k)
+      in
+      let start = Initial.random_kway r g ~k in
+      let part, gd = Refine_constrained.refine r g c start in
+      let fresh = Metrics.goodness g c part in
+      Metrics.compare_goodness gd fresh = 0)
+
+(* --- Initial --- *)
+
+let test_pick_heaviest () =
+  let g = two_triangles () in
+  check_int "first max" 0 (Initial.pick_heaviest g);
+  let g2 = Wgraph.of_edges ~vwgt:[| 1; 9; 2 |] 3 [ (0, 1, 1); (1, 2, 1) ] in
+  check_int "heaviest" 1 (Initial.pick_heaviest g2)
+
+let test_graph_growing_uses_all_parts () =
+  let g = grid ~w:5 ~h:5 in
+  let part = Initial.graph_growing (rng ()) g ~k:4 in
+  Types.check_partition ~n:25 ~k:4 part;
+  check_int "4 parts" 4 (Types.parts_used part)
+
+let test_greedy_growth_respects_rmax_when_possible () =
+  let g = two_triangles () in
+  (* rmax 9 fits exactly one triangle per part *)
+  let c = Types.constraints ~k:2 ~bmax:100 ~rmax:9 in
+  let part = Initial.greedy_resource_growth (rng ()) g c in
+  let loads = Metrics.part_resources g ~k:2 part in
+  Array.iter (fun l -> check_bool "within rmax" true (l <= 9)) loads
+
+let test_greedy_growth_overflows_when_forced () =
+  (* rmax too small for any balanced assignment: algorithm must still
+     return a total assignment (violating, as the paper specifies). *)
+  let g = two_triangles () in
+  let c = Types.constraints ~k:2 ~bmax:100 ~rmax:4 in
+  let part = Initial.greedy_resource_growth (rng ()) g c in
+  Types.check_partition ~n:6 ~k:2 part
+
+let test_greedy_growth_empty_graph () =
+  let g = Wgraph.of_edges 0 [] in
+  let c = Types.constraints ~k:2 ~bmax:1 ~rmax:1 in
+  check_int "empty" 0
+    (Array.length (Initial.greedy_resource_growth (rng ()) g c))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_matchings_valid;
+      prop_contract_edge_weight_conserved;
+      prop_fm2_improves_or_keeps;
+      prop_refine_fm_quality_at_least_greedy;
+      prop_constrained_goodness_monotone;
+      prop_constrained_incremental_state_consistent;
+    ]
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "constraints validation" `Quick
+            test_constraints_validation;
+          Alcotest.test_case "check_partition" `Quick test_check_partition;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "cut" `Quick test_cut;
+          Alcotest.test_case "bandwidth matrix" `Quick test_bandwidth_matrix;
+          Alcotest.test_case "max local bandwidth" `Quick
+            test_max_local_bandwidth;
+          Alcotest.test_case "part resources" `Quick test_part_resources;
+          Alcotest.test_case "excess / feasible" `Quick
+            test_excesses_and_feasible;
+          Alcotest.test_case "goodness ordering" `Quick
+            test_goodness_ordering;
+          Alcotest.test_case "report" `Quick test_report;
+        ] );
+      ( "bucket",
+        [
+          Alcotest.test_case "basic" `Quick test_bucket_basic;
+          Alcotest.test_case "adjust" `Quick test_bucket_adjust;
+          Alcotest.test_case "errors" `Quick test_bucket_errors;
+          Alcotest.test_case "pop order" `Quick test_bucket_pop_order;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "valid on samples" `Quick
+            test_matchings_valid_on_samples;
+          Alcotest.test_case "heavy edge prefers heavy" `Quick
+            test_heavy_edge_prefers_heavy;
+          Alcotest.test_case "random maximal" `Quick
+            test_random_matching_maximal;
+          Alcotest.test_case "best_of picks max" `Quick
+            test_best_of_picks_max_weight;
+        ] );
+      ( "coarsen",
+        [
+          Alcotest.test_case "weights preserved" `Quick
+            test_contract_preserves_weights;
+          Alcotest.test_case "cut equivalence" `Quick
+            test_contract_cut_equivalence;
+          Alcotest.test_case "hierarchy shrinks" `Quick
+            test_hierarchy_shrinks;
+          Alcotest.test_case "project through" `Quick
+            test_project_through_hierarchy;
+          Alcotest.test_case "extend restarts" `Quick
+            test_extend_restarts_coarsening;
+        ] );
+      ( "fm2",
+        [
+          Alcotest.test_case "finds bridge" `Quick test_fm2_finds_bridge;
+          Alcotest.test_case "never worsens" `Quick test_fm2_never_worsens;
+          Alcotest.test_case "rejects bad labels" `Quick
+            test_fm2_rejects_bad_labels;
+          Alcotest.test_case "bisect balanced" `Quick
+            test_fm2_bisect_balanced;
+        ] );
+      ( "refine_kway",
+        [
+          Alcotest.test_case "improves" `Quick test_refine_kway_improves;
+          Alcotest.test_case "respects balance" `Quick
+            test_refine_kway_respects_balance;
+          Alcotest.test_case "fm never worsens" `Quick
+            test_refine_fm_never_worsens;
+          Alcotest.test_case "fm escapes interleaved" `Quick
+            test_refine_fm_escapes_interleaved;
+          Alcotest.test_case "fm respects balance" `Quick
+            test_refine_fm_respects_balance;
+        ] );
+      ( "refine_constrained",
+        [
+          Alcotest.test_case "repairs violation" `Quick
+            test_constrained_repairs_violation;
+          Alcotest.test_case "keeps feasible" `Quick
+            test_constrained_keeps_feasible;
+          Alcotest.test_case "never empties part" `Quick
+            test_constrained_never_empties_part;
+        ] );
+      ( "initial",
+        [
+          Alcotest.test_case "pick heaviest" `Quick test_pick_heaviest;
+          Alcotest.test_case "graph growing all parts" `Quick
+            test_graph_growing_uses_all_parts;
+          Alcotest.test_case "greedy respects rmax" `Quick
+            test_greedy_growth_respects_rmax_when_possible;
+          Alcotest.test_case "greedy overflow fallback" `Quick
+            test_greedy_growth_overflows_when_forced;
+          Alcotest.test_case "greedy empty graph" `Quick
+            test_greedy_growth_empty_graph;
+        ] );
+      ("properties", qcheck_cases);
+    ]

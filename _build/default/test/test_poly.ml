@@ -1,0 +1,363 @@
+(* Tests for the polyhedral-lite layer: Affine, Domain, Access, Stmt,
+   Dependence. *)
+
+open Ppnpart_poly
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Affine --- *)
+
+let test_affine_eval () =
+  (* 2*i0 - i1 + 5 *)
+  let e = Affine.make [| 2; -1 |] 5 in
+  check_int "at (0,0)" 5 (Affine.eval e [| 0; 0 |]);
+  check_int "at (3,4)" 7 (Affine.eval e [| 3; 4 |]);
+  check_int "dim" 2 (Affine.dim e)
+
+let test_affine_ops () =
+  let x = Affine.var 2 0 and y = Affine.var 2 1 in
+  let e = Affine.add (Affine.scale 3 x) (Affine.neg y) in
+  check_int "3i - j at (2,5)" 1 (Affine.eval e [| 2; 5 |]);
+  let e2 = Affine.sub e (Affine.const 2 1) in
+  check_int "minus const" 0 (Affine.eval e2 [| 2; 5 |]);
+  check_bool "constant detect" true (Affine.is_constant (Affine.const 3 9));
+  check_bool "nonconstant" false (Affine.is_constant x)
+
+let test_affine_prefix () =
+  let e = Affine.make [| 1; 0; 2 |] 0 in
+  check_bool "uses i2" false (Affine.uses_only_prefix e 2);
+  check_bool "prefix 3 ok" true (Affine.uses_only_prefix e 3);
+  check_bool "const is prefix 0" true
+    (Affine.uses_only_prefix (Affine.const 3 7) 0)
+
+let test_affine_pp () =
+  let e = Affine.make [| 1; -2 |] 3 in
+  Alcotest.(check string) "printing" "i0 - 2*i1 + 3" (Affine.to_string e);
+  Alcotest.(check string) "zero" "0" (Affine.to_string (Affine.const 1 0))
+
+let test_affine_var_bounds () =
+  Alcotest.check_raises "var out of range"
+    (Invalid_argument "Affine.var: index out of range") (fun () ->
+      ignore (Affine.var 2 2))
+
+(* --- Domain --- *)
+
+let test_box_cardinal () =
+  let d = Domain.box [| (0, 9); (1, 5) |] in
+  check_int "10 * 5" 50 (Domain.cardinal d);
+  check_int "points agree" 50 (List.length (Domain.points d))
+
+let test_empty_box () =
+  let d = Domain.box [| (5, 4) |] in
+  check_int "empty" 0 (Domain.cardinal d);
+  check_bool "is_empty" true (Domain.is_empty d)
+
+let test_triangular_domain () =
+  (* { (i, j) | 0 <= i <= 3, 0 <= j <= i } : 1+2+3+4 = 10 points *)
+  let lower = [| Affine.const 2 0; Affine.const 2 0 |] in
+  let upper = [| Affine.const 2 3; Affine.var 2 0 |] in
+  let d = Domain.make ~lower ~upper () in
+  check_int "triangle" 10 (Domain.cardinal d);
+  check_bool "mem (2,2)" true (Domain.mem d [| 2; 2 |]);
+  check_bool "not mem (1,2)" false (Domain.mem d [| 1; 2 |])
+
+let test_guarded_domain () =
+  (* box 0..4 x 0..4 restricted to i + j <= 4: 15 points *)
+  let guard = Affine.make [| -1; -1 |] 4 in
+  let d = Domain.restrict (Domain.box [| (0, 4); (0, 4) |]) [ guard ] in
+  check_int "half square" 15 (Domain.cardinal d)
+
+let test_inner_bound_rejected () =
+  let lower = [| Affine.var 2 1; Affine.const 2 0 |] in
+  let upper = [| Affine.const 2 3; Affine.const 2 3 |] in
+  Alcotest.check_raises "inner var in outer bound"
+    (Invalid_argument "Domain.make: bound reads an inner variable")
+    (fun () -> ignore (Domain.make ~lower ~upper ()))
+
+let test_iter_lexicographic () =
+  let d = Domain.box [| (0, 1); (0, 1) |] in
+  let pts = Domain.points d in
+  check_bool "lex order" true
+    (pts = [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ])
+
+let test_zero_dim_domain () =
+  let lower = [||] and upper = [||] in
+  let d = Domain.make ~lower ~upper () in
+  check_int "one empty point" 1 (Domain.cardinal d);
+  check_int "empty 0-dim" 0 (Domain.cardinal (Domain.empty 0))
+
+let test_mem_matches_iter () =
+  let guard = Affine.make [| 1; -1 |] 0 in
+  (* i >= j *)
+  let d = Domain.restrict (Domain.box [| (0, 5); (0, 5) |]) [ guard ] in
+  let by_iter = Domain.cardinal d in
+  let by_mem = ref 0 in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      if Domain.mem d [| i; j |] then incr by_mem
+    done
+  done;
+  check_int "mem = iter" by_iter !by_mem
+
+(* --- Access --- *)
+
+let test_access_eval () =
+  let a =
+    Access.make "A" [| Affine.add_const (Affine.var 2 0) 1; Affine.var 2 1 |]
+  in
+  check_bool "A[i+1][j] at (3,4)" true (Access.eval a [| 3; 4 |] = [| 4; 4 |]);
+  check_int "arity" 2 (Access.arity a);
+  check_int "iter dim" 2 (Access.iter_dim a)
+
+let test_access_mixed_dims_rejected () =
+  Alcotest.check_raises "mixed dims"
+    (Invalid_argument "Access.make: subscripts of mixed dimension")
+    (fun () ->
+      ignore (Access.make "A" [| Affine.var 2 0; Affine.var 3 1 |]))
+
+(* --- Stmt --- *)
+
+let chain_2 tokens =
+  let d = Domain.box [| (0, tokens - 1) |] in
+  let idx = Affine.var 1 0 in
+  let s0 =
+    Stmt.make
+      ~reads:[ Access.make "in" [| idx |] ]
+      ~writes:[ Access.make "a" [| idx |] ]
+      ~work:2 "s0" d
+  in
+  let s1 =
+    Stmt.make
+      ~reads:[ Access.make "a" [| idx |] ]
+      ~writes:[ Access.make "b" [| idx |] ]
+      ~work:3 "s1" d
+  in
+  [ s0; s1 ]
+
+let test_stmt_basics () =
+  match chain_2 10 with
+  | [ s0; s1 ] ->
+    check_int "iterations" 10 (Stmt.iterations s0);
+    check_int "total work" 20 (Stmt.total_work s0);
+    check_int "total work s1" 30 (Stmt.total_work s1);
+    Alcotest.(check (list string)) "written" [ "a" ] (Stmt.written_arrays s0);
+    Alcotest.(check (list string)) "read" [ "a" ] (Stmt.read_arrays s1)
+  | _ -> Alcotest.fail "expected two statements"
+
+let test_stmt_dimension_check () =
+  let d = Domain.box [| (0, 3) |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Stmt.make ~writes:[ Access.make "A" [| Affine.var 2 0 |] ] "bad" d);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Dependence --- *)
+
+let test_written_elements () =
+  let stmts = chain_2 10 in
+  let s0 = List.hd stmts in
+  let set = Dependence.written_elements s0 "a" in
+  check_int "10 elements" 10 (Hashtbl.length set);
+  check_bool "has [3]" true (Hashtbl.mem set [| 3 |]);
+  check_int "none for b" 0
+    (Hashtbl.length (Dependence.written_elements s0 "b"))
+
+let test_volume_chain () =
+  match chain_2 10 with
+  | [ s0; s1 ] ->
+    check_int "full volume" 10
+      (Dependence.volume ~writer:s0 ~reader:s1 ~array:"a");
+    check_int "no volume on other array" 0
+      (Dependence.volume ~writer:s0 ~reader:s1 ~array:"b")
+  | _ -> Alcotest.fail "expected two statements"
+
+let test_volume_shifted () =
+  (* writer covers 0..9; reader reads x[i + 3] for i in 0..9, so only
+     i = 0..6 hit written elements: volume 7. *)
+  let d = Domain.box [| (0, 9) |] in
+  let idx = Affine.var 1 0 in
+  let w = Stmt.make ~writes:[ Access.make "x" [| idx |] ] "w" d in
+  let r =
+    Stmt.make
+      ~reads:[ Access.make "x" [| Affine.add_const idx 3 |] ]
+      ~writes:[ Access.make "y" [| idx |] ]
+      "r" d
+  in
+  check_int "shifted overlap" 7
+    (Dependence.volume ~writer:w ~reader:r ~array:"x")
+
+let test_flow_edges_chain () =
+  let stmts = chain_2 10 in
+  let flows = Dependence.flow_edges stmts in
+  check_int "one flow" 1 (List.length flows);
+  let f = List.hd flows in
+  check_int "src" 0 f.Dependence.src;
+  check_int "dst" 1 f.Dependence.dst;
+  check_int "tokens" 10 f.Dependence.tokens;
+  Alcotest.(check string) "array" "a" f.Dependence.array
+
+let test_flow_last_writer_wins () =
+  let d = Domain.box [| (0, 9) |] in
+  let idx = Affine.var 1 0 in
+  let w1 = Stmt.make ~writes:[ Access.make "x" [| idx |] ] "w1" d in
+  let w2 = Stmt.make ~writes:[ Access.make "x" [| idx |] ] "w2" d in
+  let r =
+    Stmt.make
+      ~reads:[ Access.make "x" [| idx |] ]
+      ~writes:[ Access.make "y" [| idx |] ]
+      "r" d
+  in
+  let flows = Dependence.flow_edges [ w1; w2; r ] in
+  check_int "single flow from the last writer" 1 (List.length flows);
+  check_int "src is w2" 1 (List.hd flows).Dependence.src
+
+let test_self_dependence_omitted () =
+  let d = Domain.box [| (1, 9) |] in
+  let idx = Affine.var 1 0 in
+  (* x[i] = x[i-1]: pure self flow *)
+  let s =
+    Stmt.make
+      ~reads:[ Access.make "x" [| Affine.add_const idx (-1) |] ]
+      ~writes:[ Access.make "x" [| idx |] ]
+      "s" d
+  in
+  check_int "no cross flows" 0 (List.length (Dependence.flow_edges [ s ]))
+
+let test_external_reads () =
+  let stmts = chain_2 10 in
+  let ext = Dependence.external_reads stmts in
+  check_int "one external input" 1 (List.length ext);
+  let j, array, tokens = List.hd ext in
+  check_int "reader is s0" 0 j;
+  Alcotest.(check string) "array in" "in" array;
+  check_int "tokens" 10 tokens
+
+let test_external_writes () =
+  let stmts = chain_2 10 in
+  let ext = Dependence.external_writes stmts in
+  check_int "one external output" 1 (List.length ext);
+  let i, array, tokens = List.hd ext in
+  check_int "writer is s1" 1 i;
+  Alcotest.(check string) "array b" "b" array;
+  check_int "tokens" 10 tokens
+
+let test_stencil_boundary_reads_external () =
+  (* reader reads x[i-1], x[i], x[i+1]; writer covers 0..9; reader domain
+     0..9: reads at -1 and 10 are external (2 tokens), internal volume
+     3*10 - 2 = 28. *)
+  let d = Domain.box [| (0, 9) |] in
+  let idx = Affine.var 1 0 in
+  let w = Stmt.make ~writes:[ Access.make "x" [| idx |] ] "w" d in
+  let r =
+    Stmt.make
+      ~reads:
+        [
+          Access.make "x" [| Affine.add_const idx (-1) |];
+          Access.make "x" [| idx |];
+          Access.make "x" [| Affine.add_const idx 1 |];
+        ]
+      ~writes:[ Access.make "y" [| idx |] ]
+      "r" d
+  in
+  let flows = Dependence.flow_edges [ w; r ] in
+  check_int "internal volume" 28 (List.hd flows).Dependence.tokens;
+  let ext = Dependence.external_reads [ w; r ] in
+  check_int "boundary tokens" 2
+    (match ext with [ (_, "x", t) ] -> t | _ -> -1)
+
+(* --- qcheck properties --- *)
+
+let prop_volume_consistent =
+  QCheck2.Test.make ~name:"flow tokens = volume for single writer" ~count:50
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 0 5))
+    (fun (size, shift) ->
+      let d = Domain.box [| (0, size - 1) |] in
+      let idx = Affine.var 1 0 in
+      let w = Stmt.make ~writes:[ Access.make "x" [| idx |] ] "w" d in
+      let r =
+        Stmt.make
+          ~reads:[ Access.make "x" [| Affine.add_const idx shift |] ]
+          ~writes:[ Access.make "y" [| idx |] ]
+          "r" d
+      in
+      let via_volume = Dependence.volume ~writer:w ~reader:r ~array:"x" in
+      let via_flows =
+        match Dependence.flow_edges [ w; r ] with
+        | [ f ] -> f.Dependence.tokens
+        | [] -> 0
+        | _ -> -1
+      in
+      via_volume = via_flows && via_volume = max 0 (size - shift))
+
+let prop_box_cardinal_product =
+  QCheck2.Test.make ~name:"box cardinal is the product of extents" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 1 3) (pair (int_range (-3) 3) (int_range (-3) 3)))
+    (fun bounds ->
+      let arr = Array.of_list bounds in
+      let d = Domain.box arr in
+      let expected =
+        Array.fold_left (fun acc (lo, hi) -> acc * max 0 (hi - lo + 1)) 1 arr
+      in
+      Domain.cardinal d = expected)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_volume_consistent; prop_box_cardinal_product ]
+
+let () =
+  Alcotest.run "poly"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "eval" `Quick test_affine_eval;
+          Alcotest.test_case "ops" `Quick test_affine_ops;
+          Alcotest.test_case "prefix" `Quick test_affine_prefix;
+          Alcotest.test_case "pp" `Quick test_affine_pp;
+          Alcotest.test_case "var bounds" `Quick test_affine_var_bounds;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "box cardinal" `Quick test_box_cardinal;
+          Alcotest.test_case "empty box" `Quick test_empty_box;
+          Alcotest.test_case "triangular" `Quick test_triangular_domain;
+          Alcotest.test_case "guards" `Quick test_guarded_domain;
+          Alcotest.test_case "inner bound rejected" `Quick
+            test_inner_bound_rejected;
+          Alcotest.test_case "lexicographic iter" `Quick
+            test_iter_lexicographic;
+          Alcotest.test_case "zero-dim" `Quick test_zero_dim_domain;
+          Alcotest.test_case "mem matches iter" `Quick test_mem_matches_iter;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "eval" `Quick test_access_eval;
+          Alcotest.test_case "mixed dims rejected" `Quick
+            test_access_mixed_dims_rejected;
+        ] );
+      ( "stmt",
+        [
+          Alcotest.test_case "basics" `Quick test_stmt_basics;
+          Alcotest.test_case "dimension check" `Quick
+            test_stmt_dimension_check;
+        ] );
+      ( "dependence",
+        [
+          Alcotest.test_case "written elements" `Quick test_written_elements;
+          Alcotest.test_case "volume chain" `Quick test_volume_chain;
+          Alcotest.test_case "volume shifted" `Quick test_volume_shifted;
+          Alcotest.test_case "flow edges chain" `Quick test_flow_edges_chain;
+          Alcotest.test_case "last writer wins" `Quick
+            test_flow_last_writer_wins;
+          Alcotest.test_case "self dependence omitted" `Quick
+            test_self_dependence_omitted;
+          Alcotest.test_case "external reads" `Quick test_external_reads;
+          Alcotest.test_case "external writes" `Quick test_external_writes;
+          Alcotest.test_case "stencil boundary" `Quick
+            test_stencil_boundary_reads_external;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,395 @@
+(* Tests for the process-network model: Process, Channel, Ppn, Derive,
+   Resource_model, Kernels. *)
+
+module Poly = Ppnpart_poly
+open Ppnpart_ppn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Process / Channel --- *)
+
+let test_process_make () =
+  let p = Process.make ~id:3 ~name:"p" ~iterations:10 ~work:2 ~resources:40 in
+  check_int "resources" 40 p.Process.resources;
+  let p' = Process.with_resources p 55 in
+  check_int "updated" 55 p'.Process.resources;
+  Alcotest.check_raises "negative work"
+    (Invalid_argument "Process.make: negative field") (fun () ->
+      ignore (Process.make ~id:0 ~name:"x" ~iterations:1 ~work:(-1)
+                ~resources:0))
+
+let test_channel_volume () =
+  let c = Channel.make ~src:0 ~dst:1 ~width:4 25 in
+  check_int "data volume" 100 (Channel.data_volume c);
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Channel.make: non-positive width") (fun () ->
+      ignore (Channel.make ~src:0 ~dst:1 ~width:0 5))
+
+(* --- Ppn container --- *)
+
+let tiny_ppn () =
+  let mk id name =
+    Process.make ~id ~name ~iterations:8 ~work:1 ~resources:(10 * (id + 1))
+  in
+  Ppn.make
+    [| mk 0 "a"; mk 1 "b"; mk 2 "c" |]
+    [
+      Channel.make ~src:0 ~dst:1 ~array:"x" 8;
+      Channel.make ~src:1 ~dst:2 ~array:"y" ~width:2 8;
+      Channel.make ~src:0 ~dst:2 ~array:"z" 4;
+    ]
+
+let test_ppn_accessors () =
+  let p = tiny_ppn () in
+  check_int "processes" 3 (Ppn.n_processes p);
+  check_int "fan_out a" 2 (Ppn.fan_out p 0);
+  check_int "fan_in c" 2 (Ppn.fan_in p 2);
+  check_int "total resources" 60 (Ppn.total_resources p);
+  check_int "total tokens" 20 (Ppn.total_tokens p)
+
+let test_ppn_validation () =
+  let mk id = Process.make ~id ~name:(string_of_int id) ~iterations:1
+      ~work:1 ~resources:1 in
+  Alcotest.check_raises "bad ids"
+    (Invalid_argument "Ppn.make: process ids must be 0 .. n-1 in order")
+    (fun () -> ignore (Ppn.make [| mk 1 |] []));
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Ppn.make: channel endpoint out of range") (fun () ->
+      ignore (Ppn.make [| mk 0 |] [ Channel.make ~src:0 ~dst:3 1 ]))
+
+let test_topological_order () =
+  let p = tiny_ppn () in
+  check_bool "acyclic" true (Ppn.is_acyclic p);
+  (match Ppn.topological_order p with
+  | Some order -> check_bool "a before c" true (order = [| 0; 1; 2 |])
+  | None -> Alcotest.fail "expected an order");
+  (* add a back edge to create a cycle *)
+  let mk id = Process.make ~id ~name:(string_of_int id) ~iterations:1
+      ~work:1 ~resources:1 in
+  let cyclic =
+    Ppn.make [| mk 0; mk 1 |]
+      [ Channel.make ~src:0 ~dst:1 1; Channel.make ~src:1 ~dst:0 1 ]
+  in
+  check_bool "cyclic" false (Ppn.is_acyclic cyclic)
+
+let test_to_graph () =
+  let p = tiny_ppn () in
+  let g = Ppn.to_graph p in
+  check_int "nodes" 3 (Ppnpart_graph.Wgraph.n_nodes g);
+  check_int "edges" 3 (Ppnpart_graph.Wgraph.n_edges g);
+  (* channel b->c has width 2: edge weight 16 *)
+  check_int "weighted edge" 16 (Ppnpart_graph.Wgraph.edge_weight g 1 2);
+  check_int "node weight = resources" 20
+    (Ppnpart_graph.Wgraph.node_weight g 1)
+
+let test_to_graph_merges_directions () =
+  let mk id = Process.make ~id ~name:(string_of_int id) ~iterations:1
+      ~work:1 ~resources:1 in
+  let p =
+    Ppn.make [| mk 0; mk 1 |]
+      [ Channel.make ~src:0 ~dst:1 10; Channel.make ~src:1 ~dst:0 5 ]
+  in
+  let g = Ppn.to_graph p in
+  check_int "summed" 15 (Ppnpart_graph.Wgraph.edge_weight g 0 1)
+
+let test_to_graph_scaling () =
+  let p = tiny_ppn () in
+  let g = Ppn.to_graph ~bandwidth_scale:3 p in
+  (* 8 tokens -> ceil(8/3) = 3 *)
+  check_int "rounded up" 3 (Ppnpart_graph.Wgraph.edge_weight g 0 1)
+
+let test_to_graph_drops_self_channels () =
+  let mk id = Process.make ~id ~name:(string_of_int id) ~iterations:1
+      ~work:1 ~resources:1 in
+  let p = Ppn.make [| mk 0; mk 1 |]
+      [ Channel.make ~src:0 ~dst:0 9; Channel.make ~src:0 ~dst:1 1 ]
+  in
+  check_int "self dropped" 1
+    (Ppnpart_graph.Wgraph.n_edges (Ppn.to_graph p))
+
+(* --- Resource_model --- *)
+
+let test_ceil_log2 () =
+  check_int "1" 0 (Resource_model.ceil_log2 1);
+  check_int "2" 1 (Resource_model.ceil_log2 2);
+  check_int "3" 2 (Resource_model.ceil_log2 3);
+  check_int "64" 6 (Resource_model.ceil_log2 64);
+  check_int "65" 7 (Resource_model.ceil_log2 65)
+
+let test_resource_model_linear () =
+  let c = Resource_model.default in
+  let base = Resource_model.process_luts c ~work:0 ~fan_in:0 ~fan_out:0 in
+  let more = Resource_model.process_luts c ~work:4 ~fan_in:1 ~fan_out:2 in
+  check_bool "monotone" true (more > base);
+  check_int "exact"
+    (c.Resource_model.base_luts + (4 * c.Resource_model.luts_per_op)
+    + (3 * c.Resource_model.luts_per_port))
+    more
+
+(* --- Derive --- *)
+
+let chain_stmts = Kernels.chain ~stages:3 ~tokens:16 ()
+
+let test_derive_chain_shape () =
+  let ppn = Derive.derive chain_stmts in
+  (* 3 stages + src_A0in + snk_A2 *)
+  check_int "processes" 5 (Ppn.n_processes ppn);
+  check_int "channels" 4 (List.length (Ppn.channels ppn));
+  check_bool "acyclic" true (Ppn.is_acyclic ppn)
+
+let test_derive_channel_volumes () =
+  let ppn = Derive.derive chain_stmts in
+  List.iter
+    (fun (c : Channel.t) -> check_int "16 tokens each" 16 c.Channel.tokens)
+    (Ppn.channels ppn)
+
+let test_derive_io_disabled () =
+  let ppn = Derive.derive ~io:false chain_stmts in
+  check_int "stages only" 3 (Ppn.n_processes ppn);
+  check_int "internal channels" 2 (List.length (Ppn.channels ppn))
+
+let test_derive_token_width () =
+  let ppn =
+    Derive.derive ~token_width:(fun a -> if a = "A1" then 4 else 1)
+      chain_stmts
+  in
+  let widths =
+    List.filter_map
+      (fun (c : Channel.t) ->
+        if c.Channel.array = "A1" then Some c.Channel.width else None)
+      (Ppn.channels ppn)
+  in
+  check_bool "width applied" true (widths = [ 4 ])
+
+let test_derive_single_source_for_shared_input () =
+  (* FIR: every tap reads x, but only one src_x process must exist. *)
+  let ppn = Derive.derive (Kernels.fir ~taps:4 ~samples:16 ()) in
+  let sources = ref 0 in
+  for i = 0 to Ppn.n_processes ppn - 1 do
+    if (Ppn.process ppn i).Process.name = "src_x" then incr sources
+  done;
+  check_int "one source" 1 !sources;
+  (* and it fans out to all 4 taps *)
+  let src_id = ref (-1) in
+  for i = 0 to Ppn.n_processes ppn - 1 do
+    if (Ppn.process ppn i).Process.name = "src_x" then src_id := i
+  done;
+  check_int "fan out 4" 4 (Ppn.fan_out ppn !src_id)
+
+let test_derive_resources_positive () =
+  let ppn = Derive.derive chain_stmts in
+  for i = 0 to Ppn.n_processes ppn - 1 do
+    check_bool "positive resources" true
+      ((Ppn.process ppn i).Process.resources > 0)
+  done
+
+let test_derive_empty_program_rejected () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Derive.derive: empty program") (fun () ->
+      ignore (Derive.derive []))
+
+(* --- split_stmt --- *)
+
+let test_split_covers_domain () =
+  let stmt = List.hd chain_stmts in
+  let chunks = Derive.split_stmt 4 stmt in
+  check_int "4 chunks" 4 (List.length chunks);
+  let total =
+    List.fold_left (fun acc s -> acc + Poly.Stmt.iterations s) 0 chunks
+  in
+  check_int "iterations preserved" (Poly.Stmt.iterations stmt) total
+
+let test_split_more_chunks_than_extent () =
+  let d = Poly.Domain.box [| (0, 2) |] in
+  let stmt = Poly.Stmt.make "s" d in
+  let chunks = Derive.split_stmt 10 stmt in
+  check_int "capped at extent" 3 (List.length chunks)
+
+let test_split_preserves_flows () =
+  (* Splitting the producer of a chain must preserve total channel volume. *)
+  let stmts = Kernels.chain ~stages:2 ~tokens:32 () in
+  match stmts with
+  | [ s0; s1 ] ->
+    let split = Derive.split_stmt 4 s0 @ [ s1 ] in
+    let flows = Poly.Dependence.flow_edges split in
+    let total =
+      List.fold_left (fun acc f -> acc + f.Poly.Dependence.tokens) 0 flows
+    in
+    check_int "volume preserved" 32 total;
+    check_int "4 producer chunks" 4 (List.length flows)
+  | _ -> Alcotest.fail "expected 2 stages"
+
+(* --- Kernels sanity --- *)
+
+let test_all_kernels_derive () =
+  List.iter
+    (fun (name, stmts) ->
+      let ppn = Derive.derive stmts in
+      check_bool (name ^ " nonempty") true (Ppn.n_processes ppn > 0);
+      check_bool (name ^ " has channels") true (Ppn.channels ppn <> []);
+      check_bool (name ^ " graph connected-ish") true
+        (Ppnpart_graph.Wgraph.n_edges (Ppn.to_graph ppn) > 0))
+    Kernels.all
+
+let test_sobel_diamond () =
+  let ppn = Derive.derive (Kernels.sobel ~width:8 ~height:8 ()) in
+  (* gx, gy, mag + src_img + snk_edge *)
+  check_int "5 processes" 5 (Ppn.n_processes ppn);
+  check_bool "acyclic" true (Ppn.is_acyclic ppn)
+
+let test_matmul_bands () =
+  let stmts = Kernels.matmul ~blocks:4 ~n:6 () in
+  check_int "4 bands" 4 (List.length stmts);
+  let total =
+    List.fold_left (fun acc s -> acc + Poly.Stmt.iterations s) 0 stmts
+  in
+  check_int "n^3 iterations" 216 total
+
+let test_pyramid_rates_halve () =
+  let ppn = Derive.derive (Kernels.pyramid ~levels:3 ~n:64 ()) in
+  (* Channel volumes from blur_l to down_l shrink roughly geometrically:
+     check that each level's blur output is at most ~half the previous. *)
+  let volume_to name =
+    List.fold_left
+      (fun acc (c : Channel.t) ->
+        if
+          (Ppn.process ppn c.Channel.dst).Process.name = name
+        then acc + c.Channel.tokens
+        else acc)
+      0 (Ppn.channels ppn)
+  in
+  let v0 = volume_to "down0" and v1 = volume_to "down1"
+  and v2 = volume_to "down2" in
+  check_bool "positive volumes" true (v0 > 0 && v1 > 0 && v2 > 0);
+  check_bool "rate halves 0->1" true (v1 <= (v0 / 2) + 2);
+  check_bool "rate halves 1->2" true (v2 <= (v1 / 2) + 2)
+
+let test_unsharp_forwarding_edge () =
+  let ppn = Derive.derive (Kernels.unsharp ~n:32 ()) in
+  (* src_In must feed both blur (stmt 0) and mask (stmt 1). *)
+  let src_id = ref (-1) in
+  for i = 0 to Ppn.n_processes ppn - 1 do
+    if (Ppn.process ppn i).Process.name = "src_In" then src_id := i
+  done;
+  check_bool "source exists" true (!src_id >= 0);
+  check_int "fans out to blur and mask" 2 (Ppn.fan_out ppn !src_id)
+
+let test_trmv_triangular_volumes () =
+  let n = 8 in
+  let stmts = Kernels.trmv ~n () in
+  let flows = Ppnpart_poly.Dependence.flow_edges stmts in
+  (* init -> mac: acc[i][0] consumed once per i >= 1 (mac at j=1 reads
+     acc[i][0]): n-1 tokens. mac -> collect: diagonal reads for i >= 1:
+     n-1 tokens; init -> collect: acc[0][0]: 1 token. *)
+  let volume src dst =
+    List.fold_left
+      (fun acc (f : Ppnpart_poly.Dependence.flow) ->
+        if f.Ppnpart_poly.Dependence.src = src && f.Ppnpart_poly.Dependence.dst = dst
+        then acc + f.Ppnpart_poly.Dependence.tokens
+        else acc)
+      0 flows
+  in
+  check_int "init feeds mac" (n - 1) (volume 0 1);
+  check_int "mac feeds collect" (n - 1) (volume 1 2);
+  check_int "init feeds collect diagonal" 1 (volume 0 2);
+  (* mac's iteration count is the triangle size *)
+  check_int "triangle iterations"
+    ((n - 1) * n / 2)
+    (Ppnpart_poly.Stmt.iterations (List.nth stmts 1))
+
+let test_stencil_rejects_too_deep () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Kernels.stencil1d ~stages:10 ~points:12 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- properties --- *)
+
+let prop_chain_tokens_scale =
+  QCheck2.Test.make ~name:"chain volumes scale with tokens" ~count:30
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 2 40))
+    (fun (stages, tokens) ->
+      let ppn = Derive.derive (Kernels.chain ~stages ~tokens ()) in
+      List.for_all
+        (fun (c : Channel.t) -> c.Channel.tokens = tokens)
+        (Ppn.channels ppn))
+
+let prop_graph_weight_is_resources =
+  QCheck2.Test.make ~name:"to_graph conserves total resources" ~count:30
+    QCheck2.Gen.(int_range 2 6)
+    (fun stages ->
+      let ppn = Derive.derive (Kernels.chain ~stages ~tokens:8 ()) in
+      Ppnpart_graph.Wgraph.total_node_weight (Ppn.to_graph ppn)
+      = Ppn.total_resources ppn)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_chain_tokens_scale; prop_graph_weight_is_resources ]
+
+let () =
+  Alcotest.run "ppn"
+    [
+      ( "process_channel",
+        [
+          Alcotest.test_case "process" `Quick test_process_make;
+          Alcotest.test_case "channel volume" `Quick test_channel_volume;
+        ] );
+      ( "ppn",
+        [
+          Alcotest.test_case "accessors" `Quick test_ppn_accessors;
+          Alcotest.test_case "validation" `Quick test_ppn_validation;
+          Alcotest.test_case "topological order" `Quick
+            test_topological_order;
+          Alcotest.test_case "to_graph" `Quick test_to_graph;
+          Alcotest.test_case "to_graph merges directions" `Quick
+            test_to_graph_merges_directions;
+          Alcotest.test_case "to_graph scaling" `Quick test_to_graph_scaling;
+          Alcotest.test_case "to_graph drops self" `Quick
+            test_to_graph_drops_self_channels;
+        ] );
+      ( "resource_model",
+        [
+          Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+          Alcotest.test_case "linear model" `Quick
+            test_resource_model_linear;
+        ] );
+      ( "derive",
+        [
+          Alcotest.test_case "chain shape" `Quick test_derive_chain_shape;
+          Alcotest.test_case "channel volumes" `Quick
+            test_derive_channel_volumes;
+          Alcotest.test_case "io disabled" `Quick test_derive_io_disabled;
+          Alcotest.test_case "token width" `Quick test_derive_token_width;
+          Alcotest.test_case "single shared source" `Quick
+            test_derive_single_source_for_shared_input;
+          Alcotest.test_case "resources positive" `Quick
+            test_derive_resources_positive;
+          Alcotest.test_case "empty rejected" `Quick
+            test_derive_empty_program_rejected;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "covers domain" `Quick test_split_covers_domain;
+          Alcotest.test_case "capped chunks" `Quick
+            test_split_more_chunks_than_extent;
+          Alcotest.test_case "preserves flows" `Quick
+            test_split_preserves_flows;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "all derive" `Quick test_all_kernels_derive;
+          Alcotest.test_case "sobel diamond" `Quick test_sobel_diamond;
+          Alcotest.test_case "matmul bands" `Quick test_matmul_bands;
+          Alcotest.test_case "pyramid rates halve" `Quick
+            test_pyramid_rates_halve;
+          Alcotest.test_case "unsharp forwarding edge" `Quick
+            test_unsharp_forwarding_edge;
+          Alcotest.test_case "trmv triangular volumes" `Quick
+            test_trmv_triangular_volumes;
+          Alcotest.test_case "stencil depth check" `Quick
+            test_stencil_rejects_too_deep;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,144 @@
+(* Robustness and scale tests: parsers never crash with unexpected
+   exceptions on hostile input; the partitioners handle large instances
+   within sane time. *)
+
+open Ppnpart_graph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- fuzz: Graph_io parsers --- *)
+
+let printable_gen =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_bound 200))
+
+let structured_garbage_gen =
+  (* Mix digits, spaces and newlines: the shape parsers actually look at. *)
+  QCheck2.Gen.(
+    string_size
+      ~gen:(oneofl [ '0'; '1'; '9'; ' '; '\n'; '%'; '-' ])
+      (int_bound 120))
+
+let never_crashes name parse gen =
+  QCheck2.Test.make ~name ~count:300 gen (fun text ->
+      match parse text with
+      | (_ : Wgraph.t) -> true
+      | exception Failure _ -> true
+      | exception Invalid_argument _ ->
+        (* e.g. a negative weight in an otherwise well-formed file: still a
+           clean, documented rejection *)
+        true
+      | exception _ -> false)
+
+let fuzz_of_metis_printable =
+  never_crashes "of_metis: printable garbage -> Failure only"
+    Graph_io.of_metis printable_gen
+
+let fuzz_of_metis_structured =
+  never_crashes "of_metis: numeric garbage -> Failure only"
+    Graph_io.of_metis structured_garbage_gen
+
+let fuzz_of_adjacency =
+  never_crashes "of_adjacency_matrix: garbage -> Failure only"
+    Graph_io.of_adjacency_matrix structured_garbage_gen
+
+(* --- fuzz: the .pn language --- *)
+
+let fuzz_lang_no_exception =
+  QCheck2.Test.make ~name:".pn parser: garbage -> Error, never exception"
+    ~count:300 printable_gen
+    (fun text ->
+      match Ppnpart_lang.Lang.parse_program text with
+      | Ok _ | Error _ -> true)
+
+let pn_ish_gen =
+  (* Token soup from the language's own vocabulary: exercises the parser
+     deeper than raw ASCII. *)
+  QCheck2.Gen.(
+    let word =
+      oneofl
+        [ "stmt"; "param"; "read"; "write"; "work"; "where"; "s"; "i"; "N";
+          "("; ")"; "{"; "}"; "["; "]"; ":"; ","; ".."; "+"; "-"; "*"; "=";
+          "<="; ">="; "0"; "1"; "42" ]
+    in
+    map (String.concat " ") (list_size (int_bound 40) word))
+
+let fuzz_lang_token_soup =
+  QCheck2.Test.make ~name:".pn parser: token soup -> Error or Ok" ~count:300
+    pn_ish_gen
+    (fun text ->
+      match Ppnpart_lang.Lang.parse_program text with
+      | Ok _ | Error _ -> true)
+
+(* --- fuzz: Partition_io --- *)
+
+let fuzz_partition_io =
+  QCheck2.Test.make ~name:"partition files: garbage -> Failure only"
+    ~count:300 structured_garbage_gen
+    (fun text ->
+      match Ppnpart_partition.Partition_io.of_string text with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true)
+
+(* --- scale: GP on a 10k-node planted instance (Slow) --- *)
+
+let test_gp_scales_to_10k () =
+  let r = Random.State.make [| 4096; 4; 13 |] in
+  let g, c =
+    Ppnpart_workloads.Rand_graph.random_partitionable r ~n:10_000 ~k:4
+  in
+  let t0 = Unix.gettimeofday () in
+  let result = Ppnpart_core.Gp.partition g c in
+  let dt = Unix.gettimeofday () -. t0 in
+  check_bool "feasible at 10k nodes" true result.Ppnpart_core.Gp.feasible;
+  check_bool "within 30 s" true (dt < 30.)
+
+let test_metis_like_scales_to_10k () =
+  let r = Random.State.make [| 77 |] in
+  let g =
+    Ppnpart_workloads.Rand_graph.rmat ~vw_range:(1, 20) ~ew_range:(1, 9) r
+      ~scale:13 ~m:40_000
+  in
+  let s = Ppnpart_baselines.Metis_like.partition g ~k:8 in
+  Ppnpart_partition.Types.check_partition ~n:(Wgraph.n_nodes g) ~k:8
+    s.Ppnpart_baselines.Metis_like.part;
+  check_bool "cut positive" true (s.Ppnpart_baselines.Metis_like.cut > 0)
+
+let test_sim_scales () =
+  (* A long pipeline with many tokens completes quickly. *)
+  let ppn =
+    Ppnpart_ppn.Derive.derive (Ppnpart_ppn.Kernels.chain ~stages:32 ~tokens:512 ())
+  in
+  let n = Ppnpart_ppn.Ppn.n_processes ppn in
+  let plat = Ppnpart_fpga.Platform.make ~n_fpgas:4 ~rmax:1_000_000 ~bmax:8 () in
+  match
+    Ppnpart_fpga.Sim.run plat ppn
+      ~assignment:(Array.init n (fun i -> i * 4 / n))
+  with
+  | Ok r -> check_int "firings" (512 * 33 + 512) r.Ppnpart_fpga.Sim.total_firings
+  | Error e -> Alcotest.failf "sim error: %a" Ppnpart_fpga.Sim.pp_error e
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      fuzz_of_metis_printable;
+      fuzz_of_metis_structured;
+      fuzz_of_adjacency;
+      fuzz_lang_no_exception;
+      fuzz_lang_token_soup;
+      fuzz_partition_io;
+    ]
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ("fuzz", qcheck_cases);
+      ( "scale",
+        [
+          Alcotest.test_case "gp 10k nodes" `Slow test_gp_scales_to_10k;
+          Alcotest.test_case "metis-like 8k rmat" `Slow
+            test_metis_like_scales_to_10k;
+          Alcotest.test_case "sim long pipeline" `Slow test_sim_scales;
+        ] );
+    ]
