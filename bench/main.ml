@@ -405,6 +405,157 @@ let scaling () =
     (Ppnpart_workloads.Ppn_suite.scaling_graphs rng)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable benchmark record: BENCH_partition.json.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-instance results plus the two headline micro-benchmarks (bucket
+   FM vs the seed's quadratic move selection, and speculative V-cycles
+   at jobs=1 vs jobs=4), written as JSON next to the human tables so
+   future PRs can track the perf trajectory. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The seed's O(n k) move selection (the heart of its O(n^2 k) fm_pass):
+   scan every unlocked node for the globally best tentative move. Kept
+   here as the reference the bucket-queue implementation is measured
+   against. *)
+let quadratic_select st locked conn =
+  let n = Wgraph.n_nodes st.Part_state.g in
+  let chosen = ref None in
+  for u = 0 to n - 1 do
+    if not locked.(u) then begin
+      Part_state.connectivity st conn u;
+      let v, cut', t = Part_state.best_target st conn u in
+      if t >= 0 then
+        match !chosen with
+        | Some (_, _, v', cut'') when (v', cut'') <= (v, cut') -> ()
+        | _ -> chosen := Some (u, t, v, cut')
+    end
+  done;
+  !chosen
+
+let fm_bench ~n ~m ~k =
+  let rng = Random.State.make [| n; k; 0x464d |] in
+  let g =
+    Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 20) ~ew_range:(1, 9) rng
+      ~n ~m
+  in
+  let c =
+    Types.constraints ~k
+      ~rmax:((Wgraph.total_node_weight g / k * 4 / 3) + 1)
+      ~bmax:((Wgraph.total_edge_weight g / (2 * k)) + 1)
+  in
+  let part0 = Ppnpart_partition.Initial.random_kway rng g ~k in
+  (* Bucket-queue pass on a fresh state. *)
+  let st = Part_state.init g c (Array.copy part0) in
+  let _, bucket_pass_s = time (fun () -> Refine_constrained.fm_pass st) in
+  (* Quadratic reference: the full pass would take minutes at this size,
+     so run [ref_moves] selections (each O(n k^2), independent of the
+     move index) and extrapolate to the n-move pass. *)
+  let ref_moves = 30 in
+  let st' = Part_state.init g c (Array.copy part0) in
+  let locked = Array.make n false in
+  let conn = Array.make k 0 in
+  let (), ref_s =
+    time (fun () ->
+        for _ = 1 to ref_moves do
+          match quadratic_select st' locked conn with
+          | None -> ()
+          | Some (u, t, _, _) ->
+            Part_state.connectivity st' conn u;
+            Part_state.apply_move st' u t conn;
+            locked.(u) <- true
+        done)
+  in
+  let quadratic_est_s = ref_s *. float_of_int n /. float_of_int ref_moves in
+  (* End-to-end refine (greedy sweeps + FM at 5k nodes, which the seed's
+     512-node gate used to forbid). *)
+  let rng' = Random.State.make [| 7 |] in
+  let (_, gd), refine_s =
+    time (fun () -> Refine_constrained.refine rng' g c (Array.copy part0))
+  in
+  ( g, c,
+    Printf.sprintf
+      {|{ "n": %d, "m": %d, "k": %d,
+      "fm_pass_bucket_s": %.6f, "fm_pass_quadratic_est_s": %.6f,
+      "fm_pass_speedup": %.1f,
+      "refine_s": %.6f, "refine_violation": %d, "refine_cut": %d }|}
+      n (Wgraph.n_edges g) k bucket_pass_s quadratic_est_s
+      (quadratic_est_s /. bucket_pass_s)
+      refine_s gd.Metrics.violation gd.Metrics.cut_value )
+
+let vcycle_bench () =
+  (* Infeasible by construction (bmax = 0 on a connected graph), so every
+     run burns the full 20-cycle budget — the speculative-parallelism
+     stress case. *)
+  let rng = Random.State.make [| 42 |] in
+  let g =
+    Ppnpart_workloads.Rand_graph.layered ~vw_range:(1, 20) ~ew_range:(1, 9)
+      rng ~layers:40 ~width:15
+  in
+  let c =
+    Types.constraints ~k:4 ~bmax:0
+      ~rmax:(Wgraph.total_node_weight g / 4 * 2)
+  in
+  let run jobs =
+    let config = { Config.default with Config.max_cycles = 20; jobs } in
+    time (fun () -> Gp.partition ~config g c)
+  in
+  let r1, t1 = run 1 in
+  let r4, t4 = run 4 in
+  Printf.sprintf
+    {|{ "n": %d, "m": %d, "k": 4, "max_cycles": 20,
+      "cycles_used": %d, "jobs1_s": %.3f, "jobs4_s": %.3f,
+      "jobs4_speedup": %.2f, "deterministic_across_jobs": %b }|}
+    (Wgraph.n_nodes g) (Wgraph.n_edges g) r1.Gp.cycles_used t1 t4 (t1 /. t4)
+    (r1.Gp.part = r4.Gp.part)
+
+let bench_json () =
+  section "Machine-readable benchmark record (BENCH_partition.json)";
+  ensure_out_dir ();
+  let instance_rows =
+    List.map
+      (fun (e : PG.experiment) ->
+        let r = Gp.partition e.PG.graph e.PG.constraints in
+        Printf.sprintf
+          {|    { "name": %S, "n": %d, "m": %d, "k": %d, "cut": %d,
+      "feasible": %b, "runtime_s": %.4f, "cycles": %d, "levels": %d,
+      "jobs": %d }|}
+          e.PG.name
+          (Wgraph.n_nodes e.PG.graph)
+          (Wgraph.n_edges e.PG.graph)
+          e.PG.constraints.Types.k r.Gp.report.Metrics.total_cut
+          r.Gp.feasible r.Gp.runtime_s r.Gp.cycles_used r.Gp.levels
+          Config.default.Config.jobs)
+      PG.all
+  in
+  let _, _, fm_row = fm_bench ~n:5000 ~m:20000 ~k:8 in
+  let vc_row = vcycle_bench () in
+  let json =
+    Printf.sprintf
+      {|{
+  "schema": "ppnpart-bench-partition/1",
+  "generated_unix": %.0f,
+  "instances": [
+%s
+  ],
+  "fm_5k": %s,
+  "vcycles_20": %s
+}
+|}
+      (Unix.time ())
+      (String.concat ",\n" instance_rows)
+      fm_row vc_row
+  in
+  let path = Filename.concat out_dir "BENCH_partition.json" in
+  Graph_io.write_file path json;
+  print_string json;
+  Printf.printf "  wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -465,6 +616,7 @@ let all () =
   ablation_refinement ();
   ablation_kwayfm ();
   scaling ();
+  bench_json ();
   timing ()
 
 let () =
@@ -481,6 +633,7 @@ let () =
       ("ablation-refinement", ablation_refinement);
       ("ablation-kwayfm", ablation_kwayfm);
       ("scaling", scaling);
+      ("json", bench_json);
       ("timing", timing);
       ("all", all);
     ]

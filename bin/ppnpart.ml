@@ -38,6 +38,15 @@ let paper_arg =
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for the speculative parallel search (GP only). 0 means \
+           auto: $(b,PPNPART_JOBS) or the recommended domain count. The \
+           partition found is identical for every job count.")
+
 let k_arg =
   Arg.(
     value & opt int 4
@@ -104,7 +113,7 @@ let resolve_input input paper seed =
 (* --- partition command --- *)
 
 let partition_cmd =
-  let run input paper seed k bmax rmax algo dot save =
+  let run input paper seed jobs k bmax rmax algo dot save =
     match resolve_input input paper seed with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -116,7 +125,7 @@ let partition_cmd =
         let rng = Random.State.make [| seed |] in
         match algo with
         | `Gp ->
-          let config = { Ppnpart_core.Config.default with seed } in
+          let config = { Ppnpart_core.Config.default with seed; jobs } in
           let r = Ppnpart_core.Gp.partition ~config g c in
           ("GP", r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.runtime_s)
         | `Metis ->
@@ -168,8 +177,8 @@ let partition_cmd =
   in
   let term =
     Term.(
-      const run $ input_arg $ paper_arg $ seed_arg $ k_arg $ bmax_arg
-      $ rmax_arg $ algo_arg $ dot_arg $ save_arg)
+      const run $ input_arg $ paper_arg $ seed_arg $ jobs_arg $ k_arg
+      $ bmax_arg $ rmax_arg $ algo_arg $ dot_arg $ save_arg)
   in
   Cmd.v
     (Cmd.info "partition"

@@ -6,6 +6,7 @@ type t = {
   strategies : Ppnpart_partition.Matching.strategy list;
   tabu_iterations : int;
   seed : int;
+  jobs : int;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     strategies = Ppnpart_partition.Matching.all_strategies;
     tabu_iterations = 0;
     seed = 0;
+    jobs = 1;
   }
 
 let validate t =
@@ -25,4 +27,5 @@ let validate t =
   if t.max_cycles < 0 then invalid_arg "Config: max_cycles < 0";
   if t.refine_passes < 1 then invalid_arg "Config: refine_passes < 1";
   if t.tabu_iterations < 0 then invalid_arg "Config: tabu_iterations < 0";
+  if t.jobs < 0 then invalid_arg "Config: jobs < 0";
   if t.strategies = [] then invalid_arg "Config: no matching strategies"

@@ -18,6 +18,13 @@ type t = {
           descent's finest partition is polished with that many
           tabu-search moves. Default 0 = faithful paper behaviour. *)
   seed : int;  (** PRNG seed; equal seeds give identical runs *)
+  jobs : int;
+      (** domain-pool width for the speculative parallel search: V-cycle
+          candidates, initial-partitioning restarts and matching
+          strategies run concurrently on up to this many domains. [0]
+          means auto ([PPNPART_JOBS] or
+          [Domain.recommended_domain_count ()]). The partition returned
+          is identical for every job count (default 1). *)
 }
 
 val default : t

@@ -1,5 +1,6 @@
 open Ppnpart_graph
 open Ppnpart_partition
+module Pool = Ppnpart_exec.Pool
 
 type result = {
   part : int array;
@@ -23,7 +24,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
    resource-bounded growth (Section IV.B) and — the "partitioning phase
    (randomly)" of the cyclic scheme (Section IV.C) — a uniformly random
    assignment; the refined candidate of better goodness descends. *)
-let descend (cfg : Config.t) rng hierarchy c =
+let descend (cfg : Config.t) ~jobs rng hierarchy c =
   let coarsest = Coarsen.coarsest hierarchy in
   let refine_initial initial =
     Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
@@ -31,8 +32,8 @@ let descend (cfg : Config.t) rng hierarchy c =
   in
   let greedy =
     refine_initial
-      (Initial.greedy_resource_growth ~n_seeds:cfg.Config.n_initial_seeds rng
-         coarsest c)
+      (Initial.greedy_resource_growth ~n_seeds:cfg.Config.n_initial_seeds
+         ~jobs rng coarsest c)
   in
   let random =
     refine_initial (Initial.random_kway rng coarsest ~k:c.Types.k)
@@ -63,9 +64,41 @@ let descend (cfg : Config.t) rng hierarchy c =
   end;
   !part
 
+(* One speculative partial V-cycle. Every cycle draws its randomness from
+   a private stream derived from [(seed, cycle_index)] and re-coarsens
+   from the base hierarchy, so cycle [i] is a pure function of the input
+   and [i]: candidates can be evaluated concurrently in any order and the
+   outcome is independent of the domain count. Inner phases run with
+   [jobs = 1] — the parallelism budget is already spent on the cycles
+   themselves. *)
+let run_cycle (cfg : Config.t) g (c : Types.constraints) base_hierarchy i =
+  let rng = Random.State.make [| cfg.Config.seed; 0x6770; i |] in
+  let levels = Coarsen.levels base_hierarchy in
+  let from_level = if levels <= 1 then 0 else Random.State.int rng levels in
+  (* "Coarsened back to the lowest level" (Section IV): every cycle draws
+     a coarsening depth between the configured target and the deepest
+     useful level, so retries explore coarse clusterings the first
+     descent never saw. The deepest target is coarse enough that initial
+     partitioning effectively places whole clusters, but keeps at least
+     two candidate nodes per part. *)
+  let deep_target = max (2 * c.Types.k) 8 in
+  let target =
+    if deep_target >= cfg.Config.coarsen_target then deep_target
+    else
+      deep_target
+      + Random.State.int rng (cfg.Config.coarsen_target - deep_target + 1)
+  in
+  let h =
+    Coarsen.extend ~target ~strategies:cfg.Config.strategies ~jobs:1 rng
+      base_hierarchy ~from_level
+  in
+  let part = descend cfg ~jobs:1 rng h c in
+  (part, Metrics.goodness g c part, from_level)
+
 let partition ?(config = Config.default) g (c : Types.constraints) =
   Config.validate config;
   let t0 = Unix.gettimeofday () in
+  let jobs = Pool.resolve config.Config.jobs in
   let rng = Random.State.make [| config.Config.seed; 0x6770 |] in
   let n = Wgraph.n_nodes g in
   let finish ?(history = []) part cycles levels =
@@ -86,52 +119,47 @@ let partition ?(config = Config.default) g (c : Types.constraints) =
   else if n <= c.Types.k then finish (Array.init n (fun i -> i)) 0 0
   else begin
     let hierarchy =
-      ref
-        (Coarsen.build ~target:config.Config.coarsen_target
-           ~strategies:config.Config.strategies rng g)
+      Coarsen.build ~target:config.Config.coarsen_target
+        ~strategies:config.Config.strategies ~jobs rng g
     in
-    let best_part = ref (descend config rng !hierarchy c) in
+    let best_part = ref (descend config ~jobs rng hierarchy c) in
     let best_goodness = ref (Metrics.goodness g c !best_part) in
     let history = ref [ !best_goodness ] in
     let cycles = ref 0 in
-    (* Partial V-cycles until feasible or the iteration budget runs out. *)
-    (* The deepest coarsening a V-cycle may aim for: coarse enough that
-       initial partitioning effectively places whole clusters, but with at
-       least two candidate nodes per part. *)
-    let deep_target = max (2 * c.Types.k) 8 in
-    while
-      !best_goodness.Metrics.violation > 0
-      && !cycles < config.Config.max_cycles
-    do
-      incr cycles;
-      let levels = Coarsen.levels !hierarchy in
-      let from_level = if levels <= 1 then 0 else Random.State.int rng levels in
-      (* "Coarsened back to the lowest level" (Section IV): every cycle
-         draws a coarsening depth between the configured target and the
-         deepest useful level, so retries explore coarse clusterings the
-         first descent never saw. *)
-      let target =
-        if deep_target >= config.Config.coarsen_target then deep_target
-        else
-          deep_target
-          + Random.State.int rng
-              (config.Config.coarsen_target - deep_target + 1)
+    (* Partial V-cycles until feasible or the iteration budget runs out.
+       Cycles are evaluated speculatively in waves of [jobs]; results are
+       folded in cycle order and the fold stops at the first cycle that
+       leaves the best candidate feasible, so any work past that point is
+       discarded and the outcome matches the sequential schedule
+       exactly. *)
+    let stop = ref (!best_goodness.Metrics.violation = 0) in
+    let next = ref 1 in
+    while (not !stop) && !next <= config.Config.max_cycles do
+      let wave = min jobs (config.Config.max_cycles - !next + 1) in
+      let first = !next in
+      let results =
+        Pool.run ~jobs
+          (Array.init wave (fun w () ->
+               run_cycle config g c hierarchy (first + w)))
       in
-      hierarchy :=
-        Coarsen.extend ~target ~strategies:config.Config.strategies rng
-          !hierarchy ~from_level;
-      let candidate = descend config rng !hierarchy c in
-      let gd = Metrics.goodness g c candidate in
-      Log.debug (fun m ->
-          m "cycle %d (from level %d): %a" !cycles from_level
-            Metrics.pp_goodness gd);
-      if Metrics.compare_goodness gd !best_goodness < 0 then begin
-        best_part := candidate;
-        best_goodness := gd
-      end;
-      history := !best_goodness :: !history
+      Array.iteri
+        (fun w (candidate, gd, from_level) ->
+          if not !stop then begin
+            incr cycles;
+            Log.debug (fun m ->
+                m "cycle %d (from level %d): %a" (first + w) from_level
+                  Metrics.pp_goodness gd);
+            if Metrics.compare_goodness gd !best_goodness < 0 then begin
+              best_part := candidate;
+              best_goodness := gd
+            end;
+            history := !best_goodness :: !history;
+            if !best_goodness.Metrics.violation = 0 then stop := true
+          end)
+        results;
+      next := first + wave
     done;
-    finish ~history:!history !best_part !cycles (Coarsen.levels !hierarchy)
+    finish ~history:!history !best_part !cycles (Coarsen.levels hierarchy)
   end
 
 let partition_exn ?config g c =

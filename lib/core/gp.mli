@@ -11,7 +11,14 @@
     matchings, re-seed, re-refine — and keeps the candidate with the best
     goodness, cyclically, up to [max_cycles] times. An instance that stays
     infeasible is reported as such ("either impossible or the tool needs
-    more iterations", Section IV.C). *)
+    more iterations", Section IV.C).
+
+    The V-cycle retries run speculatively in parallel on a domain pool of
+    [config.jobs] width: each cycle draws its randomness from a private
+    stream derived from [(seed, cycle_index)] and re-coarsens from the
+    base hierarchy, and results are folded in cycle order with the fold
+    stopping at the first feasibility — so the returned partition is
+    bit-identical for every job count. *)
 
 open Ppnpart_graph
 open Ppnpart_partition
@@ -22,7 +29,7 @@ type result = {
   goodness : Metrics.goodness;
   report : Metrics.report;
   cycles_used : int;  (** V-cycles beyond the first descent *)
-  levels : int;  (** depth of the last hierarchy *)
+  levels : int;  (** depth of the base hierarchy *)
   runtime_s : float;
   history : Metrics.goodness list;
       (** best goodness after the initial descent and after each V-cycle,

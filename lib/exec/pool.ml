@@ -1,0 +1,51 @@
+let default_jobs () =
+  match Sys.getenv_opt "PPNPART_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let resolve jobs = if jobs > 0 then jobs else default_jobs ()
+
+type 'a outcome =
+  | Pending
+  | Done of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+let run ?(jobs = 0) tasks =
+  let jobs = resolve jobs in
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    (* Each slot is written by exactly one domain (the one that claimed
+       its index), so plain array stores are race-free; Domain.join
+       publishes them to the main domain. *)
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            (match tasks.(i) () with
+            | v -> Done v
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let spawned =
+      Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Done v -> v
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false)
+      results
+  end
+
+let map ?jobs f xs = run ?jobs (Array.map (fun x () -> f x) xs)

@@ -1,0 +1,32 @@
+(** A small fork-join domain pool for speculative parallel search.
+
+    OCaml 5 [Domain]s are spawned per {!run} call and joined before it
+    returns — there is no persistent worker state, so the pool composes
+    with any caller and never leaks domains. Tasks must be independent
+    and deterministic (draw randomness from a private [Random.State]);
+    under that contract the result array is identical for every job
+    count, which is what lets the GP partitioner guarantee bit-identical
+    partitions for [jobs = 1] and [jobs = N].
+
+    Nested use is safe but sequential by convention: code that runs
+    inside a pool task should call back in with [~jobs:1] to avoid
+    oversubscribing the machine. *)
+
+val default_jobs : unit -> int
+(** The [PPNPART_JOBS] environment variable when set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val resolve : int -> int
+(** [resolve jobs] is [jobs] when positive, {!default_jobs} otherwise
+    (so [0] means "auto"). *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] evaluates every task and returns the results in
+    task order. With [jobs <= 1] (after {!resolve}) or fewer than two
+    tasks everything runs sequentially in the calling domain; otherwise
+    up to [jobs - 1] extra domains are spawned and tasks are drained
+    from a shared atomic counter. The first exception (by task index) is
+    re-raised after all domains have joined. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] is [run ~jobs] over [fun () -> f xs.(i)]. *)

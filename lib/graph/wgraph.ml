@@ -43,6 +43,21 @@ let build ?vwgt el =
       adjwgt.(cursor.(v)) <- w;
       cursor.(v) <- cursor.(v) + 1)
     edges;
+  (* Sort every adjacency slice by neighbour id so that edge_weight and
+     mem_edge can binary-search in O(log deg). Neighbour ids are unique
+     within a slice (Edge_list merges parallel edges). *)
+  for u = 0 to n - 1 do
+    let lo = xadj.(u) in
+    let len = xadj.(u + 1) - lo in
+    if len > 1 then begin
+      let idx = Array.init len (fun i -> lo + i) in
+      Array.sort (fun a b -> compare adjncy.(a) adjncy.(b)) idx;
+      let tn = Array.map (fun i -> adjncy.(i)) idx in
+      let tw = Array.map (fun i -> adjwgt.(i)) idx in
+      Array.blit tn 0 adjncy lo len;
+      Array.blit tw 0 adjwgt lo len
+    end
+  done;
   { n; xadj; adjncy; adjwgt; vwgt }
 
 let of_edges ?vwgt n edges =
@@ -69,19 +84,25 @@ let fold_neighbors g u f init =
 
 let weighted_degree g u = fold_neighbors g u (fun acc _ w -> acc + w) 0
 
-let edge_weight g u v =
-  let rec loop i =
-    if i >= g.xadj.(u + 1) then 0
-    else if g.adjncy.(i) = v then g.adjwgt.(i)
-    else loop (i + 1)
-  in
-  loop g.xadj.(u)
+(* Adjacency slices are sorted by neighbour id at build time, so edge
+   lookups binary-search in O(log deg) rather than scanning the slice. *)
+let neighbor_index g u v =
+  let lo = ref g.xadj.(u) and hi = ref (g.xadj.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = g.adjncy.(mid) in
+    if x = v then found := mid
+    else if x < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
 
-let mem_edge g u v =
-  let rec loop i =
-    i < g.xadj.(u + 1) && (g.adjncy.(i) = v || loop (i + 1))
-  in
-  loop g.xadj.(u)
+let edge_weight g u v =
+  let i = neighbor_index g u v in
+  if i < 0 then 0 else g.adjwgt.(i)
+
+let mem_edge g u v = neighbor_index g u v >= 0
 
 let iter_edges g f =
   for u = 0 to g.n - 1 do

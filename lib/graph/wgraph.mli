@@ -47,15 +47,17 @@ val weighted_degree : t -> int -> int
 
 val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
 (** [iter_neighbors g u f] applies [f v w] for every edge [{u, v}] of weight
-    [w]. *)
+    [w], in increasing order of [v]. *)
 
 val fold_neighbors : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
 
 val edge_weight : t -> int -> int -> int
 (** [edge_weight g u v] is the weight of edge [{u, v}], or [0] if absent.
-    O(degree u). *)
+    O(log (degree u)): adjacency slices are sorted by neighbour id at
+    build time and looked up by binary search. *)
 
 val mem_edge : t -> int -> int -> bool
+(** O(log (degree u)), like {!edge_weight}. *)
 
 val iter_edges : t -> (int -> int -> int -> unit) -> unit
 (** Iterates every undirected edge once, with [u < v]. *)

@@ -77,6 +77,7 @@ let pop_max t =
 
 let cardinal t = t.count
 let is_empty t = t.count = 0
+let max_gain t = t.max_gain
 
 let clear t =
   Array.fill t.heads 0 (Array.length t.heads) (-1);

@@ -36,4 +36,8 @@ val pop_max : t -> (int * int) option
 val peek_max : t -> (int * int) option
 val cardinal : t -> int
 val is_empty : t -> bool
+
+val max_gain : t -> int
+(** The gain bound declared at creation. *)
+
 val clear : t -> unit

@@ -33,7 +33,7 @@ let finest h = h.graphs.(0)
 let coarsest h = h.graphs.(levels h - 1)
 let graph_at h l = h.graphs.(l)
 
-let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) rng g0
+let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) ?jobs rng g0
     ~prefix_graphs ~prefix_maps =
   let graphs = ref prefix_graphs and maps = ref prefix_maps in
   let current = ref g0 in
@@ -43,7 +43,7 @@ let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) rng g0
     let n = Wgraph.n_nodes g in
     if n <= target || Wgraph.n_edges g = 0 then continue := false
     else begin
-      let _, partner = Matching.best_of ?strategies rng g in
+      let _, partner = Matching.best_of ?strategies ?jobs rng g in
       let coarse, cmap = contract g partner in
       let shrunk = n - Wgraph.n_nodes coarse in
       if float_of_int shrunk < min_shrink *. float_of_int n then
@@ -60,11 +60,11 @@ let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) rng g0
     maps = Array.of_list (List.rev !maps);
   }
 
-let build ?target ?strategies ?min_shrink rng g =
-  build_from ?target ?strategies ?min_shrink rng g ~prefix_graphs:[ g ]
+let build ?target ?strategies ?min_shrink ?jobs rng g =
+  build_from ?target ?strategies ?min_shrink ?jobs rng g ~prefix_graphs:[ g ]
     ~prefix_maps:[]
 
-let extend ?target ?strategies ?min_shrink rng h ~from_level =
+let extend ?target ?strategies ?min_shrink ?jobs rng h ~from_level =
   if from_level < 0 || from_level >= levels h then
     invalid_arg "Coarsen.extend: level out of range";
   let prefix_graphs =
@@ -73,7 +73,7 @@ let extend ?target ?strategies ?min_shrink rng h ~from_level =
   let prefix_maps =
     List.rev (Array.to_list (Array.sub h.maps 0 from_level))
   in
-  build_from ?target ?strategies ?min_shrink rng h.graphs.(from_level)
+  build_from ?target ?strategies ?min_shrink ?jobs rng h.graphs.(from_level)
     ~prefix_graphs ~prefix_maps
 
 let project_one map coarse_part = Array.map (fun c -> coarse_part.(c)) map

@@ -32,6 +32,7 @@ val build :
   ?target:int ->
   ?strategies:Matching.strategy list ->
   ?min_shrink:float ->
+  ?jobs:int ->
   Random.State.t ->
   Wgraph.t ->
   hierarchy
@@ -39,12 +40,15 @@ val build :
     default), a level shrinks by less than [min_shrink] (default 0.05, i.e.
     stop when fewer than 5% of nodes disappear — the matching has stalled),
     or no edges remain. At every level the best of [strategies] (default all
-    three) by {!Matching.matched_weight} is used. *)
+    three) by {!Matching.matched_weight} is used; with [jobs > 1] the
+    strategies race concurrently (see {!Matching.best_of} — the hierarchy
+    is identical for every job count). *)
 
 val extend :
   ?target:int ->
   ?strategies:Matching.strategy list ->
   ?min_shrink:float ->
+  ?jobs:int ->
   Random.State.t ->
   hierarchy ->
   from_level:int ->

@@ -174,22 +174,37 @@ let growth_attempt g (c : Types.constraints) first_seed =
     by_weight_desc;
   part
 
-let greedy_resource_growth ?(n_seeds = 10) rng g (c : Types.constraints) =
+(* Fanning the restarts out over domains only pays off once a growth
+   attempt is substantial; below this the spawn overhead dominates. The
+   seed nodes are drawn identically either way, so the winning candidate
+   does not depend on [jobs]. *)
+let parallel_node_threshold = 256
+
+let greedy_resource_growth ?(n_seeds = 10) ?(jobs = 1) rng g
+    (c : Types.constraints) =
   let n = Wgraph.n_nodes g in
   if n = 0 then [||]
   else begin
-    let seed_of i =
-      if i = 0 then pick_heaviest g else Random.State.int rng n
-    in
-    let best = ref None in
-    for i = 0 to max 1 n_seeds - 1 do
-      let part = growth_attempt g c (seed_of i) in
-      let gd = Metrics.goodness g c part in
-      match !best with
-      | Some (_, gd') when Metrics.compare_goodness gd' gd <= 0 -> ()
-      | _ -> best := Some (part, gd)
+    let n_attempts = max 1 n_seeds in
+    (* Draw every seed node up front, in restart order, so the attempts
+       become independent pure tasks. *)
+    let seeds = Array.make n_attempts 0 in
+    for i = 0 to n_attempts - 1 do
+      seeds.(i) <- (if i = 0 then pick_heaviest g else Random.State.int rng n)
     done;
-    match !best with
-    | Some (part, _) -> part
-    | None -> assert false
+    let eff_jobs = if n >= parallel_node_threshold then jobs else 1 in
+    let results =
+      Ppnpart_exec.Pool.map ~jobs:eff_jobs
+        (fun seed ->
+          let part = growth_attempt g c seed in
+          (part, Metrics.goodness g c part))
+        seeds
+    in
+    (* Earliest restart wins ties, matching the sequential fold. *)
+    let best = ref 0 in
+    for i = 1 to n_attempts - 1 do
+      let _, gd = results.(i) and _, gd' = results.(!best) in
+      if Metrics.compare_goodness gd gd' < 0 then best := i
+    done;
+    fst results.(!best)
   end

@@ -25,10 +25,15 @@ val graph_growing : Random.State.t -> Wgraph.t -> k:int -> int array
 
 val greedy_resource_growth :
   ?n_seeds:int ->
+  ?jobs:int ->
   Random.State.t ->
   Wgraph.t ->
   Types.constraints ->
   int array
+(** With [jobs > 1] the [n_seeds] region growings fan out over a domain
+    pool (on graphs large enough for it to pay off). The seed nodes are
+    drawn from [rng] up front in restart order, so the result is
+    identical for every job count. *)
 
 val pick_heaviest : Wgraph.t -> int
 (** Lowest-id node of maximal weight.

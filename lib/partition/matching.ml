@@ -205,12 +205,32 @@ let is_valid g partner =
     partner;
   !ok
 
-let best_of ?(strategies = all_strategies) rng g =
+(* Racing strategies below this size is slower than computing them
+   sequentially; the RNG stream derivation is identical either way, so
+   the result does not depend on [jobs]. *)
+let parallel_node_threshold = 512
+
+let best_of ?(strategies = all_strategies) ?(jobs = 1) rng g =
   if strategies = [] then invalid_arg "Matching.best_of: no strategies";
+  let strategies = Array.of_list strategies in
+  let n_strats = Array.length strategies in
+  (* Derive one independent stream per strategy, in strategy order, so
+     candidates can be computed concurrently yet deterministically. *)
+  let states = Array.make n_strats rng in
+  for i = 0 to n_strats - 1 do
+    states.(i) <- Random.State.split rng
+  done;
+  let eff_jobs =
+    if Wgraph.n_nodes g >= parallel_node_threshold then jobs else 1
+  in
   let candidates =
-    List.map (fun s -> (s, compute s rng g)) strategies
+    Ppnpart_exec.Pool.run ~jobs:eff_jobs
+      (Array.init n_strats (fun i () ->
+           (strategies.(i), compute strategies.(i) states.(i) g)))
   in
   let weigh (_, m) = matched_weight g m in
-  List.fold_left
-    (fun best cand -> if weigh cand > weigh best then cand else best)
-    (List.hd candidates) (List.tl candidates)
+  let best = ref candidates.(0) in
+  for i = 1 to n_strats - 1 do
+    if weigh candidates.(i) > weigh !best then best := candidates.(i)
+  done;
+  !best

@@ -37,11 +37,113 @@ let greedy_sweeps max_passes rng (st : Part_state.t) =
   done
 
 (* One FM pass: tentative moves (worsening allowed), each node moved at
-   most once, rollback to the best state seen. The hill-climbing ability
-   the paper relies on to escape the greedy sweeps' local minima. O(n) in
-   moves but O(n * k) per move, so it is gated on graph size by the
-   caller. Returns true when the pass strictly improved the goodness. *)
+   most once, rollback to the best state seen.
+
+   Move selection runs on a {!Bucket} gain queue instead of rescanning
+   all n nodes per move. A node's priority encodes its best move's
+   lexicographic (violation delta, cut delta) improvement as a single
+   bucket gain: the violation component is clamped to [+-violation_cap]
+   classes and scaled past the cut component, whose magnitude is bounded
+   by the maximum weighted degree. Priorities of non-neighbours go stale
+   as the bandwidth matrix evolves, so the pop is lazy: the popped
+   node's move is re-evaluated against the current state and re-queued
+   at its fresh priority when it got worse — an applied move therefore
+   always uses exact deltas. After each applied move only the moved
+   node's unlocked neighbours are re-gained, which drops move selection
+   from O(n^2 k) per pass to O(m (d_avg + k^2)). *)
+
+let violation_cap = 32
+
 let fm_pass (st : Part_state.t) =
+  let g = st.Part_state.g in
+  let n = Wgraph.n_nodes g in
+  let k = st.Part_state.c.Types.k in
+  let cut_cap =
+    let m = ref 1 in
+    for u = 0 to n - 1 do
+      let d = Wgraph.weighted_degree g u in
+      if d > !m then m := d
+    done;
+    !m
+  in
+  let scale = (2 * cut_cap) + 3 in
+  let clamp lo hi v = if v < lo then lo else if v > hi then hi else v in
+  let conn = Array.make k 0 in
+  (* Best move of [u] under the (violation, cut) order, encoded as a
+     bucket gain. Leaves [conn] filled with u's connectivity. *)
+  let best_move u =
+    Part_state.connectivity st conn u;
+    let v, cut', t = Part_state.best_target st conn u in
+    if t < 0 then None
+    else begin
+      let dv = v - Part_state.violation st in
+      let dcut = cut' - st.Part_state.cut in
+      let vq = clamp (-violation_cap) violation_cap (-dv) in
+      let cq = clamp (-cut_cap) cut_cap (-dcut) in
+      Some ((vq * scale) + cq, t)
+    end
+  in
+  let bucket = Bucket.create ~n ~max_gain:((violation_cap + 1) * scale) in
+  let locked = Array.make n false in
+  let moves = Array.make (max n 1) (-1, -1) in
+  let n_moves = ref 0 in
+  let start = Part_state.goodness st in
+  let best = ref start and best_prefix = ref 0 in
+  for u = 0 to n - 1 do
+    match best_move u with
+    | Some (gain, _) -> Bucket.insert bucket u gain
+    | None -> ()
+  done;
+  (* Stale re-queues strictly lower a node's priority, so they terminate;
+     the budget is a safety net against pathological thrashing. *)
+  let pops = ref 0 in
+  let pop_budget = (20 * (n + 1)) + (2 * Bucket.max_gain bucket) in
+  let continue = ref true in
+  while !continue && !n_moves < n && !pops < pop_budget do
+    incr pops;
+    match Bucket.pop_max bucket with
+    | None -> continue := false
+    | Some (u, stored) -> (
+      match best_move u with
+      | None -> () (* no longer movable: drop until a neighbour re-gains *)
+      | Some (fresh, t) ->
+        if fresh < stored then Bucket.insert bucket u fresh
+        else begin
+          let from = st.Part_state.part.(u) in
+          Part_state.apply_move st u t conn;
+          locked.(u) <- true;
+          moves.(!n_moves) <- (u, from);
+          incr n_moves;
+          let now = Part_state.goodness st in
+          if Metrics.compare_goodness now !best < 0 then begin
+            best := now;
+            best_prefix := !n_moves
+          end;
+          Wgraph.iter_neighbors g u (fun v _ ->
+              if not locked.(v) then begin
+                if Bucket.mem bucket v then Bucket.remove bucket v;
+                match best_move v with
+                | Some (gain, _) -> Bucket.insert bucket v gain
+                | None -> ()
+              end)
+        end)
+  done;
+  (* Roll back to the best prefix. *)
+  for i = !n_moves - 1 downto !best_prefix do
+    let u, from = moves.(i) in
+    Part_state.connectivity st conn u;
+    Part_state.apply_move st u from conn
+  done;
+  Metrics.compare_goodness !best start < 0
+
+(* One FM pass with exact global move selection: rescan every unlocked
+   node before each move. O(n^2 k) — used only as an escape hatch (see
+   [refine]) on graphs small enough that a full pass is sub-millisecond.
+   With few parts, one move shifts the violation gain of *every* node
+   (the pairwise bandwidth totals are global state), so the bucket pass's
+   neighbour-only re-gains can stall in a basin the exact selection
+   escapes. *)
+let exact_fm_pass (st : Part_state.t) =
   let n = Wgraph.n_nodes st.Part_state.g in
   let k = st.Part_state.c.Types.k in
   let conn = Array.make k 0 in
@@ -52,7 +154,6 @@ let fm_pass (st : Part_state.t) =
   let best = ref start and best_prefix = ref 0 in
   let continue = ref true in
   while !continue && !n_moves < n do
-    (* Globally best tentative move among unlocked nodes. *)
     let chosen = ref None in
     for u = 0 to n - 1 do
       if not locked.(u) then begin
@@ -79,8 +180,6 @@ let fm_pass (st : Part_state.t) =
         best_prefix := !n_moves
       end
   done;
-  (* Roll back to the best prefix. *)
-  let conn = Array.make k 0 in
   for i = !n_moves - 1 downto !best_prefix do
     let u, from = moves.(i) in
     Part_state.connectivity st conn u;
@@ -88,10 +187,9 @@ let fm_pass (st : Part_state.t) =
   done;
   Metrics.compare_goodness !best start < 0
 
-(* Above this size the O(n^2 k) tentative pass is skipped; greedy sweeps
-   alone handle the fine levels, where the coarse levels have already
-   shaped the partition. *)
-let fm_pass_node_limit = 512
+(* Below this size the exact pass is cheap enough to rescue a stalled
+   infeasible state. *)
+let exact_fallback_limit = 512
 
 let refine ?(max_passes = 16) rng g (c : Types.constraints) part0 =
   let n = Wgraph.n_nodes g in
@@ -103,6 +201,8 @@ let refine ?(max_passes = 16) rng g (c : Types.constraints) part0 =
   while !improving && !rounds < max_passes do
     incr rounds;
     greedy_sweeps max_passes rng st;
-    improving := n <= fm_pass_node_limit && fm_pass st
+    improving := fm_pass st;
+    if (not !improving) && n <= exact_fallback_limit then
+      improving := exact_fm_pass st
   done;
   (Part_state.snapshot st, Part_state.goodness st)

@@ -11,10 +11,29 @@
     maintained incrementally, so a pass costs O(moves * k + n * k) rather
     than recomputing k x k matrices from scratch.
 
+    The tentative (hill-climbing) pass selects moves from a {!Bucket}
+    gain queue with lazy re-evaluation of stale priorities, so a full
+    pass costs O(m (d_avg + k^2)) instead of the former O(n^2 k) — which
+    is why it now runs at every level on graphs of any size (the old
+    512-node gate is gone). On graphs up to 512 nodes, where an exact
+    O(n^2 k) pass is sub-millisecond, {!refine} additionally rescues a
+    stalled bucket pass with one exact-global-selection pass: with few
+    parts a single move shifts the violation gain of every node (the
+    pairwise bandwidth totals are global), and the bucket pass's
+    neighbour-only re-gains can stall in a basin the exact selection
+    escapes.
+
     Unlike the balance-driven refiners, this one never empties a part (the
     network must occupy all K FPGAs). *)
 
 open Ppnpart_graph
+
+val fm_pass : Part_state.t -> bool
+(** One tentative FM pass over the state: every node moves at most once,
+    worsening moves are allowed, and the state is rolled back to the best
+    prefix of the move sequence. Returns [true] when the pass strictly
+    improved the goodness. Exposed for benchmarks and tests; most callers
+    want {!refine}. *)
 
 val refine :
   ?max_passes:int ->
@@ -24,5 +43,6 @@ val refine :
   int array ->
   int array * Metrics.goodness
 (** [refine rng g c part] returns the improved copy and its goodness.
-    [max_passes] defaults to 16; each pass sweeps all nodes in random order
-    and stops early once feasible with no further cut gain available. *)
+    [max_passes] defaults to 16; each round runs greedy strictly-improving
+    sweeps followed by one tentative {!fm_pass}, and stops when the FM
+    pass no longer improves the goodness. *)

@@ -1,0 +1,142 @@
+(* Tests for the domain pool (Ppnpart_exec.Pool) and for the determinism
+   of GP's speculative parallel V-cycles: the partition returned by
+   [Gp.partition] must be bit-identical at every job count. *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+open Ppnpart_core
+module Pool = Ppnpart_exec.Pool
+module PG = Ppnpart_workloads.Paper_graphs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let quick = Sys.getenv_opt "PPNPART_QUICK" <> None
+
+(* --- Pool --- *)
+
+let test_pool_preserves_order () =
+  let expect = Array.init 37 (fun i -> i * i) in
+  let tasks = Array.init 37 (fun i () -> i * i) in
+  check_bool "jobs=1" true (Pool.run ~jobs:1 tasks = expect);
+  check_bool "jobs=4" true (Pool.run ~jobs:4 tasks = expect);
+  check_bool "jobs > tasks" true (Pool.run ~jobs:64 tasks = expect)
+
+let test_pool_empty_and_single () =
+  check_int "empty" 0 (Array.length (Pool.run ~jobs:4 [||]));
+  check_bool "single" true (Pool.run ~jobs:4 [| (fun () -> 42) |] = [| 42 |])
+
+let test_pool_map () =
+  let xs = Array.init 20 succ in
+  check_bool "map matches Array.map" true
+    (Pool.map ~jobs:3 (fun x -> x * 2) xs = Array.map (fun x -> x * 2) xs)
+
+exception Boom of int
+
+let test_pool_propagates_first_exception () =
+  let tasks =
+    Array.init 8 (fun i () -> if i >= 5 then raise (Boom i) else i)
+  in
+  match Pool.run ~jobs:4 tasks with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom i -> check_int "first failing index re-raised" 5 i
+
+let test_pool_resolve () =
+  check_int "explicit wins" 3 (Pool.resolve 3);
+  Unix.putenv "PPNPART_JOBS" "5";
+  check_int "env fallback" 5 (Pool.resolve 0);
+  Unix.putenv "PPNPART_JOBS" "nonsense";
+  check_bool "garbage env still positive" true (Pool.resolve 0 >= 1);
+  Unix.putenv "PPNPART_JOBS" "";
+  check_bool "auto positive" true (Pool.resolve 0 >= 1)
+
+let test_pool_nested () =
+  (* Pool use from inside a pooled task (as GP's cycles do with jobs=1
+     inner phases) must not deadlock or reorder. *)
+  let tasks =
+    Array.init 6 (fun i () ->
+        Array.fold_left ( + ) 0
+          (Pool.map ~jobs:1 (fun x -> x + i) (Array.init 5 succ)))
+  in
+  let expect = Array.init 6 (fun i -> 15 + (5 * i)) in
+  check_bool "nested" true (Pool.run ~jobs:3 tasks = expect)
+
+(* --- Gp determinism across job counts --- *)
+
+let config ~jobs =
+  { Config.default with Config.coarsen_target = 30; max_cycles = 20; jobs }
+
+let same_result ?(max_cycles = 20) g c =
+  let run jobs =
+    Gp.partition ~config:{ (config ~jobs) with Config.max_cycles } g c
+  in
+  let a = run 1 in
+  let b = run 4 in
+  check_bool "partition bit-identical" true (a.Gp.part = b.Gp.part);
+  check_int "cycles_used equal" a.Gp.cycles_used b.Gp.cycles_used;
+  check_bool "history equal" true (a.Gp.history = b.Gp.history);
+  check_int "goodness equal" 0
+    (Metrics.compare_goodness a.Gp.goodness b.Gp.goodness)
+
+let test_jobs_invariant_paper_experiments () =
+  List.iter
+    (fun (e : PG.experiment) -> same_result e.PG.graph e.PG.constraints)
+    PG.all
+
+let test_jobs_invariant_forced_cycles () =
+  (* bmax = 0 on a connected graph is infeasible, so every run burns the
+     whole V-cycle budget: the waves really execute and their fold order
+     must still match the sequential schedule. *)
+  let rng = Random.State.make [| 7 |] in
+  let g =
+    Ppnpart_workloads.Rand_graph.layered ~vw_range:(1, 9) ~ew_range:(1, 9)
+      rng ~layers:12 ~width:8
+  in
+  let c =
+    Types.constraints ~k:3 ~bmax:0 ~rmax:(Wgraph.total_node_weight g)
+  in
+  same_result ~max_cycles:(if quick then 6 else 20) g c
+
+let test_jobs_invariant_planted () =
+  (* A planted-feasible instance large enough to exercise the parallel
+     matching race and seed fan-out thresholds. *)
+  let n = if quick then 80 else 300 in
+  let rng = Random.State.make [| 11 |] in
+  let g, c = Ppnpart_workloads.Rand_graph.random_partitionable rng ~n ~k:4 in
+  same_result g c
+
+let test_jobs_zero_resolves_auto () =
+  (* jobs = 0 means "auto" and must still return the exact jobs=1 result. *)
+  Unix.putenv "PPNPART_JOBS" "3";
+  let e = PG.experiment1 in
+  let a = Gp.partition ~config:(config ~jobs:1) e.PG.graph e.PG.constraints in
+  let b = Gp.partition ~config:(config ~jobs:0) e.PG.graph e.PG.constraints in
+  Unix.putenv "PPNPART_JOBS" "";
+  check_bool "auto matches jobs=1" true (a.Gp.part = b.Gp.part)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "preserves order" `Quick
+            test_pool_preserves_order;
+          Alcotest.test_case "empty and single" `Quick
+            test_pool_empty_and_single;
+          Alcotest.test_case "map" `Quick test_pool_map;
+          Alcotest.test_case "propagates first exception" `Quick
+            test_pool_propagates_first_exception;
+          Alcotest.test_case "resolve" `Quick test_pool_resolve;
+          Alcotest.test_case "nested" `Quick test_pool_nested;
+        ] );
+      ( "gp_jobs_determinism",
+        [
+          Alcotest.test_case "paper experiments" `Quick
+            test_jobs_invariant_paper_experiments;
+          Alcotest.test_case "forced V-cycles" `Quick
+            test_jobs_invariant_forced_cycles;
+          Alcotest.test_case "planted instance" `Quick
+            test_jobs_invariant_planted;
+          Alcotest.test_case "jobs=0 auto" `Quick
+            test_jobs_zero_resolves_auto;
+        ] );
+    ]
