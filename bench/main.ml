@@ -513,42 +513,92 @@ let vcycle_bench () =
     (Wgraph.n_nodes g) (Wgraph.n_edges g) r1.Gp.cycles_used t1 t4 (t1 /. t4)
     (r1.Gp.part = r4.Gp.part)
 
+(* Wall seconds spent under spans of a given name, from a capture. *)
+let phase_seconds cap name =
+  match
+    List.find_opt
+      (fun (n, _, _) -> n = name)
+      (Ppnpart_obs.Trace_export.span_totals cap)
+  with
+  | Some (_, _, total_us) -> float_of_int total_us /. 1e6
+  | None -> 0.
+
+(* Tracing must be pay-for-use: run the V-cycle stress instance with the
+   observability sink absent and installed, and record the overhead and
+   that the partition itself is unchanged. *)
+let obs_overhead () =
+  let rng = Random.State.make [| 42 |] in
+  let g =
+    Ppnpart_workloads.Rand_graph.layered ~vw_range:(1, 20) ~ew_range:(1, 9)
+      rng ~layers:40 ~width:15
+  in
+  let c =
+    Types.constraints ~k:4 ~bmax:0
+      ~rmax:(Wgraph.total_node_weight g / 4 * 2)
+  in
+  let config = { Config.default with Config.max_cycles = 10 } in
+  ignore (Gp.partition ~config g c) (* warm-up *);
+  let r_off, disabled_s = time (fun () -> Gp.partition ~config g c) in
+  let (r_on, _cap), enabled_s =
+    time (fun () ->
+        Ppnpart_obs.Obs.with_capture (fun () -> Gp.partition ~config g c))
+  in
+  Printf.sprintf
+    {|{ "disabled_s": %.4f, "enabled_s": %.4f, "overhead_pct": %.2f,
+      "same_partition": %b }|}
+    disabled_s enabled_s
+    ((enabled_s -. disabled_s) /. disabled_s *. 100.)
+    (r_off.Gp.part = r_on.Gp.part)
+
 let bench_json () =
   section "Machine-readable benchmark record (BENCH_partition.json)";
   ensure_out_dir ();
   let instance_rows =
     List.map
       (fun (e : PG.experiment) ->
-        let r = Gp.partition e.PG.graph e.PG.constraints in
+        let r, cap =
+          Ppnpart_obs.Obs.with_capture (fun () ->
+              Gp.partition e.PG.graph e.PG.constraints)
+        in
+        let p = phase_seconds cap in
         Printf.sprintf
           {|    { "name": %S, "n": %d, "m": %d, "k": %d, "cut": %d,
       "feasible": %b, "runtime_s": %.4f, "cycles": %d, "levels": %d,
-      "jobs": %d }|}
+      "jobs": %d,
+      "phases": { "coarsen_s": %.6f, "initial_s": %.6f,
+        "refine_s": %.6f, "vcycle_s": %.6f } }|}
           e.PG.name
           (Wgraph.n_nodes e.PG.graph)
           (Wgraph.n_edges e.PG.graph)
           e.PG.constraints.Types.k r.Gp.report.Metrics.total_cut
           r.Gp.feasible r.Gp.runtime_s r.Gp.cycles_used r.Gp.levels
-          Config.default.Config.jobs)
+          Config.default.Config.jobs (p "coarsen.level")
+          (p "initial.greedy")
+          (p "refine.constrained" +. p "refine.tabu")
+          (p "gp.cycle"))
       PG.all
   in
+  (* The two headline micro-benchmarks stay observability-free so their
+     numbers remain comparable with earlier records. *)
   let _, _, fm_row = fm_bench ~n:5000 ~m:20000 ~k:8 in
   let vc_row = vcycle_bench () in
+  let obs_row = obs_overhead () in
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-partition/1",
+  "schema": "ppnpart-bench-partition/2",
   "generated_unix": %.0f,
   "instances": [
 %s
   ],
   "fm_5k": %s,
-  "vcycles_20": %s
+  "vcycles_20": %s,
+  "obs_overhead": %s
 }
 |}
       (Unix.time ())
       (String.concat ",\n" instance_rows)
-      fm_row vc_row
+      fm_row vc_row obs_row
   in
   let path = Filename.concat out_dir "BENCH_partition.json" in
   Graph_io.write_file path json;

@@ -11,6 +11,31 @@ open Cmdliner
 open Ppnpart_graph
 open Ppnpart_partition
 
+(* --- logging setup --- *)
+
+let log_level_arg =
+  let levels =
+    [ ("quiet", None); ("app", Some Logs.App); ("error", Some Logs.Error);
+      ("warning", Some Logs.Warning); ("info", Some Logs.Info);
+      ("debug", Some Logs.Debug) ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) (Some Logs.Warning)
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Log verbosity: $(b,quiet), $(b,app), $(b,error), $(b,warning), \
+           $(b,info) or $(b,debug). Every library logs to its own source \
+           (ppnpart.gp, ppnpart.partition, ppnpart.exec, ...).")
+
+let setup_logs_term =
+  let setup level =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_level ~all:true level;
+    Logs.set_reporter (Logs_fmt.reporter ())
+  in
+  Term.(const setup $ log_level_arg)
+
 let read_graph path =
   let text = Graph_io.read_file path in
   (* Accept both supported formats: try METIS first, then the adjacency
@@ -92,6 +117,34 @@ let save_arg =
     & info [ "save" ] ~docv:"FILE"
         ~doc:"Write the partition (METIS-style .part file) to $(docv).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Profile the run and write a Chrome trace-event JSON file to \
+           $(docv); open it at $(b,https://ui.perfetto.dev) or in \
+           $(b,chrome://tracing). The trace is identical for every \
+           $(b,--jobs) value.")
+
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Profile the run and write the raw event stream as JSON lines \
+           to $(docv).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Profile the run and print a per-phase table (calls, total and \
+           mean wall time) plus move/gain counters after the result.")
+
 let resolve_input input paper seed =
   match (input, paper) with
   | Some path, None -> Ok (read_graph path)
@@ -113,47 +166,54 @@ let resolve_input input paper seed =
 (* --- partition command --- *)
 
 let partition_cmd =
-  let run input paper seed jobs k bmax rmax algo dot save =
+  let run () input paper seed jobs k bmax rmax algo dot save trace_out
+      trace_jsonl stats =
     match resolve_input input paper seed with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
     | Ok g ->
       let c = Types.constraints ~k ~bmax ~rmax in
-      let name, part, runtime_s =
+      let tracing = trace_out <> None || trace_jsonl <> None || stats in
+      if tracing then Ppnpart_obs.Obs.install ();
+      (* The report is computed exactly once per run: GP already returns
+         one, the other algorithms build theirs from their own timing. *)
+      let name, part, report =
         let t0 = Unix.gettimeofday () in
         let rng = Random.State.make [| seed |] in
+        let timed_report p = Metrics.report ~runtime_s:(Unix.gettimeofday () -. t0) g c p in
         match algo with
         | `Gp ->
           let config = { Ppnpart_core.Config.default with seed; jobs } in
           let r = Ppnpart_core.Gp.partition ~config g c in
-          ("GP", r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.runtime_s)
+          ("GP", r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.report)
         | `Metis ->
           let s = Ppnpart_baselines.Metis_like.partition ~seed g ~k in
           ( "METIS-like",
             s.Ppnpart_baselines.Metis_like.part,
-            s.Ppnpart_baselines.Metis_like.runtime_s )
+            Metrics.report ~runtime_s:s.Ppnpart_baselines.Metis_like.runtime_s
+              g c s.Ppnpart_baselines.Metis_like.part )
         | `Spectral ->
           let p = Ppnpart_baselines.Spectral.kway rng g ~k in
-          ("spectral", p, Unix.gettimeofday () -. t0)
+          ("spectral", p, timed_report p)
         | `Fm ->
           let p = Ppnpart_baselines.Fm.kway rng g ~k in
-          ("FM", p, Unix.gettimeofday () -. t0)
+          ("FM", p, timed_report p)
         | `Kl ->
           let p =
             Ppnpart_baselines.Recursive_bisection.kway
               (fun rng g -> Ppnpart_baselines.Kl.bisect rng g)
               rng g ~k
           in
-          ("KL", p, Unix.gettimeofday () -. t0)
+          ("KL", p, timed_report p)
         | `Exact -> (
           match Ppnpart_baselines.Exact.partition g c with
-          | Some (p, _) -> ("exact", p, Unix.gettimeofday () -. t0)
+          | Some (p, _) -> ("exact", p, timed_report p)
           | None ->
             Printf.printf "exact: no feasible partition exists\n";
             exit 3)
       in
-      let report = Metrics.report ~runtime_s g c part in
+      let capture = if tracing then Ppnpart_obs.Obs.finish () else None in
       print_string
         (Ppnpart_core.Report.table
            ~title:(Printf.sprintf "%s on %s" name (Wgraph.summary g))
@@ -172,13 +232,29 @@ let partition_cmd =
           Partition_io.save path ~k part;
           Printf.printf "wrote %s\n" path)
         save;
+      Option.iter
+        (fun cap ->
+          Option.iter
+            (fun path ->
+              Graph_io.write_file path (Ppnpart_obs.Trace_export.to_chrome cap);
+              Printf.printf "wrote %s\n" path)
+            trace_out;
+          Option.iter
+            (fun path ->
+              Graph_io.write_file path (Ppnpart_obs.Trace_export.to_jsonl cap);
+              Printf.printf "wrote %s\n" path)
+            trace_jsonl;
+          if stats then
+            Format.printf "@.%a" Ppnpart_obs.Trace_export.pp_stats cap)
+        capture;
       if report.Metrics.bandwidth_ok && report.Metrics.resource_ok then 0
       else 4
   in
   let term =
     Term.(
-      const run $ input_arg $ paper_arg $ seed_arg $ jobs_arg $ k_arg
-      $ bmax_arg $ rmax_arg $ algo_arg $ dot_arg $ save_arg)
+      const run $ setup_logs_term $ input_arg $ paper_arg $ seed_arg
+      $ jobs_arg $ k_arg $ bmax_arg $ rmax_arg $ algo_arg $ dot_arg
+      $ save_arg $ trace_out_arg $ trace_jsonl_arg $ stats_arg)
   in
   Cmd.v
     (Cmd.info "partition"
@@ -240,7 +316,7 @@ let experiments_cmd =
             "Print only the run-independent columns (no timings): suitable \
              for golden-file regression tests of the reproduction.")
   in
-  let run stable =
+  let run () stable =
     let module PG = Ppnpart_workloads.Paper_graphs in
     List.iter
       (fun (e : PG.experiment) ->
@@ -275,7 +351,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Reproduce the paper's Tables I-III (METIS-like vs GP).")
-    Term.(const run $ stable_arg)
+    Term.(const run $ setup_logs_term $ stable_arg)
 
 (* --- simulate command --- *)
 
@@ -314,7 +390,7 @@ let simulate_cmd =
             "A .pn affine program to derive the network from (overrides \
              $(b,--kernel)).")
   in
-  let run kernel program n_fpgas link_bw topology seed =
+  let run () kernel program n_fpgas link_bw topology seed =
     let stmts =
       match program with
       | None -> List.assoc kernel Ppnpart_ppn.Kernels.all
@@ -349,8 +425,8 @@ let simulate_cmd =
   in
   let term =
     Term.(
-      const run $ kernel_arg $ program_arg $ n_fpgas_arg $ link_arg
-      $ topology_arg $ seed_arg)
+      const run $ setup_logs_term $ kernel_arg $ program_arg $ n_fpgas_arg
+      $ link_arg $ topology_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "simulate"

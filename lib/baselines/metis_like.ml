@@ -1,3 +1,5 @@
+let log_src = Logs.Src.create "ppnpart.baselines" ~doc:"Baseline partitioners"
+
 open Ppnpart_graph
 open Ppnpart_partition
 

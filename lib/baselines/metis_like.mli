@@ -44,3 +44,6 @@ val partition :
     [max 30 (4 * k)]; [refinement] to [Greedy]; [initial] to
     [Graph_growing]; [seed] to 0 (runs are deterministic for a fixed
     seed). *)
+
+val log_src : Logs.Src.t
+(** The [ppnpart.baselines] log source. *)

@@ -25,34 +25,45 @@ module Log = (val Logs.src_log src : Logs.LOG)
    (randomly)" of the cyclic scheme (Section IV.C) — a uniformly random
    assignment; the refined candidate of better goodness descends. *)
 let descend (cfg : Config.t) ~jobs rng hierarchy c =
+  Ppnpart_obs.Span.with_ "gp.descend" @@ fun () ->
   let coarsest = Coarsen.coarsest hierarchy in
   let refine_initial initial =
     Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
       coarsest c initial
   in
   let greedy =
-    refine_initial
-      (Initial.greedy_resource_growth ~n_seeds:cfg.Config.n_initial_seeds
-         ~jobs rng coarsest c)
+    Ppnpart_obs.Span.with_ "gp.seed.greedy" (fun () ->
+        refine_initial
+          (Initial.greedy_resource_growth ~n_seeds:cfg.Config.n_initial_seeds
+             ~jobs rng coarsest c))
   in
   let random =
-    refine_initial (Initial.random_kway rng coarsest ~k:c.Types.k)
+    Ppnpart_obs.Span.with_ "gp.seed.random" (fun () ->
+        refine_initial (Initial.random_kway rng coarsest ~k:c.Types.k))
   in
-  let seed_part, _ =
-    if Metrics.compare_goodness (snd greedy) (snd random) <= 0 then greedy
-    else random
-  in
+  let greedy_wins = Metrics.compare_goodness (snd greedy) (snd random) <= 0 in
+  Ppnpart_obs.Span.instant
+    ~args:(fun () ->
+      [ ("winner",
+         Ppnpart_obs.Obs.Str (if greedy_wins then "greedy" else "random"))
+      ])
+    "gp.seed.winner";
+  let seed_part, _ = if greedy_wins then greedy else random in
   let part = ref seed_part in
   for level = Coarsen.levels hierarchy - 2 downto 0 do
-    let projected =
-      Coarsen.project_one hierarchy.Coarsen.maps.(level) !part
-    in
-    let refined, _ =
-      Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
-        (Coarsen.graph_at hierarchy level)
-        c projected
-    in
-    part := refined
+    Ppnpart_obs.Span.with_
+      ~args:(fun () -> [ ("level", Ppnpart_obs.Obs.Int level) ])
+      "gp.uncoarsen"
+      (fun () ->
+        let projected =
+          Coarsen.project_one hierarchy.Coarsen.maps.(level) !part
+        in
+        let refined, _ =
+          Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
+            (Coarsen.graph_at hierarchy level)
+            c projected
+        in
+        part := refined)
   done;
   if cfg.Config.tabu_iterations > 0 then begin
     let finest = Coarsen.finest hierarchy in
@@ -72,6 +83,18 @@ let descend (cfg : Config.t) ~jobs rng hierarchy c =
    [jobs = 1] — the parallelism budget is already spent on the cycles
    themselves. *)
 let run_cycle (cfg : Config.t) g (c : Types.constraints) base_hierarchy i =
+  Ppnpart_obs.Span.with_result
+    ~args:(fun () -> [ ("cycle", Ppnpart_obs.Obs.Int i) ])
+    ~result:(fun (_, (gd : Metrics.goodness), from_level) ->
+      [ ("from_level", Ppnpart_obs.Obs.Int from_level);
+        ("violation", Ppnpart_obs.Obs.Int gd.violation);
+        ("cut", Ppnpart_obs.Obs.Int gd.cut_value) ])
+    "gp.cycle"
+  @@ fun () ->
+  (* Counted here, in the cycle's own buffer, so discarded speculative
+     cycles are not counted and the parent buffer stays free of
+     wave-shaped (jobs-dependent) events. *)
+  Ppnpart_obs.Counters.incr "gp.cycles";
   let rng = Random.State.make [| cfg.Config.seed; 0x6770; i |] in
   let levels = Coarsen.levels base_hierarchy in
   let from_level = if levels <= 1 then 0 else Random.State.int rng levels in
@@ -97,6 +120,21 @@ let run_cycle (cfg : Config.t) g (c : Types.constraints) base_hierarchy i =
 
 let partition ?(config = Config.default) g (c : Types.constraints) =
   Config.validate config;
+  (* No jobs-dependent attribute may appear here: the exported trace is
+     documented to be identical for every job count. *)
+  Ppnpart_obs.Span.with_result
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes g));
+        ("edges", Ppnpart_obs.Obs.Int (Wgraph.n_edges g));
+        ("k", Ppnpart_obs.Obs.Int c.Types.k);
+        ("seed", Ppnpart_obs.Obs.Int config.Config.seed) ])
+    ~result:(fun r ->
+      [ ("feasible", Ppnpart_obs.Obs.Bool r.feasible);
+        ("cycles", Ppnpart_obs.Obs.Int r.cycles_used);
+        ("violation", Ppnpart_obs.Obs.Int r.goodness.Metrics.violation);
+        ("cut", Ppnpart_obs.Obs.Int r.goodness.Metrics.cut_value) ])
+    "gp.partition"
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let jobs = Pool.resolve config.Config.jobs in
   let rng = Random.State.make [| config.Config.seed; 0x6770 |] in
@@ -137,14 +175,16 @@ let partition ?(config = Config.default) g (c : Types.constraints) =
     while (not !stop) && !next <= config.Config.max_cycles do
       let wave = min jobs (config.Config.max_cycles - !next + 1) in
       let first = !next in
-      let results =
-        Pool.run ~jobs
+      let results, deferred =
+        Pool.run_deferred ~jobs
           (Array.init wave (fun w () ->
                run_cycle config g c hierarchy (first + w)))
       in
+      let consumed = ref 0 in
       Array.iteri
         (fun w (candidate, gd, from_level) ->
           if not !stop then begin
+            incr consumed;
             incr cycles;
             Log.debug (fun m ->
                 m "cycle %d (from level %d): %a" (first + w) from_level
@@ -157,6 +197,10 @@ let partition ?(config = Config.default) g (c : Types.constraints) =
             if !best_goodness.Metrics.violation = 0 then stop := true
           end)
         results;
+      (* Cycles past the stopping point never ran in the sequential
+         schedule; dropping their trace buffers keeps the merged trace
+         identical for every job count. *)
+      Ppnpart_obs.Obs.commit ~keep:!consumed deferred;
       next := first + wave
     done;
     finish ~history:!history !best_part !cycles (Coarsen.levels hierarchy)

@@ -12,6 +12,9 @@
     inside a pool task should call back in with [~jobs:1] to avoid
     oversubscribing the machine. *)
 
+val log_src : Logs.Src.t
+(** The [ppnpart.exec] log source. *)
+
 val default_jobs : unit -> int
 (** The [PPNPART_JOBS] environment variable when set to a positive
     integer, otherwise [Domain.recommended_domain_count ()]. *)
@@ -30,3 +33,14 @@ val run : ?jobs:int -> (unit -> 'a) array -> 'a array
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] is [run ~jobs] over [fun () -> f xs.(i)]. *)
+
+type deferred = Ppnpart_obs.Obs.group option
+(** Trace buffers of a {!run_deferred} call, awaiting commitment. *)
+
+val run_deferred : ?jobs:int -> (unit -> 'a) array -> 'a array * deferred
+(** Like {!run}, but when tracing is active the per-task trace buffers
+    are returned instead of being merged immediately. The caller must
+    pass them to {!Ppnpart_obs.Obs.commit} — with [~keep] to discard the
+    trace of speculative tasks whose results it threw away, so the
+    merged trace matches the sequential schedule. [run] is
+    [run_deferred] followed by an unconditional commit. *)

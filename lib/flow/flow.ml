@@ -1,3 +1,5 @@
+let log_src = Logs.Src.create "ppnpart.flow" ~doc:"End-to-end tool flow"
+
 open Ppnpart_graph
 open Ppnpart_partition
 module Platform = Ppnpart_fpga.Platform

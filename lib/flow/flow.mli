@@ -66,3 +66,6 @@ val write_artifacts : dir:string -> t -> string list
     [graph.dot] (the partitioned weighted graph), [assignment.part] (the
     partition, {!Ppnpart_partition.Partition_io} format) and [summary.txt]
     ({!pp_summary}). *)
+
+val log_src : Logs.Src.t
+(** The [ppnpart.flow] log source. *)

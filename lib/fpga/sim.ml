@@ -1,3 +1,5 @@
+let log_src = Logs.Src.create "ppnpart.fpga" ~doc:"Multi-FPGA platform model and simulation"
+
 open Ppnpart_ppn
 
 type result = {

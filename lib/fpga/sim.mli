@@ -63,3 +63,6 @@ val throughput : result -> float
 
 val pp_result : Format.formatter -> result -> unit
 val pp_error : Format.formatter -> error -> unit
+
+val log_src : Logs.Src.t
+(** The [ppnpart.fpga] log source. *)

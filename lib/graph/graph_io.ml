@@ -1,3 +1,5 @@
+let log_src = Logs.Src.create "ppnpart.graph" ~doc:"Graph serialization and I/O"
+
 let buf_add = Buffer.add_string
 
 let to_metis g =

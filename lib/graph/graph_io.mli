@@ -45,3 +45,6 @@ val write_file : string -> string -> unit
 (** [write_file path contents] creates/truncates [path]. *)
 
 val read_file : string -> string
+
+val log_src : Logs.Src.t
+(** The [ppnpart.graph] log source. *)

@@ -1,3 +1,5 @@
+let log_src = Logs.Src.create "ppnpart.lang" ~doc:"Affine-program front end"
+
 type error = { position : Ast.position; message : string }
 
 let parse_program text =

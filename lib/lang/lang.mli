@@ -48,3 +48,6 @@ val emit : Ppnpart_poly.Stmt.t list -> string
     flows: [emit] and {!parse_program} round-trip.
     @raise Invalid_argument on a 0-dimensional statement (the grammar
     requires at least one iterator). *)
+
+val log_src : Logs.Src.t
+(** The [ppnpart.lang] log source. *)

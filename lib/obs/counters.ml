@@ -1,0 +1,11 @@
+let add name delta =
+  match Obs.cur () with
+  | None -> ()
+  | Some buf -> Obs.emit buf (Obs.Count { name; ts = Obs.now buf; delta })
+
+let incr name = add name 1
+
+let sample name value =
+  match Obs.cur () with
+  | None -> ()
+  | Some buf -> Obs.emit buf (Obs.Sample { name; ts = Obs.now buf; value })

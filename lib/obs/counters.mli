@@ -1,0 +1,22 @@
+(** Monotonic counters and value histograms.
+
+    Counter increments are recorded as events in the current buffer, so
+    totals aggregate deterministically over the buffer tree: increments
+    from pool tasks merge in task order, and speculative work that the
+    caller discards (uncommitted task buffers) never counts.
+
+    Hot loops should accumulate into a local [int ref] and emit one
+    {!add} per pass — an increment costs an event-list cons when tracing
+    is on, and the ref bump is free either way. *)
+
+val add : string -> int -> unit
+(** [add name delta] bumps counter [name]; no-op when tracing is off.
+    If computing [delta] itself is costly, guard the call site with
+    {!Obs.enabled}. *)
+
+val incr : string -> unit
+(** [incr name] is [add name 1]. *)
+
+val sample : string -> float -> unit
+(** Record one observation of the value distribution [name] (e.g. a
+    per-level contraction ratio). *)

@@ -1,0 +1,122 @@
+(* Core observability state: a tree of per-domain event buffers.
+
+   One capture is installed at a time. Events are appended to the
+   *current* buffer, a domain-local reference: the main domain writes to
+   the capture's root buffer; a Pool task writes to a private buffer
+   created for that task index. Task buffers are attached to their
+   parent buffer as [Child] events, one per task, in task order —
+   regardless of how many domains actually ran the tasks — which is what
+   makes the merged trace identical for every job count. *)
+
+type clock = Wall | Logical
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type args = (string * value) list
+
+type buf = {
+  clock : clock;
+  mutable rev_events : event list;
+  mutable seq : int;  (** logical timestamp counter *)
+}
+
+and event =
+  | Begin of { name : string; ts : int; args : args }
+  | End of { ts : int; args : args }
+  | Instant of { name : string; ts : int; args : args }
+  | Count of { name : string; ts : int; delta : int }
+  | Sample of { name : string; ts : int; value : float }
+  | Child of buf
+
+type capture = { root : buf; clock : clock }
+
+let make_buf clock = { clock; rev_events = []; seq = 0 }
+
+let now (buf : buf) =
+  match buf.clock with
+  | Wall -> int_of_float (Unix.gettimeofday () *. 1e6)
+  | Logical ->
+    let t = buf.seq in
+    buf.seq <- t + 1;
+    t
+
+let emit buf ev = buf.rev_events <- ev :: buf.rev_events
+
+let events buf = List.rev buf.rev_events
+
+(* The installed capture. [install]/[finish] are main-domain operations;
+   worker domains only ever see buffers handed to them via {!in_task}. *)
+let installed : capture option Atomic.t = Atomic.make None
+
+(* Current buffer of this domain. The single branch every instrumentation
+   site pays when tracing is off is the [None] match on this cell. *)
+let current : buf option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let cur () = !(Domain.DLS.get current)
+
+let enabled () = cur () <> None
+
+let install ?(clock = Wall) () =
+  let root = make_buf clock in
+  Atomic.set installed (Some { root; clock });
+  Domain.DLS.get current := Some root
+
+let finish () =
+  let cap = Atomic.get installed in
+  Atomic.set installed None;
+  Domain.DLS.get current := None;
+  cap
+
+let with_capture ?clock f =
+  install ?clock ();
+  match f () with
+  | v -> (
+    match finish () with
+    | Some cap -> (v, cap)
+    | None -> invalid_arg "Obs.with_capture: capture was finished early")
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+(* --- task groups (the Pool integration) --- *)
+
+type group = {
+  parent : buf;
+  bufs : buf array;
+  mutable committed : bool;
+}
+
+let group n =
+  match cur () with
+  | None -> None
+  | Some parent ->
+    Some
+      {
+        parent;
+        bufs = Array.init n (fun _ -> make_buf parent.clock);
+        committed = false;
+      }
+
+let in_task g i f =
+  let slot = Domain.DLS.get current in
+  let saved = !slot in
+  slot := Some g.bufs.(i);
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let commit ?keep g_opt =
+  match g_opt with
+  | None -> ()
+  | Some g ->
+    if not g.committed then begin
+      g.committed <- true;
+      let n = Array.length g.bufs in
+      let n =
+        match keep with
+        | None -> n
+        | Some k -> if k < 0 then 0 else min k n
+      in
+      for i = 0 to n - 1 do
+        emit g.parent (Child g.bufs.(i))
+      done
+    end

@@ -1,0 +1,93 @@
+(** Observability core: hierarchical event buffers for spans, counters
+    and samples, designed so that traces of the parallel partitioner are
+    bit-identical at every job count.
+
+    At most one capture is installed at a time. Instrumentation sites
+    ({!Span}, {!Counters}) append events to the {e current buffer}, a
+    domain-local reference: the main domain writes to the capture's root
+    buffer, and every {!Ppnpart_exec.Pool} task writes to a private
+    buffer created for its task index. When a task group completes, its
+    buffers are attached to the buffer that spawned the group as
+    {!Child} events {e in task order} — one per task, independent of the
+    number of domains that executed them — so the merged trace depends
+    only on the task structure, never on the schedule.
+
+    When no capture is installed, every instrumentation entry point
+    reduces to one domain-local load and a [None] branch: the pipeline
+    runs the exact same algorithm with or without tracing. *)
+
+type clock =
+  | Wall  (** microseconds since the epoch ([Unix.gettimeofday]) *)
+  | Logical
+      (** a per-buffer event counter; used by tests to make whole traces
+          reproducible bit-for-bit *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type args = (string * value) list
+(** span / event attributes, exported as the Chrome-trace [args] object *)
+
+type buf
+(** an append-only event buffer, owned by one domain at a time *)
+
+type event =
+  | Begin of { name : string; ts : int; args : args }
+  | End of { ts : int; args : args }
+  | Instant of { name : string; ts : int; args : args }
+  | Count of { name : string; ts : int; delta : int }
+  | Sample of { name : string; ts : int; value : float }
+  | Child of buf
+      (** a completed task buffer, spliced in task order; rendered as its
+          own track by {!Trace_export} *)
+
+type capture = { root : buf; clock : clock }
+
+val install : ?clock:clock -> unit -> unit
+(** Install a fresh capture (default {!Wall} clock) and make its root
+    buffer current on the calling domain. Replaces any previous capture.
+    Call from the main domain only. *)
+
+val finish : unit -> capture option
+(** Uninstall and return the capture installed by {!install}, if any. *)
+
+val with_capture : ?clock:clock -> (unit -> 'a) -> 'a * capture
+(** [with_capture f] installs, runs [f], finishes. On exception the
+    capture is discarded and the exception re-raised. *)
+
+val enabled : unit -> bool
+(** Whether the calling domain currently has a buffer to write to. Use
+    to guard instrumentation whose {e argument computation} is not free
+    (e.g. counting matched pairs before a {!Counters.add}). *)
+
+val events : buf -> event list
+(** Events in emission order (consumed by {!Trace_export}). *)
+
+(** {2 Plumbing for instrumentation sites}
+
+    Used by {!Span}, {!Counters} and {!Ppnpart_exec.Pool}; not meant for
+    application code. *)
+
+val cur : unit -> buf option
+(** This domain's current buffer. *)
+
+val now : buf -> int
+(** A timestamp on the buffer's clock (advances the logical counter). *)
+
+val emit : buf -> event -> unit
+
+type group
+(** Per-task buffers for one [Pool.run] call. *)
+
+val group : int -> group option
+(** [group n] creates [n] task buffers under the current buffer, or
+    [None] when tracing is off (then the pool runs untouched). *)
+
+val in_task : group -> int -> (unit -> 'a) -> 'a
+(** [in_task g i f] runs [f] with task [i]'s buffer current on the
+    calling domain, restoring the previous buffer afterwards. *)
+
+val commit : ?keep:int -> group option -> unit
+(** Attach the first [keep] task buffers (default: all) to the buffer
+    that created the group, in task order. Speculative executions beyond
+    [keep] are discarded so the trace matches the sequential schedule.
+    Idempotent: only the first commit has effect. *)

@@ -1,0 +1,36 @@
+let begin_args args = match args with None -> [] | Some th -> th ()
+
+let with_ ?args name f =
+  match Obs.cur () with
+  | None -> f ()
+  | Some buf -> (
+    Obs.emit buf (Obs.Begin { name; ts = Obs.now buf; args = begin_args args });
+    match f () with
+    | v ->
+      Obs.emit buf (Obs.End { ts = Obs.now buf; args = [] });
+      v
+    | exception e ->
+      Obs.emit buf
+        (Obs.End { ts = Obs.now buf; args = [ ("error", Obs.Bool true) ] });
+      raise e)
+
+let with_result ?args ~result name f =
+  match Obs.cur () with
+  | None -> f ()
+  | Some buf -> (
+    Obs.emit buf (Obs.Begin { name; ts = Obs.now buf; args = begin_args args });
+    match f () with
+    | v ->
+      Obs.emit buf (Obs.End { ts = Obs.now buf; args = result v });
+      v
+    | exception e ->
+      Obs.emit buf
+        (Obs.End { ts = Obs.now buf; args = [ ("error", Obs.Bool true) ] });
+      raise e)
+
+let instant ?args name =
+  match Obs.cur () with
+  | None -> ()
+  | Some buf ->
+    Obs.emit buf
+      (Obs.Instant { name; ts = Obs.now buf; args = begin_args args })

@@ -1,0 +1,24 @@
+(** Hierarchical timed spans.
+
+    Spans nest by dynamic extent: a span encloses every event emitted by
+    the same domain while its body runs, plus the task buffers of any
+    {!Ppnpart_exec.Pool} call it makes. Attribute thunks are only
+    evaluated when tracing is on, so instrumentation sites may build
+    argument lists freely without a disabled-mode cost. *)
+
+val with_ : ?args:(unit -> Obs.args) -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] times [f] under a span called [name]. Exceptions
+    close the span (tagged [error=true]) and propagate. When tracing is
+    off this is exactly [f ()]. *)
+
+val with_result :
+  ?args:(unit -> Obs.args) ->
+  result:('a -> Obs.args) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Like {!with_}, additionally attaching [result v] as closing
+    attributes — e.g. the goodness a V-cycle achieved. *)
+
+val instant : ?args:(unit -> Obs.args) -> string -> unit
+(** A zero-duration marker event (e.g. which seeding won). *)

@@ -1,0 +1,267 @@
+(* Exporters over a finished capture: Chrome trace-event JSON (loads in
+   chrome://tracing and Perfetto), a JSONL event stream, and aggregated
+   statistics for the CLI's --stats table.
+
+   All walks are depth-first over the buffer tree in emission order.
+   Virtual track ids (vt) are assigned in walk order — root buffer is
+   track 0, every task buffer gets the next free id — so ids depend only
+   on the task structure, never on the domain schedule. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ escape s ^ "\""
+
+let json_value = function
+  | Obs.Int i -> string_of_int i
+  | Obs.Float f -> Printf.sprintf "%.6g" f
+  | Obs.Str s -> json_string s
+  | Obs.Bool b -> string_of_bool b
+
+let json_args args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_value v) args)
+  ^ "}"
+
+(* --- Chrome trace-event format --- *)
+
+let to_chrome (cap : Obs.capture) =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let line s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  let counter_cum : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_tid = ref 0 in
+  let rec walk buf =
+    let tid = !next_tid in
+    incr next_tid;
+    line
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%s}}"
+         tid
+         (json_string (if tid = 0 then "main" else "task")));
+    List.iter
+      (fun (ev : Obs.event) ->
+        match ev with
+        | Obs.Begin { name; ts; args } ->
+          let args_field =
+            if args = [] then "" else ",\"args\":" ^ json_args args
+          in
+          line
+            (Printf.sprintf
+               "{\"name\":%s,\"cat\":\"ppnpart\",\"ph\":\"B\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
+               (json_string name) ts tid args_field)
+        | Obs.End { ts; args } ->
+          let args_field =
+            if args = [] then "" else ",\"args\":" ^ json_args args
+          in
+          line
+            (Printf.sprintf
+               "{\"ph\":\"E\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}" ts tid
+               args_field)
+        | Obs.Instant { name; ts; args } ->
+          let args_field =
+            if args = [] then "" else ",\"args\":" ^ json_args args
+          in
+          line
+            (Printf.sprintf
+               "{\"name\":%s,\"cat\":\"ppnpart\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
+               (json_string name) ts tid args_field)
+        | Obs.Count { name; ts; delta } ->
+          let cum =
+            delta
+            + Option.value ~default:0 (Hashtbl.find_opt counter_cum name)
+          in
+          Hashtbl.replace counter_cum name cum;
+          line
+            (Printf.sprintf
+               "{\"name\":%s,\"ph\":\"C\",\"ts\":%d,\"pid\":1,\"tid\":0,\"args\":{\"value\":%d}}"
+               (json_string name) ts cum)
+        | Obs.Sample { name; ts; value } ->
+          line
+            (Printf.sprintf
+               "{\"name\":%s,\"ph\":\"C\",\"ts\":%d,\"pid\":1,\"tid\":0,\"args\":{\"value\":%s}}"
+               (json_string name) ts
+               (Printf.sprintf "%.6g" value))
+        | Obs.Child child -> walk child)
+      (Obs.events buf)
+  in
+  walk cap.root;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* --- JSONL event stream --- *)
+
+let to_jsonl (cap : Obs.capture) =
+  let b = Buffer.create 65536 in
+  let next_tid = ref 0 in
+  let rec walk parent buf =
+    let vt = !next_tid in
+    incr next_tid;
+    if vt > 0 then
+      Buffer.add_string b
+        (Printf.sprintf "{\"ev\":\"task\",\"vt\":%d,\"parent\":%d}\n" vt
+           parent);
+    List.iter
+      (fun (ev : Obs.event) ->
+        let args_field args =
+          if args = [] then "" else ",\"args\":" ^ json_args args
+        in
+        match ev with
+        | Obs.Begin { name; ts; args } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"ev\":\"begin\",\"vt\":%d,\"name\":%s,\"ts\":%d%s}\n" vt
+               (json_string name) ts (args_field args))
+        | Obs.End { ts; args } ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"ev\":\"end\",\"vt\":%d,\"ts\":%d%s}\n" vt ts
+               (args_field args))
+        | Obs.Instant { name; ts; args } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"ev\":\"instant\",\"vt\":%d,\"name\":%s,\"ts\":%d%s}\n" vt
+               (json_string name) ts (args_field args))
+        | Obs.Count { name; ts; delta } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"ev\":\"count\",\"vt\":%d,\"name\":%s,\"ts\":%d,\"delta\":%d}\n"
+               vt (json_string name) ts delta)
+        | Obs.Sample { name; ts; value } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"ev\":\"sample\",\"vt\":%d,\"name\":%s,\"ts\":%d,\"value\":%s}\n"
+               vt (json_string name) ts
+               (Printf.sprintf "%.6g" value))
+        | Obs.Child child -> walk vt child)
+      (Obs.events buf)
+  in
+  walk 0 cap.root;
+  Buffer.contents b
+
+(* --- aggregation --- *)
+
+type agg = {
+  spans : (string, int * int) Hashtbl.t;  (* count, total ticks *)
+  counters : (string, int) Hashtbl.t;
+  samples : (string, int * float * float * float) Hashtbl.t;
+      (* count, min, sum, max *)
+}
+
+let aggregate (cap : Obs.capture) =
+  let agg =
+    {
+      spans = Hashtbl.create 32;
+      counters = Hashtbl.create 32;
+      samples = Hashtbl.create 8;
+    }
+  in
+  let rec walk buf =
+    let stack = ref [] in
+    List.iter
+      (fun (ev : Obs.event) ->
+        match ev with
+        | Obs.Begin { name; ts; _ } -> stack := (name, ts) :: !stack
+        | Obs.End { ts; _ } -> (
+          match !stack with
+          | (name, t0) :: tl ->
+            stack := tl;
+            let c, tot =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt agg.spans name)
+            in
+            Hashtbl.replace agg.spans name (c + 1, tot + (ts - t0))
+          | [] -> () (* unbalanced: interrupted capture; ignore *))
+        | Obs.Instant _ -> ()
+        | Obs.Count { name; delta; _ } ->
+          Hashtbl.replace agg.counters name
+            (delta + Option.value ~default:0 (Hashtbl.find_opt agg.counters name))
+        | Obs.Sample { name; value; _ } -> (
+          match Hashtbl.find_opt agg.samples name with
+          | None -> Hashtbl.add agg.samples name (1, value, value, value)
+          | Some (c, mn, sum, mx) ->
+            Hashtbl.replace agg.samples name
+              (c + 1, min mn value, sum +. value, max mx value))
+        | Obs.Child child -> walk child)
+      (Obs.events buf)
+  in
+  walk cap.root;
+  agg
+
+let span_totals cap =
+  let agg = aggregate cap in
+  Hashtbl.fold (fun name (c, tot) acc -> (name, c, tot) :: acc) agg.spans []
+  |> List.sort (fun (n1, _, t1) (n2, _, t2) ->
+         match compare t2 t1 with 0 -> compare n1 n2 | c -> c)
+
+let counter_totals cap =
+  let agg = aggregate cap in
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) agg.counters []
+  |> List.sort compare
+
+let sample_stats cap =
+  let agg = aggregate cap in
+  Hashtbl.fold
+    (fun name (c, mn, sum, mx) acc ->
+      (name, c, mn, sum /. float_of_int c, mx) :: acc)
+    agg.samples []
+  |> List.sort compare
+
+let pp_stats ppf (cap : Obs.capture) =
+  let spans = span_totals cap in
+  let counters = counter_totals cap in
+  let samples = sample_stats cap in
+  let fmt_ticks t =
+    match cap.clock with
+    | Obs.Wall -> Printf.sprintf "%.3f" (float_of_int t /. 1000.)
+    | Obs.Logical -> string_of_int t
+  in
+  let unit_hdr =
+    match cap.clock with Obs.Wall -> "ms" | Obs.Logical -> "ticks"
+  in
+  Format.fprintf ppf "%-36s %8s %14s %14s@." "phase" "calls"
+    ("total(" ^ unit_hdr ^ ")")
+    ("mean(" ^ unit_hdr ^ ")");
+  List.iter
+    (fun (name, count, total) ->
+      let mean =
+        match cap.clock with
+        | Obs.Wall ->
+          Printf.sprintf "%.3f"
+            (float_of_int total /. 1000. /. float_of_int (max 1 count))
+        | Obs.Logical -> string_of_int (total / max 1 count)
+      in
+      Format.fprintf ppf "%-36s %8d %14s %14s@." name count
+        (fmt_ticks total) mean)
+    spans;
+  if counters <> [] then begin
+    Format.fprintf ppf "@.%-36s %14s@." "counter" "value";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "%-36s %14d@." name v)
+      counters
+  end;
+  if samples <> [] then begin
+    Format.fprintf ppf "@.%-36s %8s %10s %10s %10s@." "histogram" "count"
+      "min" "mean" "max";
+    List.iter
+      (fun (name, c, mn, mean, mx) ->
+        Format.fprintf ppf "%-36s %8d %10.3f %10.3f %10.3f@." name c mn mean
+          mx)
+      samples
+  end

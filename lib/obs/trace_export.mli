@@ -1,0 +1,35 @@
+(** Exporters for a finished {!Obs.capture}.
+
+    The buffer tree is walked depth-first in emission order; every task
+    buffer becomes its own virtual track (Chrome [tid] / JSONL [vt]),
+    numbered in walk order. Track ids, event order, counter values and
+    span structure therefore depend only on the algorithm's task
+    structure — they are identical for every [--jobs] value. Timestamps
+    come from the capture's clock: wall microseconds in normal runs, a
+    per-buffer event counter under {!Obs.Logical} (which makes the whole
+    exported string reproducible bit-for-bit). *)
+
+val to_chrome : Obs.capture -> string
+(** Chrome trace-event JSON ([{"traceEvents":[...]}]) — load the file in
+    {{:https://ui.perfetto.dev}Perfetto} or [chrome://tracing]. Spans
+    are B/E duration events, markers are instants, counters are "C"
+    events carrying the cumulative value. *)
+
+val to_jsonl : Obs.capture -> string
+(** One JSON object per line:
+    [{"ev":"begin"|"end"|"instant"|"count"|"sample"|"task", ...}]; a
+    ["task"] line introduces virtual track [vt] under its parent. *)
+
+val span_totals : Obs.capture -> (string * int * int) list
+(** [(name, calls, total)] per span name, sorted by descending total
+    (ties by name). Totals are in the capture clock's unit:
+    microseconds for {!Obs.Wall}, ticks for {!Obs.Logical}. *)
+
+val counter_totals : Obs.capture -> (string * int) list
+(** Counter sums over the whole tree, sorted by name. *)
+
+val sample_stats : Obs.capture -> (string * int * float * float * float) list
+(** [(name, count, min, mean, max)] per histogram, sorted by name. *)
+
+val pp_stats : Format.formatter -> Obs.capture -> unit
+(** The human-readable per-phase table behind the CLI's [--stats]. *)

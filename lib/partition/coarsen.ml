@@ -43,8 +43,25 @@ let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) ?jobs rng g0
     let n = Wgraph.n_nodes g in
     if n <= target || Wgraph.n_edges g = 0 then continue := false
     else begin
-      let _, partner = Matching.best_of ?strategies ?jobs rng g in
-      let coarse, cmap = contract g partner in
+      let level = List.length !graphs - 1 in
+      let _strategy, coarse, cmap =
+        Ppnpart_obs.Span.with_result
+          ~args:(fun () ->
+            [ ("level", Ppnpart_obs.Obs.Int level);
+              ("nodes", Ppnpart_obs.Obs.Int n) ])
+          ~result:(fun (s, coarse, _) ->
+            [ ("strategy", Ppnpart_obs.Obs.Str (Matching.strategy_name s));
+              ("coarse_nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes coarse))
+            ])
+          "coarsen.level"
+          (fun () ->
+            let strategy, partner = Matching.best_of ?strategies ?jobs rng g in
+            let coarse, cmap = contract g partner in
+            (strategy, coarse, cmap))
+      in
+      if Ppnpart_obs.Obs.enabled () then
+        Ppnpart_obs.Counters.sample "coarsen.ratio"
+          (float_of_int (Wgraph.n_nodes coarse) /. float_of_int n);
       let shrunk = n - Wgraph.n_nodes coarse in
       if float_of_int shrunk < min_shrink *. float_of_int n then
         continue := false

@@ -194,11 +194,25 @@ let greedy_resource_growth ?(n_seeds = 10) ?(jobs = 1) rng g
     done;
     let eff_jobs = if n >= parallel_node_threshold then jobs else 1 in
     let results =
-      Ppnpart_exec.Pool.map ~jobs:eff_jobs
-        (fun seed ->
-          let part = growth_attempt g c seed in
-          (part, Metrics.goodness g c part))
-        seeds
+      Ppnpart_obs.Span.with_
+        ~args:(fun () ->
+          [ ("nodes", Ppnpart_obs.Obs.Int n);
+            ("attempts", Ppnpart_obs.Obs.Int n_attempts) ])
+        "initial.greedy"
+        (fun () ->
+          Ppnpart_exec.Pool.run ~jobs:eff_jobs
+            (Array.init n_attempts (fun i () ->
+                 Ppnpart_obs.Span.with_result
+                   ~args:(fun () ->
+                     [ ("attempt", Ppnpart_obs.Obs.Int i);
+                       ("seed_node", Ppnpart_obs.Obs.Int seeds.(i)) ])
+                   ~result:(fun (_, (gd : Metrics.goodness)) ->
+                     [ ("violation", Ppnpart_obs.Obs.Int gd.violation);
+                       ("cut", Ppnpart_obs.Obs.Int gd.cut_value) ])
+                   "initial.attempt"
+                   (fun () ->
+                     let part = growth_attempt g c seeds.(i) in
+                     (part, Metrics.goodness g c part)))))
     in
     (* Earliest restart wins ties, matching the sequential fold. *)
     let best = ref 0 in

@@ -9,6 +9,18 @@ let strategy_name = function
   | Heavy_edge -> "heavy-edge"
   | K_means -> "k-means"
 
+(* Static span / counter names per strategy: no string building on the
+   hot path, whether tracing is on or off. *)
+let span_name = function
+  | Random_maximal -> "matching.random"
+  | Heavy_edge -> "matching.heavy-edge"
+  | K_means -> "matching.k-means"
+
+let pairs_counter = function
+  | Random_maximal -> "coarsen.pairs.random"
+  | Heavy_edge -> "coarsen.pairs.heavy-edge"
+  | K_means -> "coarsen.pairs.k-means"
+
 let random_permutation rng n =
   let p = Array.init n (fun i -> i) in
   for i = n - 1 downto 1 do
@@ -226,7 +238,13 @@ let best_of ?(strategies = all_strategies) ?(jobs = 1) rng g =
   let candidates =
     Ppnpart_exec.Pool.run ~jobs:eff_jobs
       (Array.init n_strats (fun i () ->
-           (strategies.(i), compute strategies.(i) states.(i) g)))
+           let s = strategies.(i) in
+           Ppnpart_obs.Span.with_ (span_name s) (fun () ->
+               let m = compute s states.(i) g in
+               if Ppnpart_obs.Obs.enabled () then
+                 Ppnpart_obs.Counters.add (pairs_counter s)
+                   (count_matched_pairs m);
+               (s, m))))
   in
   let weigh (_, m) = matched_weight g m in
   let best = ref candidates.(0) in

@@ -93,6 +93,7 @@ type report = {
 }
 
 let report ?(runtime_s = 0.0) g (c : Types.constraints) part =
+  Ppnpart_obs.Counters.incr "metrics.report";
   Types.check_partition ~n:(Wgraph.n_nodes g) ~k:c.Types.k part;
   {
     total_cut = cut g part;

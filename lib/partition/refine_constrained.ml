@@ -2,6 +2,7 @@ open Ppnpart_graph
 
 (* Greedy sweeps: strictly improving moves only, random node order. *)
 let greedy_sweeps max_passes rng (st : Part_state.t) =
+  Ppnpart_obs.Span.with_ "refine.greedy" @@ fun () ->
   let n = Wgraph.n_nodes st.Part_state.g in
   let k = st.Part_state.c.Types.k in
   let conn = Array.make k 0 in
@@ -16,6 +17,8 @@ let greedy_sweeps max_passes rng (st : Part_state.t) =
   in
   let moved = ref true in
   let passes = ref 0 in
+  (* Hot loop: accumulate locally, emit one counter delta per call. *)
+  let applied = ref 0 in
   while !moved && !passes < max_passes do
     moved := false;
     incr passes;
@@ -31,10 +34,12 @@ let greedy_sweeps max_passes rng (st : Part_state.t) =
              || (v = cur_violation && cut' < st.Part_state.cut))
         then begin
           Part_state.apply_move st u t conn;
+          incr applied;
           moved := true
         end)
       order
-  done
+  done;
+  Ppnpart_obs.Counters.add "refine.greedy.moves" !applied
 
 (* One FM pass: tentative moves (worsening allowed), each node moved at
    most once, rollback to the best state seen.
@@ -55,6 +60,10 @@ let greedy_sweeps max_passes rng (st : Part_state.t) =
 let violation_cap = 32
 
 let fm_pass (st : Part_state.t) =
+  Ppnpart_obs.Span.with_result
+    ~result:(fun improved -> [ ("improved", Ppnpart_obs.Obs.Bool improved) ])
+    "refine.fm_pass"
+  @@ fun () ->
   let g = st.Part_state.g in
   let n = Wgraph.n_nodes g in
   let k = st.Part_state.c.Types.k in
@@ -97,6 +106,7 @@ let fm_pass (st : Part_state.t) =
   (* Stale re-queues strictly lower a node's priority, so they terminate;
      the budget is a safety net against pathological thrashing. *)
   let pops = ref 0 in
+  let stale = ref 0 and regains = ref 0 in
   let pop_budget = (20 * (n + 1)) + (2 * Bucket.max_gain bucket) in
   let continue = ref true in
   while !continue && !n_moves < n && !pops < pop_budget do
@@ -107,7 +117,10 @@ let fm_pass (st : Part_state.t) =
       match best_move u with
       | None -> () (* no longer movable: drop until a neighbour re-gains *)
       | Some (fresh, t) ->
-        if fresh < stored then Bucket.insert bucket u fresh
+        if fresh < stored then begin
+          incr stale;
+          Bucket.insert bucket u fresh
+        end
         else begin
           let from = st.Part_state.part.(u) in
           Part_state.apply_move st u t conn;
@@ -121,6 +134,7 @@ let fm_pass (st : Part_state.t) =
           end;
           Wgraph.iter_neighbors g u (fun v _ ->
               if not locked.(v) then begin
+                incr regains;
                 if Bucket.mem bucket v then Bucket.remove bucket v;
                 match best_move v with
                 | Some (gain, _) -> Bucket.insert bucket v gain
@@ -134,6 +148,11 @@ let fm_pass (st : Part_state.t) =
     Part_state.connectivity st conn u;
     Part_state.apply_move st u from conn
   done;
+  Ppnpart_obs.Counters.add "fm.pops" !pops;
+  Ppnpart_obs.Counters.add "fm.stale_requeues" !stale;
+  Ppnpart_obs.Counters.add "fm.regains" !regains;
+  Ppnpart_obs.Counters.add "fm.moves.applied" !best_prefix;
+  Ppnpart_obs.Counters.add "fm.moves.rolled_back" (!n_moves - !best_prefix);
   Metrics.compare_goodness !best start < 0
 
 (* One FM pass with exact global move selection: rescan every unlocked
@@ -144,6 +163,10 @@ let fm_pass (st : Part_state.t) =
    neighbour-only re-gains can stall in a basin the exact selection
    escapes. *)
 let exact_fm_pass (st : Part_state.t) =
+  Ppnpart_obs.Span.with_result
+    ~result:(fun improved -> [ ("improved", Ppnpart_obs.Obs.Bool improved) ])
+    "refine.exact_pass"
+  @@ fun () ->
   let n = Wgraph.n_nodes st.Part_state.g in
   let k = st.Part_state.c.Types.k in
   let conn = Array.make k 0 in
@@ -185,6 +208,8 @@ let exact_fm_pass (st : Part_state.t) =
     Part_state.connectivity st conn u;
     Part_state.apply_move st u from conn
   done;
+  Ppnpart_obs.Counters.add "fm.moves.applied" !best_prefix;
+  Ppnpart_obs.Counters.add "fm.moves.rolled_back" (!n_moves - !best_prefix);
   Metrics.compare_goodness !best start < 0
 
 (* Below this size the exact pass is cheap enough to rescue a stalled
@@ -194,6 +219,14 @@ let exact_fallback_limit = 512
 let refine ?(max_passes = 16) rng g (c : Types.constraints) part0 =
   let n = Wgraph.n_nodes g in
   let k = c.Types.k in
+  Ppnpart_obs.Span.with_result
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int n); ("k", Ppnpart_obs.Obs.Int k) ])
+    ~result:(fun (_, (gd : Metrics.goodness)) ->
+      [ ("violation", Ppnpart_obs.Obs.Int gd.violation);
+        ("cut", Ppnpart_obs.Obs.Int gd.cut_value) ])
+    "refine.constrained"
+  @@ fun () ->
   Types.check_partition ~n ~k part0;
   let st = Part_state.init g c part0 in
   let rounds = ref 0 in

@@ -3,6 +3,14 @@ open Ppnpart_graph
 let refine ?iterations ?tenure ?stall_limit g (c : Types.constraints) part0 =
   let n = Wgraph.n_nodes g in
   let k = c.Types.k in
+  Ppnpart_obs.Span.with_result
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int n); ("k", Ppnpart_obs.Obs.Int k) ])
+    ~result:(fun (_, (gd : Metrics.goodness)) ->
+      [ ("violation", Ppnpart_obs.Obs.Int gd.violation);
+        ("cut", Ppnpart_obs.Obs.Int gd.cut_value) ])
+    "refine.tabu"
+  @@ fun () ->
   Types.check_partition ~n ~k part0;
   let iterations = Option.value iterations ~default:(4 * n) in
   let tenure = Option.value tenure ~default:(7 + (n / 16)) in
@@ -14,6 +22,7 @@ let refine ?iterations ?tenure ?stall_limit g (c : Types.constraints) part0 =
   let best = ref (Part_state.goodness st) in
   let stall = ref 0 in
   let step = ref 0 in
+  let improvements = ref 0 in
   let continue = ref (n > 1 && k > 1) in
   while !continue && !step < iterations && !stall < stall_limit do
     incr step;
@@ -43,8 +52,11 @@ let refine ?iterations ?tenure ?stall_limit g (c : Types.constraints) part0 =
       if Metrics.compare_goodness now !best < 0 then begin
         best := now;
         best_part := Part_state.snapshot st;
+        improvements := !improvements + 1;
         stall := 0
       end
       else incr stall
   done;
+  Ppnpart_obs.Counters.add "tabu.steps" !step;
+  Ppnpart_obs.Counters.add "tabu.improvements" !improvements;
   (!best_part, !best)

@@ -1,3 +1,6 @@
+let log_src =
+  Logs.Src.create "ppnpart.partition" ~doc:"Multi-level partitioning stack"
+
 type constraints = { k : int; bmax : int; rmax : int }
 
 let constraints ~k ~bmax ~rmax =

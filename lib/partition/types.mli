@@ -11,6 +11,9 @@
     - [rmax]: each FPGA offers [rmax] resources, so the node weights in each
       part must not exceed it. *)
 
+val log_src : Logs.Src.t
+(** The [ppnpart.partition] log source, shared by the whole library. *)
+
 type constraints = {
   k : int;  (** number of parts (FPGAs) *)
   bmax : int;  (** pairwise bandwidth bound *)

@@ -1,3 +1,5 @@
+let log_src = Logs.Src.create "ppnpart.poly" ~doc:"Polyhedral analysis"
+
 type element = string * int array
 
 let written_elements stmt array =

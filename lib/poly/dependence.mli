@@ -49,3 +49,6 @@ val external_writes : Stmt.t list -> (int * string * int) list
     produces that no other statement consumes — the network's output
     streams. A value is "final" if the statement is the last writer of the
     element. Sorted. *)
+
+val log_src : Logs.Src.t
+(** The [ppnpart.poly] log source. *)

@@ -1,3 +1,5 @@
+let log_src = Logs.Src.create "ppnpart.ppn" ~doc:"Process-network derivation"
+
 module Stmt = Ppnpart_poly.Stmt
 module Domain = Ppnpart_poly.Domain
 module Affine = Ppnpart_poly.Affine

@@ -29,3 +29,6 @@ val split_stmt : int -> Ppnpart_poly.Stmt.t -> Ppnpart_poly.Stmt.t list
     @raise Invalid_argument if the outermost bounds are not constant, the
     domain is not at least 1-dimensional, or [p < 1]. Chunks that would be
     empty are dropped, so fewer than [p] statements can be returned. *)
+
+val log_src : Logs.Src.t
+(** The [ppnpart.ppn] log source. *)

@@ -1,3 +1,5 @@
+let log_src = Logs.Src.create "ppnpart.workloads" ~doc:"Workload generators"
+
 open Ppnpart_graph
 
 let uniform rng (lo, hi) =

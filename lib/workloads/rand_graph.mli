@@ -62,3 +62,6 @@ val random_partitionable :
     with ~25% slack — so a feasible partition is guaranteed to exist. Used
     by property tests ("GP finds a feasible partition whenever one
     provably exists"). Requires [n >= 2 * k]. *)
+
+val log_src : Logs.Src.t
+(** The [ppnpart.workloads] log source. *)
