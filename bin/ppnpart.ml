@@ -145,6 +145,17 @@ let stats_arg =
           "Profile the run and print a per-phase table (calls, total and \
            mean wall time) plus move/gain counters after the result.")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Run with the invariant checkers on (GP only): every phase \
+           boundary recomputes the partition state from scratch and the \
+           run aborts on the first divergence from the incremental state. \
+           Equivalent to setting $(b,PPNPART_CHECK=1). Slow; for \
+           debugging.")
+
 let resolve_input input paper seed =
   match (input, paper) with
   | Some path, None -> Ok (read_graph path)
@@ -167,7 +178,7 @@ let resolve_input input paper seed =
 
 let partition_cmd =
   let run () input paper seed jobs k bmax rmax algo dot save trace_out
-      trace_jsonl stats =
+      trace_jsonl stats check =
     match resolve_input input paper seed with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -184,7 +195,11 @@ let partition_cmd =
         let timed_report p = Metrics.report ~runtime_s:(Unix.gettimeofday () -. t0) g c p in
         match algo with
         | `Gp ->
-          let config = { Ppnpart_core.Config.default with seed; jobs } in
+          let config =
+            { Ppnpart_core.Config.default with seed; jobs;
+              debug_checks = Ppnpart_core.Config.default.debug_checks || check
+            }
+          in
           let r = Ppnpart_core.Gp.partition ~config g c in
           ("GP", r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.report)
         | `Metis ->
@@ -254,7 +269,7 @@ let partition_cmd =
     Term.(
       const run $ setup_logs_term $ input_arg $ paper_arg $ seed_arg
       $ jobs_arg $ k_arg $ bmax_arg $ rmax_arg $ algo_arg $ dot_arg
-      $ save_arg $ trace_out_arg $ trace_jsonl_arg $ stats_arg)
+      $ save_arg $ trace_out_arg $ trace_jsonl_arg $ stats_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "partition"

@@ -7,6 +7,7 @@ type t = {
   tabu_iterations : int;
   seed : int;
   jobs : int;
+  debug_checks : bool;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     tabu_iterations = 0;
     seed = 0;
     jobs = 1;
+    debug_checks = Ppnpart_check.Check.env_enabled ();
   }
 
 let validate t =

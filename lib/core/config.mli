@@ -25,6 +25,14 @@ type t = {
           means auto ([PPNPART_JOBS] or
           [Domain.recommended_domain_count ()]). The partition returned
           is identical for every job count (default 1). *)
+  debug_checks : bool;
+      (** when true, [Gp.partition] installs the [Ppnpart_check]
+          validators for the duration of the run: every phase boundary
+          recomputes the partition state from scratch and raises
+          [Check.Violation] on the first divergence. Defaults to
+          [PPNPART_CHECK=1] in the environment; the CLI flag is
+          [--check]. Off by default — disabled checks cost one atomic
+          load per site. *)
 }
 
 val default : t

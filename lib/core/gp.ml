@@ -26,6 +26,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
    assignment; the refined candidate of better goodness descends. *)
 let descend (cfg : Config.t) ~jobs rng hierarchy c =
   Ppnpart_obs.Span.with_ "gp.descend" @@ fun () ->
+  let checking = Ppnpart_check.Check.enabled () in
   let coarsest = Coarsen.coarsest hierarchy in
   let refine_initial initial =
     Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
@@ -49,6 +50,8 @@ let descend (cfg : Config.t) ~jobs rng hierarchy c =
       ])
     "gp.seed.winner";
   let seed_part, _ = if greedy_wins then greedy else random in
+  if checking then
+    Ppnpart_check.Check.partition ~site:"gp.seed" coarsest c seed_part;
   let part = ref seed_part in
   for level = Coarsen.levels hierarchy - 2 downto 0 do
     Ppnpart_obs.Span.with_
@@ -58,11 +61,19 @@ let descend (cfg : Config.t) ~jobs rng hierarchy c =
         let projected =
           Coarsen.project_one hierarchy.Coarsen.maps.(level) !part
         in
+        if checking then
+          Ppnpart_check.Check.projection ~site:"gp.uncoarsen.project"
+            ~map:hierarchy.Coarsen.maps.(level) ~coarse:!part ~fine:projected
+            ();
         let refined, _ =
           Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
             (Coarsen.graph_at hierarchy level)
             c projected
         in
+        if checking then
+          Ppnpart_check.Check.partition ~site:"gp.uncoarsen.refined"
+            (Coarsen.graph_at hierarchy level)
+            c refined;
         part := refined)
   done;
   if cfg.Config.tabu_iterations > 0 then begin
@@ -71,6 +82,8 @@ let descend (cfg : Config.t) ~jobs rng hierarchy c =
       Refine_tabu.refine ~iterations:cfg.Config.tabu_iterations finest c
         !part
     in
+    if checking then
+      Ppnpart_check.Check.partition ~site:"gp.tabu" finest c polished;
     part := polished
   end;
   !part
@@ -118,7 +131,44 @@ let run_cycle (cfg : Config.t) g (c : Types.constraints) base_hierarchy i =
   let part = descend cfg ~jobs:1 rng h c in
   (part, Metrics.goodness g c part, from_level)
 
-let partition ?(config = Config.default) g (c : Types.constraints) =
+(* With at least as many parts as nodes, one node per part is *not*
+   automatically right: it cuts every edge, and the pairwise traffic can
+   exceed Bmax even though grouping nodes would be feasible — reporting
+   it as the answer can turn a feasible instance into a false
+   infeasibility. For tiny graphs enumerate every canonical set
+   partition (restricted growth strings; Bell(10) = 115 975 candidates
+   at most) and keep the best goodness. Larger [n <= k] instances run
+   the normal multilevel pipeline. *)
+let exhaustive_limit = 10
+
+let exhaustive_best g (c : Types.constraints) =
+  let n = Wgraph.n_nodes g in
+  (* Canonical labels stay below [min n k], so evaluating under [k = n]
+     gives the same goodness as under the full [k] — the extra parts are
+     empty and contribute to neither excess — while keeping the
+     bandwidth matrices n x n instead of k x k. *)
+  let eval_c = { c with Types.k = n } in
+  let labels = Array.make n 0 in
+  let best = ref (Array.make n 0) in
+  let best_gd = ref (Metrics.goodness g eval_c !best) in
+  let rec go i used =
+    if i = n then begin
+      let gd = Metrics.goodness g eval_c labels in
+      if Metrics.compare_goodness gd !best_gd < 0 then begin
+        best := Array.copy labels;
+        best_gd := gd
+      end
+    end
+    else
+      for l = 0 to min used (c.Types.k - 1) do
+        labels.(i) <- l;
+        go (i + 1) (max used (l + 1))
+      done
+  in
+  go 0 0;
+  !best
+
+let run_partition ~(config : Config.t) g (c : Types.constraints) =
   Config.validate config;
   (* No jobs-dependent attribute may appear here: the exported trace is
      documented to be identical for every job count. *)
@@ -154,7 +204,8 @@ let partition ?(config = Config.default) g (c : Types.constraints) =
     }
   in
   if n = 0 then finish [||] 0 0
-  else if n <= c.Types.k then finish (Array.init n (fun i -> i)) 0 0
+  else if n <= c.Types.k && n <= exhaustive_limit then
+    finish (exhaustive_best g c) 0 0
   else begin
     let hierarchy =
       Coarsen.build ~target:config.Config.coarsen_target
@@ -205,6 +256,11 @@ let partition ?(config = Config.default) g (c : Types.constraints) =
     done;
     finish ~history:!history !best_part !cycles (Coarsen.levels hierarchy)
   end
+
+let partition ?(config = Config.default) g c =
+  if config.Config.debug_checks then
+    Ppnpart_check.Check.with_checks (fun () -> run_partition ~config g c)
+  else run_partition ~config g c
 
 let partition_exn ?config g c =
   let r = partition ?config g c in

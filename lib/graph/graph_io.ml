@@ -51,7 +51,28 @@ let of_metis text =
         (Printf.sprintf "Graph_io.of_metis: expected %d node lines, got %d" n
            (List.length rest));
     let vwgt = Array.make n 1 in
-    let el = Edge_list.create n in
+    (* Every directed adjacency mention, keyed by the undirected pair.
+       Checking each pair individually — both directions present, listed
+       exactly once each, equal weights — catches asymmetries that
+       compensating errors (e.g. a duplicated upper-triangle entry merged
+       by weight addition) would slip past an aggregate edge count. *)
+    let seen = Hashtbl.create (2 * m_decl) in
+    let record u v w =
+      if v < 0 || v >= n then
+        failwith
+          (Printf.sprintf
+             "Graph_io.of_metis: neighbour %d of node %d out of range"
+             (v + 1) (u + 1));
+      if v = u then
+        failwith
+          (Printf.sprintf "Graph_io.of_metis: self loop on node %d" (u + 1));
+      let key = (min u v, max u v) in
+      let up, down =
+        Option.value ~default:([], []) (Hashtbl.find_opt seen key)
+      in
+      Hashtbl.replace seen key
+        (if u < v then (w :: up, down) else (up, w :: down))
+    in
     List.iteri
       (fun u line ->
         let fields = ints_of_line line in
@@ -68,18 +89,44 @@ let of_metis text =
         in
         let rec take = function
           | [] -> ()
+          | [ _ ] when has_ewgt ->
+            failwith
+              (Printf.sprintf
+                 "Graph_io.of_metis: neighbour of node %d without a weight"
+                 (u + 1))
           | v :: w :: tl when has_ewgt ->
-            if u < v - 1 then Edge_list.add el u (v - 1) w;
+            record u (v - 1) w;
             take tl
           | v :: tl ->
-            if u < v - 1 then Edge_list.add el u (v - 1) 1;
+            record u (v - 1) 1;
             take tl
         in
         take fields)
       rest;
+    let el = Edge_list.create n in
+    Hashtbl.iter
+      (fun (u, v) (up, down) ->
+        let pair = Printf.sprintf "%d-%d" (u + 1) (v + 1) in
+        match (up, down) with
+        | [ wu ], [ wd ] ->
+          if wu <> wd then
+            failwith
+              (Printf.sprintf
+                 "Graph_io.of_metis: asymmetric weight on edge %s (%d vs %d)"
+                 pair wu wd);
+          Edge_list.add el u v wu
+        | _ :: _ :: _, _ | _, _ :: _ :: _ ->
+          failwith
+            (Printf.sprintf
+               "Graph_io.of_metis: duplicate adjacency entry for edge %s" pair)
+        | [], _ | _, [] ->
+          failwith
+            (Printf.sprintf
+               "Graph_io.of_metis: asymmetric adjacency: edge %s is listed \
+                on one endpoint only"
+               pair))
+      seen;
     let g = Wgraph.build ~vwgt el in
-    (* The lower-triangle entries were skipped, so symmetry of the input is
-       checked by comparing the declared and reconstructed edge counts. *)
     if Wgraph.n_edges g <> m_decl then
       failwith
         (Printf.sprintf "Graph_io.of_metis: declared %d edges, found %d"

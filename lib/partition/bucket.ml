@@ -49,6 +49,9 @@ let remove t node =
   t.count <- t.count - 1
 
 let adjust t node g =
+  (* Validate the new gain before touching the structure: a failed
+     adjust must not leave the node removed. *)
+  ignore (slot t g : int);
   remove t node;
   insert t node g
 

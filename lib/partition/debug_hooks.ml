@@ -1,0 +1,21 @@
+(* Validator injection point for the invariant-checking subsystem.
+
+   [Ppnpart_check] recomputes every incrementally maintained quantity of
+   a {!Part_state} from scratch and diffs it against the state; the
+   refiners in this library call {!validate} at the points where a delta
+   bug would first become observable (after an FM rollback, at the end of
+   a refine). The check library sits *above* this one in the dependency
+   order, so it injects its validator here at install time instead of
+   being called directly.
+
+   When no validator is installed the cost of a call site is one atomic
+   load and a branch — the same discipline as [Ppnpart_obs]. *)
+
+let enabled = Atomic.make false
+
+let hook : (site:string -> Part_state.t -> unit) ref =
+  ref (fun ~site:_ _ -> ())
+
+let set f = hook := f
+
+let validate ~site st = if Atomic.get enabled then !hook ~site st

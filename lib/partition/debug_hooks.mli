@@ -1,0 +1,19 @@
+(** Validator injection point for the invariant-checking subsystem.
+
+    The refiners call {!validate} wherever a {!Part_state} delta bug
+    would first become observable. [Ppnpart_check.Check.install] sets the
+    hook and flips {!enabled}; with the flag off, every call site reduces
+    to one atomic load and a branch, so the pipeline pays nothing when
+    checking is disabled. *)
+
+val enabled : bool Atomic.t
+(** Whether {!validate} forwards to the installed hook. Flipped by
+    [Ppnpart_check.Check.install] / [uninstall]; read it directly to
+    guard check-only work that is not a plain state validation. *)
+
+val set : (site:string -> Part_state.t -> unit) -> unit
+(** Install the validator called by {!validate}. The [site] is a static
+    string naming the call site (e.g. ["fm_pass.rollback"]). *)
+
+val validate : site:string -> Part_state.t -> unit
+(** Run the installed validator on the state, if enabled. *)

@@ -54,11 +54,25 @@ let random_maximal rng g =
     order;
   partner
 
+(* Order the edges by weight (descending), breaking weight ties by an
+   explicit rank so the comparator is a total order: [Array.sort] is not
+   stable, so sorting shuffled edges on weight alone would leave the tie
+   order at the sort algorithm's mercy instead of the rank's. *)
+let sort_edges_by_weight_rank edges =
+  let m = Array.length edges in
+  let order = Array.init m (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let _, _, wi = edges.(i) and _, _, wj = edges.(j) in
+      if wi <> wj then compare wj wi else compare i j)
+    order;
+  order
+
 let heavy_edge rng g =
   let n = Wgraph.n_nodes g in
   let partner = Array.init n (fun i -> i) in
   let edges = Array.of_list (Wgraph.edges g) in
-  (* Shuffle first so that the sort breaks weight ties randomly. *)
+  (* Shuffle first so that the tie-breaking rank is uniformly random. *)
   let m = Array.length edges in
   for i = m - 1 downto 1 do
     let j = Random.State.int rng (i + 1) in
@@ -66,14 +80,14 @@ let heavy_edge rng g =
     edges.(i) <- edges.(j);
     edges.(j) <- t
   done;
-  Array.sort (fun (_, _, w1) (_, _, w2) -> compare w2 w1) edges;
   Array.iter
-    (fun (u, v, _) ->
+    (fun idx ->
+      let u, v, _ = edges.(idx) in
       if partner.(u) = u && partner.(v) = v then begin
         partner.(u) <- v;
         partner.(v) <- u
       end)
-    edges;
+    (sort_edges_by_weight_rank edges);
   partner
 
 let k_means ?(cluster_size = 8) rng g =
@@ -158,14 +172,14 @@ let k_means ?(cluster_size = 8) rng g =
       List.filter (fun (u, v, _) -> cluster.(u) = cluster.(v)) (Wgraph.edges g)
     in
     let intra = Array.of_list intra in
-    Array.sort (fun (_, _, w1) (_, _, w2) -> compare w2 w1) intra;
     Array.iter
-      (fun (u, v, _) ->
+      (fun idx ->
+        let u, v, _ = intra.(idx) in
         if partner.(u) = u && partner.(v) = v then begin
           partner.(u) <- v;
           partner.(v) <- u
         end)
-      intra;
+      (sort_edges_by_weight_rank intra);
     (* ... then make the matching maximal across clusters. *)
     Array.iter
       (fun u ->

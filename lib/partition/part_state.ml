@@ -103,23 +103,32 @@ let best_target st conn u =
   let p = st.part.(u) in
   let best_t = ref (-1) in
   let best_v = ref max_int and best_cut = ref max_int in
-  if st.members.(p) > 1 then
-    for t = 0 to k - 1 do
-      if t <> p then begin
-        let d_bw, d_res, d_cut = move_deltas st u t conn in
-        let v =
-          Metrics.normalized_violation st.c
-            ~bw_excess:(st.bw_excess + d_bw)
-            ~res_excess:(st.res_excess + d_res)
-        in
-        let cut' = st.cut + d_cut in
-        if v < !best_v || (v = !best_v && cut' < !best_cut) then begin
-          best_v := v;
-          best_cut := cut';
-          best_t := t
-        end
+  (* Emptying a part is normally forbidden (the network must occupy all K
+     FPGAs), but on coarse graphs with n close to k that rule can freeze
+     a singleton forever, pinning the search in an infeasible state that
+     evacuating the node would repair. A singleton may therefore move
+     exactly when doing so strictly reduces the violation. *)
+  let singleton = st.members.(p) = 1 in
+  let cur_v = if singleton then violation st else max_int in
+  for t = 0 to k - 1 do
+    if t <> p then begin
+      let d_bw, d_res, d_cut = move_deltas st u t conn in
+      let v =
+        Metrics.normalized_violation st.c
+          ~bw_excess:(st.bw_excess + d_bw)
+          ~res_excess:(st.res_excess + d_res)
+      in
+      let cut' = st.cut + d_cut in
+      if
+        ((not singleton) || v < cur_v)
+        && (v < !best_v || (v = !best_v && cut' < !best_cut))
+      then begin
+        best_v := v;
+        best_cut := cut';
+        best_t := t
       end
-    done;
+    end
+  done;
   (!best_v, !best_cut, !best_t)
 
 let snapshot st = Array.copy st.part

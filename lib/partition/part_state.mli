@@ -43,8 +43,11 @@ val violation : t -> int
 
 val best_target : t -> int array -> int -> int * int * int
 (** [best_target st conn u] is [(violation', cut', target)] for the best
-    target part of [u] (never emptying [u]'s part); [target = -1] when no
-    legal target exists. *)
+    target part of [u]; [target = -1] when no legal target exists. A move
+    that would empty [u]'s part is considered only when it strictly
+    reduces the violation — otherwise every part stays occupied, but a
+    frozen singleton may always evacuate to repair an Rmax/Bmax
+    violation (relevant on coarse graphs with n close to k). *)
 
 val snapshot : t -> int array
 (** Copy of the current partition. *)

@@ -153,6 +153,7 @@ let fm_pass (st : Part_state.t) =
   Ppnpart_obs.Counters.add "fm.regains" !regains;
   Ppnpart_obs.Counters.add "fm.moves.applied" !best_prefix;
   Ppnpart_obs.Counters.add "fm.moves.rolled_back" (!n_moves - !best_prefix);
+  Debug_hooks.validate ~site:"fm_pass.rollback" st;
   Metrics.compare_goodness !best start < 0
 
 (* One FM pass with exact global move selection: rescan every unlocked
@@ -210,6 +211,7 @@ let exact_fm_pass (st : Part_state.t) =
   done;
   Ppnpart_obs.Counters.add "fm.moves.applied" !best_prefix;
   Ppnpart_obs.Counters.add "fm.moves.rolled_back" (!n_moves - !best_prefix);
+  Debug_hooks.validate ~site:"exact_pass.rollback" st;
   Metrics.compare_goodness !best start < 0
 
 (* Below this size the exact pass is cheap enough to rescue a stalled
@@ -238,4 +240,5 @@ let refine ?(max_passes = 16) rng g (c : Types.constraints) part0 =
     if (not !improving) && n <= exact_fallback_limit then
       improving := exact_fm_pass st
   done;
+  Debug_hooks.validate ~site:"refine.constrained" st;
   (Part_state.snapshot st, Part_state.goodness st)

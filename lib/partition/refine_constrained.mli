@@ -35,6 +35,12 @@ val fm_pass : Part_state.t -> bool
     improved the goodness. Exposed for benchmarks and tests; most callers
     want {!refine}. *)
 
+val exact_fm_pass : Part_state.t -> bool
+(** Like {!fm_pass} but with exact global move selection (a full rescan
+    of every unlocked node before each move, O(n^2 k)). The escape hatch
+    {!refine} uses on graphs up to 512 nodes; exposed so the differential
+    fuzz harness can cross-check the bucket pass against it. *)
+
 val refine :
   ?max_passes:int ->
   Random.State.t ->

@@ -59,4 +59,5 @@ let refine ?iterations ?tenure ?stall_limit g (c : Types.constraints) part0 =
   done;
   Ppnpart_obs.Counters.add "tabu.steps" !step;
   Ppnpart_obs.Counters.add "tabu.improvements" !improvements;
+  Debug_hooks.validate ~site:"refine.tabu" st;
   (!best_part, !best)

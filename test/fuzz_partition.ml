@@ -1,0 +1,235 @@
+(* Seeded differential fuzzing of the partitioning stack.
+
+   Every test draws from a fixed-seed PRNG, so a run is deterministic and
+   a failure reproduces by name. Three scales:
+
+   - [PPNPART_QUICK=1] — shrunk instances, < 5 s (the @runtest-quick
+     alias);
+   - default — the acceptance scale: >= 20 seeds, >= 10k apply_move
+     steps in total, n spanning 2..2000 and k spanning 2..16;
+   - [PPNPART_FUZZ=full] — a longer sweep (the @fuzz alias, run in CI).
+
+   The core comparison is always the same: a quantity maintained
+   incrementally (Part_state deltas, bucket-queue gains, METIS text) is
+   recomputed from scratch by an independent path (Metrics, exact FM,
+   re-parse) and the two must agree exactly. *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+module Check = Ppnpart_check.Check
+
+let mode =
+  if Sys.getenv_opt "PPNPART_FUZZ" = Some "full" then `Full
+  else if Sys.getenv_opt "PPNPART_QUICK" <> None then `Quick
+  else `Default
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Graph sizes cycled over by the apply_move fuzz; the sweep must span
+   tiny (n < k) through bench-sized states. *)
+let sizes =
+  match mode with
+  | `Quick -> [| 2; 3; 5; 8; 13; 21; 34; 55; 89; 128 |]
+  | `Default | `Full ->
+    [| 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233; 377; 610; 987; 1500; 2000 |]
+
+let n_seeds =
+  match mode with `Quick -> 12 | `Default -> 24 | `Full -> 64
+
+let steps_per_seed =
+  match mode with `Quick -> 200 | `Default -> 500 | `Full -> 1000
+
+let random_instance ~n ~k rng =
+  let m = min (n * (n - 1) / 2) (3 * n) in
+  let g =
+    Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 9) ~ew_range:(1, 9) rng
+      ~n ~m
+  in
+  let c =
+    Types.constraints ~k
+      ~bmax:((Wgraph.total_edge_weight g / (2 * k)) + 1)
+      ~rmax:((Wgraph.total_node_weight g / k * 4 / 3) + 1)
+  in
+  (g, c, Initial.random_kway rng g ~k)
+
+(* --- incremental state vs. from-scratch recomputation --- *)
+
+let test_apply_move_consistency () =
+  let total_steps = ref 0 in
+  for seed = 1 to n_seeds do
+    let rng = Random.State.make [| 0xF0; seed |] in
+    let n = sizes.(seed mod Array.length sizes) in
+    let k = 2 + (seed mod 15) in
+    let g, c, part0 = random_instance ~n ~k rng in
+    let st = Part_state.init g c part0 in
+    let conn = Array.make k 0 in
+    let site = Printf.sprintf "fuzz.seed%d" seed in
+    (* Recomputing is O(m + k^2): affordable at every step on small
+       states, sampled (plus once at the end) on large ones. *)
+    let check_every = if n <= 128 then 1 else 97 in
+    for step = 1 to steps_per_seed do
+      let u = Random.State.int rng n in
+      let t =
+        let t = Random.State.int rng (k - 1) in
+        if t >= st.Part_state.part.(u) then t + 1 else t
+      in
+      Part_state.connectivity st conn u;
+      Part_state.apply_move st u t conn;
+      incr total_steps;
+      if step mod check_every = 0 || step = steps_per_seed then
+        Check.part_state ~site st
+    done
+  done;
+  check_bool
+    (Printf.sprintf "acceptance scale: %d steps across %d seeds"
+       !total_steps n_seeds)
+    true
+    (mode = `Quick || (!total_steps >= 10_000 && n_seeds >= 20))
+
+(* Meta-test: the harness must actually catch a broken delta. Feeding
+   [apply_move] a doctored connectivity vector corrupts the incremental
+   bandwidth matrix and cut, and the very next [Check.part_state] has to
+   raise. *)
+let test_corrupted_delta_is_caught () =
+  let g = Wgraph.of_edges 3 [ (0, 1, 2); (1, 2, 3); (0, 2, 4) ] in
+  let c = Types.constraints ~k:3 ~bmax:1 ~rmax:2 in
+  let st = Part_state.init g c [| 0; 1; 2 |] in
+  let conn = Array.make 3 0 in
+  Part_state.connectivity st conn 0;
+  Check.part_state ~site:"fuzz.meta.before" st;
+  conn.(1) <- conn.(1) + 7;
+  Part_state.apply_move st 0 1 conn;
+  match Check.part_state ~site:"fuzz.meta.after" st with
+  | () -> Alcotest.fail "corrupted delta went undetected"
+  | exception Check.Violation { field; _ } ->
+    check_bool "divergence blamed on the bandwidth matrix" true
+      (String.length field >= 2 && String.sub field 0 2 = "bw")
+
+(* --- bucket-queue FM vs. exact global selection --- *)
+
+let test_bucket_vs_exact_pass () =
+  let seeds = match mode with `Quick -> 8 | `Default -> 16 | `Full -> 40 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xF1; seed |] in
+    let n = 8 + (67 * seed mod 505) (* <= 512: exact stays cheap *) in
+    let k = 2 + (seed mod 7) in
+    let g, c, part0 = random_instance ~n ~k rng in
+    let name = Printf.sprintf "n=%d k=%d seed=%d" n k seed in
+    let run pass =
+      let st = Part_state.init g c (Array.copy part0) in
+      let before = Part_state.goodness st in
+      let improved = pass st in
+      Check.part_state ~site:"fuzz.pass" st;
+      let after = Part_state.goodness st in
+      let cmp = Metrics.compare_goodness after before in
+      check_bool (name ^ ": pass never worsens") true (cmp <= 0);
+      check_bool (name ^ ": flag matches goodness") improved (cmp < 0);
+      after
+    in
+    ignore (run Refine_constrained.fm_pass);
+    ignore (run Refine_constrained.exact_fm_pass);
+    (* The bucket-driven refine must land on a fixed point of the exact
+       pass: on <= 512 nodes it only stops once the exact rescue finds
+       nothing, so a fresh exact pass on its output cannot improve. *)
+    let refined, _ =
+      Refine_constrained.refine ~max_passes:64
+        (Random.State.make [| 0xF2; seed |])
+        g c (Array.copy part0)
+    in
+    let st = Part_state.init g c refined in
+    check_bool
+      (name ^ ": refine output is an exact-pass fixed point")
+      false
+      (Refine_constrained.exact_fm_pass st)
+  done
+
+(* --- matching validity, all three strategies --- *)
+
+let test_matching_validity () =
+  let seeds = match mode with `Quick -> 6 | `Default -> 12 | `Full -> 30 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xF3; seed |] in
+    let n = 2 + (41 * seed mod 400) in
+    let g, _, _ = random_instance ~n ~k:2 rng in
+    List.iter
+      (fun s ->
+        let m = Matching.compute s rng g in
+        check_bool
+          (Printf.sprintf "%s valid on n=%d seed=%d"
+             (Matching.strategy_name s) n seed)
+          true
+          (Matching.is_valid g m))
+      Matching.all_strategies
+  done
+
+(* --- coarsening hierarchy: projection preserves labels --- *)
+
+let test_projection_preserves_labels () =
+  let seeds = match mode with `Quick -> 4 | `Default -> 8 | `Full -> 20 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xF4; seed |] in
+    let n = 60 + (53 * seed mod 700) in
+    let g, _, _ = random_instance ~n ~k:4 rng in
+    let h = Coarsen.build ~target:16 rng g in
+    let levels = Coarsen.levels h in
+    let k = 4 in
+    let coarsest_n = Wgraph.n_nodes (Coarsen.coarsest h) in
+    let part =
+      ref (Array.init coarsest_n (fun i -> (i * 7 mod k + seed) mod k))
+    in
+    for level = levels - 2 downto 0 do
+      let fine = Coarsen.project_one h.Coarsen.maps.(level) !part in
+      Check.projection ~site:"fuzz.project" ~map:h.Coarsen.maps.(level)
+        ~coarse:!part ~fine ();
+      (* Contraction preserves cut, bandwidth and loads exactly
+         (DESIGN §5): the projected partition must score identically. *)
+      let c = Types.constraints ~k ~bmax:7 ~rmax:(10 * n) in
+      let coarse_gd = Metrics.goodness (Coarsen.graph_at h (level + 1)) c !part in
+      let fine_gd = Metrics.goodness (Coarsen.graph_at h level) c fine in
+      check_int
+        (Printf.sprintf "cut invariant at level %d seed %d" level seed)
+        coarse_gd.Metrics.cut_value fine_gd.Metrics.cut_value;
+      check_int
+        (Printf.sprintf "violation invariant at level %d seed %d" level seed)
+        coarse_gd.Metrics.violation fine_gd.Metrics.violation;
+      part := fine
+    done
+  done
+
+(* --- serialization round-trips --- *)
+
+let test_io_round_trips () =
+  let seeds = match mode with `Quick -> 8 | `Default -> 16 | `Full -> 40 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xF5; seed |] in
+    let n = 2 + (29 * seed mod 150) in
+    let g, _, _ = random_instance ~n ~k:2 rng in
+    let name = Printf.sprintf "n=%d seed=%d" n seed in
+    check_bool
+      (name ^ ": METIS round-trip")
+      true
+      (Wgraph.equal g (Graph_io.of_metis (Graph_io.to_metis g)));
+    check_bool
+      (name ^ ": adjacency-matrix round-trip")
+      true
+      (Wgraph.equal g
+         (Graph_io.of_adjacency_matrix (Graph_io.to_adjacency_matrix g)))
+  done
+
+let () =
+  Alcotest.run "fuzz_partition"
+    [ ( "differential",
+        [ Alcotest.test_case "incremental state vs recomputation" `Quick
+            test_apply_move_consistency;
+          Alcotest.test_case "corrupted delta is caught" `Quick
+            test_corrupted_delta_is_caught;
+          Alcotest.test_case "bucket FM vs exact pass" `Quick
+            test_bucket_vs_exact_pass ] );
+      ( "structure",
+        [ Alcotest.test_case "matching validity" `Quick
+            test_matching_validity;
+          Alcotest.test_case "projection preserves labels" `Quick
+            test_projection_preserves_labels;
+          Alcotest.test_case "io round-trips" `Quick test_io_round_trips ] )
+    ]

@@ -71,8 +71,28 @@ let test_gp_tiny_graphs () =
   let empty = Gp.partition (Wgraph.of_edges 0 []) c in
   check_int "empty" 0 (Array.length empty.Gp.part);
   let small = Gp.partition (Wgraph.of_edges 3 [ (0, 1, 1) ]) c in
-  check_bool "n <= k: one node per part" true (small.Gp.part = [| 0; 1; 2 |]);
-  check_bool "feasible" true small.Gp.feasible
+  check_bool "feasible" true small.Gp.feasible;
+  check_int "n <= k: exhaustive finds the zero-cut grouping" 0
+    small.Gp.report.Metrics.total_cut
+
+(* Regression: the old n <= k path assigned one node per part, which cuts
+   every edge — here that exceeds bmax = 0 and used to report a feasible
+   instance as infeasible. Grouping each triangle gives cut 0. *)
+let test_gp_small_n_not_one_per_part () =
+  let g =
+    Wgraph.of_edges 6
+      [ (0, 1, 1); (1, 2, 1); (0, 2, 1); (3, 4, 1); (4, 5, 1); (3, 5, 1) ]
+  in
+  let c = Types.constraints ~k:6 ~bmax:0 ~rmax:3 in
+  let r = Gp.partition g c in
+  check_bool "feasible despite n <= k" true r.Gp.feasible;
+  check_int "cut" 0 r.Gp.report.Metrics.total_cut;
+  check_bool "triangles kept whole" true
+    (r.Gp.part.(0) = r.Gp.part.(1)
+    && r.Gp.part.(1) = r.Gp.part.(2)
+    && r.Gp.part.(3) = r.Gp.part.(4)
+    && r.Gp.part.(4) = r.Gp.part.(5)
+    && r.Gp.part.(0) <> r.Gp.part.(3))
 
 let test_gp_edgeless_graph () =
   let g = Wgraph.of_edges ~vwgt:[| 5; 5; 5; 5; 5; 5; 5; 5 |] 8 [] in
@@ -249,6 +269,8 @@ let () =
             test_gp_detects_infeasible;
           Alcotest.test_case "deterministic" `Quick test_gp_deterministic;
           Alcotest.test_case "tiny graphs" `Quick test_gp_tiny_graphs;
+          Alcotest.test_case "n <= k not one per part" `Quick
+            test_gp_small_n_not_one_per_part;
           Alcotest.test_case "edgeless graph" `Quick test_gp_edgeless_graph;
           Alcotest.test_case "valid labels" `Quick test_gp_respects_used_parts;
           Alcotest.test_case "history monotone" `Quick

@@ -183,6 +183,57 @@ let test_metis_bad_edge_count () =
        false
      with Failure _ -> true)
 
+(* Per-edge symmetry validation: each undirected edge must be listed on
+   both endpoints, exactly once each, with equal weights. These inputs
+   all have self-consistent aggregate edge counts, so a count check alone
+   would accept them. *)
+let check_metis_rejects name ~needle text =
+  Alcotest.(check bool) name true
+    (try
+       ignore (Graph_io.of_metis text);
+       false
+     with Failure msg ->
+       let nh = String.length msg and nn = String.length needle in
+       let rec loop i =
+         i + nn <= nh && (String.sub msg i nn = needle || loop (i + 1))
+       in
+       loop 0)
+
+let test_metis_one_sided_edge () =
+  (* 4 directed mentions = 2 declared edges, but (1,3) and (2,3) are each
+     listed on one endpoint only. *)
+  check_metis_rejects "one-sided listing" ~needle:"one endpoint only"
+    "3 2 000\n2 3\n1\n2\n"
+
+let test_metis_duplicate_entry () =
+  (* Each endpoint lists the edge twice: 4 mentions, again = 2 declared
+     edges. The old merge-by-weight parse folded the duplicates away. *)
+  check_metis_rejects "duplicate adjacency" ~needle:"duplicate adjacency"
+    "2 2 000\n2 2\n1 1\n"
+
+let test_metis_asymmetric_weight () =
+  check_metis_rejects "asymmetric weight" ~needle:"asymmetric weight"
+    "2 1 001\n2 5\n1 7\n"
+
+let test_metis_self_loop () =
+  check_metis_rejects "self loop" ~needle:"self loop" "2 1 000\n1\n1\n"
+
+let test_metis_neighbour_out_of_range () =
+  check_metis_rejects "neighbour out of range" ~needle:"out of range"
+    "2 1 000\n3\n1\n"
+
+let test_metis_missing_edge_weight () =
+  check_metis_rejects "missing edge weight" ~needle:"without a weight"
+    "2 1 001\n2\n1 5\n"
+
+let test_metis_symmetric_weighted_ok () =
+  let g = Graph_io.of_metis "3 2 011\n4 2 6\n5 1 6 3 2\n6 2 2\n" in
+  check_int "nodes" 3 (Wgraph.n_nodes g);
+  check_int "edges" 2 (Wgraph.n_edges g);
+  check_int "weight 1-2" 6 (Wgraph.edge_weight g 0 1);
+  check_int "weight 2-3" 2 (Wgraph.edge_weight g 1 2);
+  check_int "vertex weight" 5 (Wgraph.node_weight g 1)
+
 let test_adjacency_roundtrip () =
   let g = sample () in
   let g' = Graph_io.of_adjacency_matrix (Graph_io.to_adjacency_matrix g) in
@@ -312,6 +363,19 @@ let () =
           Alcotest.test_case "metis roundtrip" `Quick test_metis_roundtrip;
           Alcotest.test_case "metis comments/unweighted" `Quick
             test_metis_comments_and_unweighted;
+          Alcotest.test_case "metis one-sided edge" `Quick
+            test_metis_one_sided_edge;
+          Alcotest.test_case "metis duplicate entry" `Quick
+            test_metis_duplicate_entry;
+          Alcotest.test_case "metis asymmetric weight" `Quick
+            test_metis_asymmetric_weight;
+          Alcotest.test_case "metis self loop" `Quick test_metis_self_loop;
+          Alcotest.test_case "metis neighbour out of range" `Quick
+            test_metis_neighbour_out_of_range;
+          Alcotest.test_case "metis missing edge weight" `Quick
+            test_metis_missing_edge_weight;
+          Alcotest.test_case "metis symmetric weighted ok" `Quick
+            test_metis_symmetric_weighted_ok;
           Alcotest.test_case "metis bad edge count" `Quick
             test_metis_bad_edge_count;
           Alcotest.test_case "adjacency roundtrip" `Quick

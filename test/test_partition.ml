@@ -207,6 +207,80 @@ let test_bucket_clear () =
     check_int "reusable gain" 3 gain
   | None -> Alcotest.fail "expected a max")
 
+(* clear must reset the max cursor, not leave it pointing at the old
+   (now empty) top level or below a later higher insertion *)
+let test_bucket_clear_cursor () =
+  let b = Bucket.create ~n:4 ~max_gain:8 in
+  Bucket.insert b 0 8;
+  (match Bucket.peek_max b with
+  | Some (_, g) -> check_int "cursor at top" 8 g
+  | None -> Alcotest.fail "expected a max");
+  Bucket.clear b;
+  Bucket.insert b 1 (-8);
+  (match Bucket.pop_max b with
+  | Some (node, gain) ->
+    check_int "bottom-level node found after clear" 1 node;
+    check_int "bottom gain" (-8) gain
+  | None -> Alcotest.fail "cursor stale: bottom insert invisible");
+  (* drain to the bottom, then a top insert must be visible again *)
+  Bucket.insert b 2 (-8);
+  (match Bucket.pop_max b with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a max");
+  Bucket.insert b 3 8;
+  (match Bucket.pop_max b with
+  | Some (node, gain) ->
+    check_int "cursor rises on insert" 3 node;
+    check_int "top gain" 8 gain
+  | None -> Alcotest.fail "cursor stuck at bottom")
+
+let test_bucket_adjust_extremes () =
+  let b = Bucket.create ~n:3 ~max_gain:6 in
+  Bucket.insert b 0 0;
+  Bucket.insert b 1 1;
+  Bucket.adjust b 0 6;
+  check_int "adjusted to +max" 6 (Bucket.gain b 0);
+  Bucket.adjust b 0 (-6);
+  check_int "adjusted to -max" (-6) (Bucket.gain b 0);
+  (match Bucket.peek_max b with
+  | Some (node, _) -> check_int "other node wins" 1 node
+  | None -> Alcotest.fail "expected a max");
+  Bucket.adjust b 0 6;
+  (match Bucket.peek_max b with
+  | Some (node, gain) ->
+    check_int "back to +max wins" 0 node;
+    check_int "gain +max" 6 gain
+  | None -> Alcotest.fail "expected a max");
+  Alcotest.check_raises "adjust above range"
+    (Invalid_argument "Bucket: gain out of range") (fun () ->
+      Bucket.adjust b 0 7);
+  Alcotest.check_raises "adjust below range"
+    (Invalid_argument "Bucket: gain out of range") (fun () ->
+      Bucket.adjust b 0 (-7))
+
+let test_bucket_pop_to_empty_with_removes () =
+  let b = Bucket.create ~n:8 ~max_gain:4 in
+  List.iter (fun (n, g) -> Bucket.insert b n g)
+    [ (0, 4); (1, 2); (2, 2); (3, 0); (4, -4) ];
+  (match Bucket.pop_max b with
+  | Some (node, _) -> check_int "top first" 0 node
+  | None -> Alcotest.fail "expected a max");
+  (* remove from the middle of a shared gain level, then from the bottom *)
+  Bucket.remove b 2;
+  Bucket.remove b 4;
+  let rec drain acc =
+    match Bucket.pop_max b with
+    | Some (node, _) -> drain (node :: acc)
+    | None -> List.rev acc
+  in
+  check_bool "remaining popped in gain order" true (drain [] = [ 1; 3 ]);
+  check_bool "empty" true (Bucket.is_empty b);
+  check_bool "pop on empty" true (Bucket.pop_max b = None);
+  check_bool "peek on empty" true (Bucket.peek_max b = None);
+  (* still usable after being drained to empty *)
+  Bucket.insert b 5 (-1);
+  check_bool "reusable after drain" true (Bucket.pop_max b = Some (5, -1))
+
 (* --- Matching --- *)
 
 let all_matchings_valid g =
@@ -481,6 +555,22 @@ let test_constrained_never_empties_part () =
   let start = Array.init 16 (fun i -> i mod 4) in
   let part, _ = Refine_constrained.refine (rng ()) g c start in
   check_int "all parts used" 4 (Types.parts_used part)
+
+(* Regression: [best_target] used to freeze every singleton outright, so
+   an all-singletons start under bmax = 0 was stuck — every move empties
+   a part, so no move was ever legal and the instance reported
+   infeasible. A singleton may now evacuate when that strictly reduces
+   the violation. *)
+let test_constrained_singleton_evacuates () =
+  let g = Wgraph.of_edges 4 [ (0, 1, 3); (2, 3, 4) ] in
+  let c = Types.constraints ~k:4 ~bmax:0 ~rmax:10 in
+  let start = [| 0; 1; 2; 3 |] in
+  check_bool "starts infeasible" false (Metrics.feasible g c start);
+  let part, gd = Refine_constrained.refine (rng ()) g c start in
+  check_int "reaches feasibility" 0 gd.Metrics.violation;
+  check_bool "feasible now" true (Metrics.feasible g c part);
+  check_int "zero cut" 0 gd.Metrics.cut_value;
+  check_bool "pairs merged" true (part.(0) = part.(1) && part.(2) = part.(3))
 
 let prop_constrained_goodness_monotone =
   QCheck2.Test.make
@@ -827,6 +917,12 @@ let () =
           Alcotest.test_case "pop order" `Quick test_bucket_pop_order;
           Alcotest.test_case "max decay" `Quick test_bucket_max_decay;
           Alcotest.test_case "clear" `Quick test_bucket_clear;
+          Alcotest.test_case "clear resets cursor" `Quick
+            test_bucket_clear_cursor;
+          Alcotest.test_case "adjust at gain extremes" `Quick
+            test_bucket_adjust_extremes;
+          Alcotest.test_case "pop to empty with removes" `Quick
+            test_bucket_pop_to_empty_with_removes;
         ] );
       ( "matching",
         [
@@ -879,6 +975,8 @@ let () =
             test_constrained_repairs_violation;
           Alcotest.test_case "keeps feasible" `Quick
             test_constrained_keeps_feasible;
+          Alcotest.test_case "singleton evacuates to repair" `Quick
+            test_constrained_singleton_evacuates;
           Alcotest.test_case "never empties part" `Quick
             test_constrained_never_empties_part;
           Alcotest.test_case "bucket matches quadratic" `Quick
