@@ -1,0 +1,38 @@
+(* Scratch profiler for the coarsening pipeline (not part of any alias). *)
+open Ppnpart_partition
+
+let time name f =
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "  %-28s %8.4f s\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+let () =
+  let n = 50_000 and m = 200_000 in
+  let g =
+    let rng = Random.State.make [| n; 0x434b |] in
+    Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 20) ~ew_range:(1, 9) rng
+      ~n ~m
+  in
+  let ws = Workspace.create () in
+  let rng () = Random.State.make [| 1 |] in
+  ignore (time "warmup fast build" (fun () ->
+      Coarsen.build ~workspace:ws ~target:100 (rng ()) g));
+  ignore (time "fast build (steady)" (fun () ->
+      Coarsen.build ~workspace:ws ~target:100 (rng ()) g));
+  ignore (time "legacy build" (fun () ->
+      Coarsen.build ~legacy:true ~target:100 (rng ()) g));
+  (* Level-0 component costs. *)
+  let r = rng () in
+  let rm = time "random_maximal" (fun () -> Matching.random_maximal r g) in
+  let he = time "heavy_edge fast" (fun () ->
+      Matching.heavy_edge ~workspace:ws (rng ()) g) in
+  ignore (time "heavy_edge legacy" (fun () ->
+      Matching.heavy_edge_legacy (rng ()) g));
+  ignore (time "k_means fast" (fun () ->
+      Matching.k_means ~workspace:ws (rng ()) g));
+  ignore (time "k_means legacy" (fun () -> Matching.k_means_legacy (rng ()) g));
+  ignore rm;
+  ignore (time "contract fast" (fun () -> Coarsen.contract ~workspace:ws g he));
+  ignore (time "contract legacy" (fun () -> Coarsen.contract_legacy g he))

@@ -95,7 +95,8 @@ let descend (cfg : Config.t) ~jobs rng hierarchy c =
    outcome is independent of the domain count. Inner phases run with
    [jobs = 1] — the parallelism budget is already spent on the cycles
    themselves. *)
-let run_cycle (cfg : Config.t) g (c : Types.constraints) base_hierarchy i =
+let run_cycle (cfg : Config.t) ?workspace g (c : Types.constraints)
+    base_hierarchy i =
   Ppnpart_obs.Span.with_result
     ~args:(fun () -> [ ("cycle", Ppnpart_obs.Obs.Int i) ])
     ~result:(fun (_, (gd : Metrics.goodness), from_level) ->
@@ -125,8 +126,8 @@ let run_cycle (cfg : Config.t) g (c : Types.constraints) base_hierarchy i =
       + Random.State.int rng (cfg.Config.coarsen_target - deep_target + 1)
   in
   let h =
-    Coarsen.extend ~target ~strategies:cfg.Config.strategies ~jobs:1 rng
-      base_hierarchy ~from_level
+    Coarsen.extend ?workspace ~target ~strategies:cfg.Config.strategies
+      ~jobs:1 rng base_hierarchy ~from_level
   in
   let part = descend cfg ~jobs:1 rng h c in
   (part, Metrics.goodness g c part, from_level)
@@ -140,6 +141,27 @@ let run_cycle (cfg : Config.t) g (c : Types.constraints) base_hierarchy i =
    at most) and keep the best goodness. Larger [n <= k] instances run
    the normal multilevel pipeline. *)
 let exhaustive_limit = 10
+
+(* Speculative V-cycle waves pay a fixed price: a fresh domain spawn per
+   worker per wave, plus the cycles past the stopping point whose work is
+   discarded. On small graphs one whole cycle costs less than that
+   overhead, so [--jobs 4] used to run *slower* than sequential; below
+   this many nodes the waves run one cycle at a time instead (mirroring
+   [Matching.parallel_node_threshold] for the strategy races).
+   Determinism is unaffected — the wave fold already reproduces the
+   sequential schedule exactly at every job count. *)
+let parallel_cycle_threshold = 4096
+
+(* Constraint slack can be tight enough that the feasible set is a
+   needle: every V-cycle candidate lands in the same infeasible basin
+   and single-move FM refinement cannot climb out (observed on planted
+   instances with 25% bandwidth slack). When the whole cycle budget ends
+   infeasible on a small graph, one bounded tabu polish — deterministic,
+   move-many-times — escapes such basins. It runs only where the answer
+   would otherwise be "infeasible", so every instance GP already solves
+   is returned bit-for-bit unchanged. *)
+let tabu_rescue_limit = 512
+let tabu_rescue_iterations n = 100 + (20 * n)
 
 let exhaustive_best g (c : Types.constraints) =
   let n = Wgraph.n_nodes g in
@@ -207,8 +229,28 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
   else if n <= c.Types.k && n <= exhaustive_limit then
     finish (exhaustive_best g c) 0 0
   else begin
+    (* Speculative width is additionally capped by the hardware: wave
+       cycles beyond the domains that can actually run them buy nothing
+       and keep [wave] whole hierarchies live at once — on a single-core
+       host that heap pressure made a requested [--jobs 4] measurably
+       slower than sequential even after {!Pool} stopped spawning the
+       extra domains. The fold already reproduces the sequential
+       schedule, so the wave width never changes results. *)
+    let cycle_jobs =
+      if n >= parallel_cycle_threshold then
+        min jobs (Domain.recommended_domain_count ())
+      else 1
+    in
+    (* One workspace per concurrent cycle slot. Waves are joined before
+       the next wave starts, so slot [w] is only ever touched by one
+       domain at a time; slot 0 doubles as the scratch for the initial
+       build (sequential at that point). *)
+    let workspaces =
+      Array.init (max cycle_jobs 1) (fun _ -> Workspace.create ())
+    in
     let hierarchy =
-      Coarsen.build ~target:config.Config.coarsen_target
+      Coarsen.build ~workspace:workspaces.(0)
+        ~target:config.Config.coarsen_target
         ~strategies:config.Config.strategies ~jobs rng g
     in
     let best_part = ref (descend config ~jobs rng hierarchy c) in
@@ -224,12 +266,13 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
     let stop = ref (!best_goodness.Metrics.violation = 0) in
     let next = ref 1 in
     while (not !stop) && !next <= config.Config.max_cycles do
-      let wave = min jobs (config.Config.max_cycles - !next + 1) in
+      let wave = min cycle_jobs (config.Config.max_cycles - !next + 1) in
       let first = !next in
       let results, deferred =
-        Pool.run_deferred ~jobs
+        Pool.run_deferred ~jobs:cycle_jobs
           (Array.init wave (fun w () ->
-               run_cycle config g c hierarchy (first + w)))
+               run_cycle config ~workspace:workspaces.(w) g c hierarchy
+                 (first + w)))
       in
       let consumed = ref 0 in
       Array.iteri
@@ -254,6 +297,17 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
       Ppnpart_obs.Obs.commit ~keep:!consumed deferred;
       next := first + wave
     done;
+    if !best_goodness.Metrics.violation > 0 && n <= tabu_rescue_limit then begin
+      let rescued, gd =
+        Refine_tabu.refine ~iterations:(tabu_rescue_iterations n) g c
+          !best_part
+      in
+      if Metrics.compare_goodness gd !best_goodness < 0 then begin
+        best_part := rescued;
+        best_goodness := gd;
+        history := gd :: !history
+      end
+    end;
     finish ~history:!history !best_part !cycles (Coarsen.levels hierarchy)
   end
 

@@ -23,9 +23,12 @@ let normalized t =
   let canon (u, v, w) = if u <= v then (u, v, w) else (v, u, w) in
   let arr = Array.of_list (List.rev_map canon t.edges) in
   Array.sort compare arr;
-  (* Single pass merging runs of equal (u, v) pairs, skipping self loops. *)
-  let out = ref [] in
+  (* Single pass merging runs of equal (u, v) pairs, skipping self loops.
+     [arr] is scanned in ascending order and runs are emitted as they
+     close, so the output is already sorted — no second sort needed. *)
   let n = Array.length arr in
+  let out = Array.make n (0, 0, 0) in
+  let filled = ref 0 in
   let i = ref 0 in
   while !i < n do
     let u, v, w = arr.(!i) in
@@ -41,11 +44,12 @@ let normalized t =
       acc := !acc + w';
       incr i
     done;
-    if u <> v then out := (u, v, !acc) :: !out
+    if u <> v then begin
+      out.(!filled) <- (u, v, !acc);
+      incr filled
+    end
   done;
-  let result = Array.of_list !out in
-  Array.sort compare result;
-  result
+  if !filled = n then out else Array.sub out 0 !filled
 
 let of_arrays n edges =
   let t = create n in

@@ -1,0 +1,191 @@
+(* Allocation-free in-place sorts over int-array segments.
+
+   [Array.sort] takes a closure and, through the polymorphic [compare]
+   most call sites reach for, a C call per comparison; on the coarsening
+   hot path that cost is paid once per adjacency slice per level. These
+   sorts compare unboxed ints inline (median-of-three quicksort with an
+   insertion-sort tail and a recursion-depth fallback to heapsort), so a
+   slice sort touches nothing but the two arrays it is given. *)
+
+let insertion_threshold = 16
+
+(* --- single key array --------------------------------------------- *)
+
+let heapsort_keys (a : int array) lo len =
+  (* Only reached past the quicksort depth bound; simple sift-down. *)
+  let sift root len =
+    let root = ref root in
+    let continue = ref true in
+    while !continue do
+      let child = (2 * !root) + 1 in
+      if child >= len then continue := false
+      else begin
+        let child =
+          if child + 1 < len && a.(lo + child) < a.(lo + child + 1) then
+            child + 1
+          else child
+        in
+        if a.(lo + !root) >= a.(lo + child) then continue := false
+        else begin
+          let t = a.(lo + !root) in
+          a.(lo + !root) <- a.(lo + child);
+          a.(lo + child) <- t;
+          root := child
+        end
+      end
+    done
+  in
+  for i = (len / 2) - 1 downto 0 do
+    sift i len
+  done;
+  for last = len - 1 downto 1 do
+    let t = a.(lo) in
+    a.(lo) <- a.(lo + last);
+    a.(lo + last) <- t;
+    sift 0 last
+  done
+
+let rec sort_keys_rec (a : int array) lo len depth =
+  if len <= insertion_threshold then
+    for i = lo + 1 to lo + len - 1 do
+      let key = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > key do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- key
+    done
+  else if depth = 0 then heapsort_keys a lo len
+  else begin
+    (* Median of three as pivot. *)
+    let mid = lo + (len / 2) and hi = lo + len - 1 in
+    let x = a.(lo) and y = a.(mid) and z = a.(hi) in
+    let pivot =
+      if x <= y then (if y <= z then y else if x <= z then z else x)
+      else if x <= z then x
+      else if y <= z then z
+      else y
+    in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        let t = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- t;
+        incr i;
+        decr j
+      end
+    done;
+    sort_keys_rec a lo (!j - lo + 1) (depth - 1);
+    sort_keys_rec a !i (hi - !i + 1) (depth - 1)
+  end
+
+let depth_for len =
+  let d = ref 0 and n = ref len in
+  while !n > 0 do
+    incr d;
+    n := !n lsr 1
+  done;
+  2 * !d
+
+let sort_keys a ~lo ~len =
+  if lo < 0 || len < 0 || lo + len > Array.length a then
+    invalid_arg "Int_sort.sort_keys: segment out of bounds";
+  if len > 1 then sort_keys_rec a lo len (depth_for len)
+
+(* --- key array with a payload array permuted alongside ------------- *)
+
+let heapsort_pairs (a : int array) (b : int array) lo len =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t;
+    let t = b.(i) in
+    b.(i) <- b.(j);
+    b.(j) <- t
+  in
+  let sift root len =
+    let root = ref root in
+    let continue = ref true in
+    while !continue do
+      let child = (2 * !root) + 1 in
+      if child >= len then continue := false
+      else begin
+        let child =
+          if child + 1 < len && a.(lo + child) < a.(lo + child + 1) then
+            child + 1
+          else child
+        in
+        if a.(lo + !root) >= a.(lo + child) then continue := false
+        else begin
+          swap (lo + !root) (lo + child);
+          root := child
+        end
+      end
+    done
+  in
+  for i = (len / 2) - 1 downto 0 do
+    sift i len
+  done;
+  for last = len - 1 downto 1 do
+    swap lo (lo + last);
+    sift 0 last
+  done
+
+let rec sort_pairs_rec (a : int array) (b : int array) lo len depth =
+  if len <= insertion_threshold then
+    for i = lo + 1 to lo + len - 1 do
+      let key = a.(i) and payload = b.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > key do
+        a.(!j + 1) <- a.(!j);
+        b.(!j + 1) <- b.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- key;
+      b.(!j + 1) <- payload
+    done
+  else if depth = 0 then heapsort_pairs a b lo len
+  else begin
+    let mid = lo + (len / 2) and hi = lo + len - 1 in
+    let x = a.(lo) and y = a.(mid) and z = a.(hi) in
+    let pivot =
+      if x <= y then (if y <= z then y else if x <= z then z else x)
+      else if x <= z then x
+      else if y <= z then z
+      else y
+    in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        let t = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- t;
+        let t = b.(!i) in
+        b.(!i) <- b.(!j);
+        b.(!j) <- t;
+        incr i;
+        decr j
+      end
+    done;
+    sort_pairs_rec a b lo (!j - lo + 1) (depth - 1);
+    sort_pairs_rec a b !i (hi - !i + 1) (depth - 1)
+  end
+
+let sort_pairs a b ~lo ~len =
+  if lo < 0 || len < 0 || lo + len > Array.length a || lo + len > Array.length b
+  then invalid_arg "Int_sort.sort_pairs: segment out of bounds";
+  if len > 1 then sort_pairs_rec a b lo len (depth_for len)

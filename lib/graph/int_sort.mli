@@ -1,0 +1,19 @@
+(** In-place, allocation-free sorts over segments of int arrays.
+
+    Both sorts are introsort-style (median-of-three quicksort, insertion
+    sort below a small threshold, heapsort past a depth bound), compare
+    unboxed ints without a closure, and allocate nothing. They are {b not}
+    stable; callers that need a deterministic order must use keys that are
+    unique within the segment (adjacency slices keyed by neighbour id, or
+    packed [(weight, rank)] keys). *)
+
+val sort_keys : int array -> lo:int -> len:int -> unit
+(** [sort_keys a ~lo ~len] sorts [a.(lo) .. a.(lo + len - 1)] ascending.
+    @raise Invalid_argument if the segment is out of bounds. *)
+
+val sort_pairs : int array -> int array -> lo:int -> len:int -> unit
+(** [sort_pairs keys payload ~lo ~len] sorts the segment of [keys]
+    ascending and applies the same permutation to the segment of
+    [payload].
+    @raise Invalid_argument if the segment is out of bounds in either
+    array. *)

@@ -47,18 +47,140 @@ let build ?vwgt el =
      mem_edge can binary-search in O(log deg). Neighbour ids are unique
      within a slice (Edge_list merges parallel edges). *)
   for u = 0 to n - 1 do
-    let lo = xadj.(u) in
-    let len = xadj.(u + 1) - lo in
-    if len > 1 then begin
-      let idx = Array.init len (fun i -> lo + i) in
-      Array.sort (fun a b -> compare adjncy.(a) adjncy.(b)) idx;
-      let tn = Array.map (fun i -> adjncy.(i)) idx in
-      let tw = Array.map (fun i -> adjwgt.(i)) idx in
-      Array.blit tn 0 adjncy lo len;
-      Array.blit tw 0 adjwgt lo len
-    end
+    Int_sort.sort_pairs adjncy adjwgt ~lo:xadj.(u)
+      ~len:(xadj.(u + 1) - xadj.(u))
   done;
   { n; xadj; adjncy; adjwgt; vwgt }
+
+let checked_vwgt ~who n vwgt =
+  match vwgt with
+  | None -> Array.make n 1
+  | Some w ->
+    if Array.length w <> n then
+      invalid_arg (who ^ ": vwgt length mismatch");
+    Array.iter
+      (fun x -> if x < 0 then invalid_arg (who ^ ": negative vwgt"))
+      w;
+    Array.copy w
+
+(* Binary search used before the record exists (validation of raw CSR
+   arrays); mirrors [neighbor_index]. *)
+let raw_neighbor_index xadj adjncy u v =
+  let lo = ref xadj.(u) and hi = ref (xadj.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = adjncy.(mid) in
+    if x = v then found := mid
+    else if x < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let of_csr ?vwgt ~n ~xadj ~adjncy ~adjwgt () =
+  let fail fmt = Format.kasprintf invalid_arg ("Wgraph.of_csr: " ^^ fmt) in
+  if n < 0 then fail "negative node count";
+  if Array.length xadj <> n + 1 then fail "xadj length <> n + 1";
+  if xadj.(0) <> 0 then fail "xadj.(0) <> 0";
+  for u = 0 to n - 1 do
+    if xadj.(u) > xadj.(u + 1) then fail "xadj not monotone at node %d" u
+  done;
+  let m2 = Array.length adjncy in
+  if xadj.(n) <> m2 then fail "xadj.(n) <> |adjncy|";
+  if Array.length adjwgt <> m2 then fail "adjwgt length <> |adjncy|";
+  let vwgt = checked_vwgt ~who:"Wgraph.of_csr" n vwgt in
+  for u = 0 to n - 1 do
+    for i = xadj.(u) to xadj.(u + 1) - 1 do
+      let v = adjncy.(i) in
+      if v < 0 || v >= n then fail "neighbour out of range at node %d" u;
+      if v = u then fail "self loop at node %d" u;
+      if i > xadj.(u) && adjncy.(i - 1) >= v then
+        fail "adjacency slice of node %d not strictly ascending" u;
+      if adjwgt.(i) < 0 then fail "negative edge weight at node %d" u
+    done
+  done;
+  (* Symmetry (ids and weights), via binary search on the mirror slice. *)
+  for u = 0 to n - 1 do
+    for i = xadj.(u) to xadj.(u + 1) - 1 do
+      let v = adjncy.(i) in
+      if u < v then begin
+        let j = raw_neighbor_index xadj adjncy v u in
+        if j < 0 then fail "edge (%d, %d) missing its mirror" u v;
+        if adjwgt.(j) <> adjwgt.(i) then
+          fail "asymmetric weight on edge (%d, %d)" u v
+      end
+    done
+  done;
+  { n; xadj; adjncy; adjwgt; vwgt }
+
+let unsafe_of_csr ?vwgt ~n ~xadj ~adjncy ~adjwgt () =
+  let vwgt = match vwgt with None -> Array.make n 1 | Some w -> w in
+  { n; xadj; adjncy; adjwgt; vwgt }
+
+let of_soa_edges ?vwgt n ~src ~dst ~wgt =
+  let fail fmt =
+    Format.kasprintf invalid_arg ("Wgraph.of_soa_edges: " ^^ fmt)
+  in
+  if n < 0 then fail "negative node count";
+  let m = Array.length src in
+  if Array.length dst <> m || Array.length wgt <> m then
+    fail "src/dst/wgt length mismatch";
+  let vwgt = checked_vwgt ~who:"Wgraph.of_soa_edges" n vwgt in
+  let deg = Array.make (max n 1) 0 in
+  for e = 0 to m - 1 do
+    let u = src.(e) and v = dst.(e) in
+    if u < 0 || u >= n then fail "src node out of range at edge %d" e;
+    if v < 0 || v >= n then fail "dst node out of range at edge %d" e;
+    if wgt.(e) < 0 then fail "negative weight at edge %d" e;
+    if u <> v then begin
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1
+    end
+  done;
+  let xadj = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    xadj.(i + 1) <- xadj.(i) + deg.(i)
+  done;
+  let m2 = xadj.(n) in
+  let adjncy = Array.make m2 0 in
+  let adjwgt = Array.make m2 0 in
+  let cursor = Array.sub xadj 0 (max n 1) in
+  for e = 0 to m - 1 do
+    let u = src.(e) and v = dst.(e) in
+    if u <> v then begin
+      adjncy.(cursor.(u)) <- v;
+      adjwgt.(cursor.(u)) <- wgt.(e);
+      cursor.(u) <- cursor.(u) + 1;
+      adjncy.(cursor.(v)) <- u;
+      adjwgt.(cursor.(v)) <- wgt.(e);
+      cursor.(v) <- cursor.(v) + 1
+    end
+  done;
+  (* Sort each slice, merge parallel edges by weight addition, and
+     compact left; the write pointer never overtakes the read pointer. *)
+  let wp = ref 0 in
+  let out_xadj = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    let lo = xadj.(u) and hi = xadj.(u + 1) in
+    Int_sort.sort_pairs adjncy adjwgt ~lo ~len:(hi - lo);
+    let i = ref lo in
+    while !i < hi do
+      let v = adjncy.(!i) in
+      let acc = ref adjwgt.(!i) in
+      incr i;
+      while !i < hi && adjncy.(!i) = v do
+        acc := !acc + adjwgt.(!i);
+        incr i
+      done;
+      adjncy.(!wp) <- v;
+      adjwgt.(!wp) <- !acc;
+      incr wp
+    done;
+    out_xadj.(u + 1) <- !wp
+  done;
+  let adjncy = if !wp = m2 then adjncy else Array.sub adjncy 0 !wp in
+  let adjwgt = if !wp = m2 then adjwgt else Array.sub adjwgt 0 !wp in
+  { n; xadj = out_xadj; adjncy; adjwgt; vwgt }
 
 let of_edges ?vwgt n edges =
   let el = Edge_list.create n in

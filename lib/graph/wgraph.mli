@@ -29,6 +29,48 @@ val of_edges : ?vwgt:int array -> int -> (int * int * int) list -> t
 (** [of_edges n edges] is [build] over a fresh edge list; convenience for
     tests and examples. *)
 
+val of_csr :
+  ?vwgt:int array ->
+  n:int ->
+  xadj:int array ->
+  adjncy:int array ->
+  adjwgt:int array ->
+  unit ->
+  t
+(** [of_csr ~n ~xadj ~adjncy ~adjwgt ()] adopts ready-made CSR arrays
+    without copying them — the caller transfers ownership and must not
+    mutate them afterwards. The arrays are validated in O(n + m log d):
+    row pointers monotone and exhaustive, every adjacency slice strictly
+    ascending (sorted, duplicate-free), neighbours in range, no self
+    loops, non-negative weights, and ids/weights symmetric. [vwgt]
+    defaults to all-ones and is copied like in {!build}.
+    @raise Invalid_argument naming the first violation. *)
+
+val unsafe_of_csr :
+  ?vwgt:int array ->
+  n:int ->
+  xadj:int array ->
+  adjncy:int array ->
+  adjwgt:int array ->
+  unit ->
+  t
+(** Like {!of_csr} but skips every structural check, and adopts [vwgt]
+    without copying it. Strictly for kernels whose output is CSR-valid by
+    construction and covered by a differential oracle — {!of_csr} remains
+    the constructor for anything externally sourced. Handing this
+    malformed arrays breaks the {!t} invariants silently. *)
+
+val of_soa_edges :
+  ?vwgt:int array -> int -> src:int array -> dst:int array -> wgt:int array -> t
+(** [of_soa_edges n ~src ~dst ~wgt] bulk-builds the graph from one
+    undirected edge per index of the three parallel arrays, with
+    {!Edge_list}'s normalization semantics — parallel edges (either
+    orientation) merge by weight addition, self loops are dropped — but
+    without materializing a single tuple: counting sort into CSR, then an
+    in-place int-key sort and merge per adjacency slice.
+    @raise Invalid_argument on length mismatch, out-of-range node or
+    negative weight. *)
+
 val n_nodes : t -> int
 val n_edges : t -> int
 (** Number of undirected edges (each counted once). *)

@@ -1,11 +1,16 @@
+(* Like [Span], each entry point is gated on the single-load
+   [Obs.active] check before any domain-local access. *)
+
 let add name delta =
-  match Obs.cur () with
-  | None -> ()
-  | Some buf -> Obs.emit buf (Obs.Count { name; ts = Obs.now buf; delta })
+  if Obs.active () then
+    match Obs.cur () with
+    | None -> ()
+    | Some buf -> Obs.emit buf (Obs.Count { name; ts = Obs.now buf; delta })
 
 let incr name = add name 1
 
 let sample name value =
-  match Obs.cur () with
-  | None -> ()
-  | Some buf -> Obs.emit buf (Obs.Sample { name; ts = Obs.now buf; value })
+  if Obs.active () then
+    match Obs.cur () with
+    | None -> ()
+    | Some buf -> Obs.emit buf (Obs.Sample { name; ts = Obs.now buf; value })

@@ -48,22 +48,34 @@ let events buf = List.rev buf.rev_events
    worker domains only ever see buffers handed to them via {!in_task}. *)
 let installed : capture option Atomic.t = Atomic.make None
 
-(* Current buffer of this domain. The single branch every instrumentation
-   site pays when tracing is off is the [None] match on this cell. *)
+(* Single-load fast path for every instrumentation site: true exactly
+   while a capture is installed. Checking this one flag (a plain load on
+   mainstream hardware) before touching domain-local storage is what
+   keeps the disabled pipeline within measurement noise of an
+   uninstrumented build — DLS lookup plus an option branch per site was
+   measurable on the hot refinement loops. *)
+let active_flag : bool Atomic.t = Atomic.make false
+
+let[@inline] active () = Atomic.get active_flag
+
+(* Current buffer of this domain, consulted only once [active] passed. *)
 let current : buf option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
 let cur () = !(Domain.DLS.get current)
 
-let enabled () = cur () <> None
+let enabled () =
+  active () && match cur () with None -> false | Some _ -> true
 
 let install ?(clock = Wall) () =
   let root = make_buf clock in
   Atomic.set installed (Some { root; clock });
-  Domain.DLS.get current := Some root
+  Domain.DLS.get current := Some root;
+  Atomic.set active_flag true
 
 let finish () =
   let cap = Atomic.get installed in
+  Atomic.set active_flag false;
   Atomic.set installed None;
   Domain.DLS.get current := None;
   cap

@@ -67,6 +67,12 @@ val events : buf -> event list
     Used by {!Span}, {!Counters} and {!Ppnpart_exec.Pool}; not meant for
     application code. *)
 
+val active : unit -> bool
+(** Whether a capture is installed anywhere — one atomic load, no
+    domain-local access. Instrumentation sites check this first so the
+    disabled path costs a single load and branch; it may be [true] on a
+    domain whose {!cur} is [None] (a worker outside any task). *)
+
 val cur : unit -> buf option
 (** This domain's current buffer. *)
 

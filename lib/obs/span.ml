@@ -1,36 +1,47 @@
+(* Every entry point checks [Obs.active] — one atomic load — before the
+   domain-local buffer lookup, so a build without tracing pays a single
+   predictable branch per site. *)
+
 let begin_args args = match args with None -> [] | Some th -> th ()
 
 let with_ ?args name f =
-  match Obs.cur () with
-  | None -> f ()
-  | Some buf -> (
-    Obs.emit buf (Obs.Begin { name; ts = Obs.now buf; args = begin_args args });
-    match f () with
-    | v ->
-      Obs.emit buf (Obs.End { ts = Obs.now buf; args = [] });
-      v
-    | exception e ->
+  if not (Obs.active ()) then f ()
+  else
+    match Obs.cur () with
+    | None -> f ()
+    | Some buf -> (
       Obs.emit buf
-        (Obs.End { ts = Obs.now buf; args = [ ("error", Obs.Bool true) ] });
-      raise e)
+        (Obs.Begin { name; ts = Obs.now buf; args = begin_args args });
+      match f () with
+      | v ->
+        Obs.emit buf (Obs.End { ts = Obs.now buf; args = [] });
+        v
+      | exception e ->
+        Obs.emit buf
+          (Obs.End { ts = Obs.now buf; args = [ ("error", Obs.Bool true) ] });
+        raise e)
 
 let with_result ?args ~result name f =
-  match Obs.cur () with
-  | None -> f ()
-  | Some buf -> (
-    Obs.emit buf (Obs.Begin { name; ts = Obs.now buf; args = begin_args args });
-    match f () with
-    | v ->
-      Obs.emit buf (Obs.End { ts = Obs.now buf; args = result v });
-      v
-    | exception e ->
+  if not (Obs.active ()) then f ()
+  else
+    match Obs.cur () with
+    | None -> f ()
+    | Some buf -> (
       Obs.emit buf
-        (Obs.End { ts = Obs.now buf; args = [ ("error", Obs.Bool true) ] });
-      raise e)
+        (Obs.Begin { name; ts = Obs.now buf; args = begin_args args });
+      match f () with
+      | v ->
+        Obs.emit buf (Obs.End { ts = Obs.now buf; args = result v });
+        v
+      | exception e ->
+        Obs.emit buf
+          (Obs.End { ts = Obs.now buf; args = [ ("error", Obs.Bool true) ] });
+        raise e)
 
 let instant ?args name =
-  match Obs.cur () with
-  | None -> ()
-  | Some buf ->
-    Obs.emit buf
-      (Obs.Instant { name; ts = Obs.now buf; args = begin_args args })
+  if Obs.active () then
+    match Obs.cur () with
+    | None -> ()
+    | Some buf ->
+      Obs.emit buf
+        (Obs.Instant { name; ts = Obs.now buf; args = begin_args args })

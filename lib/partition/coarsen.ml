@@ -1,6 +1,10 @@
 open Ppnpart_graph
 
-let contract g partner =
+(* Both contraction paths share the cmap/vwgt construction: matched pairs
+   are numbered by their smaller endpoint in ascending order, so the
+   coarse node ids — and hence the whole coarse CSR — are identical
+   between the legacy and fast kernels. *)
+let coarse_map g partner =
   if not (Matching.is_valid g partner) then
     invalid_arg "Coarsen.contract: invalid matching";
   let n = Wgraph.n_nodes g in
@@ -19,12 +23,84 @@ let contract g partner =
   for u = 0 to n - 1 do
     vwgt.(cmap.(u)) <- vwgt.(cmap.(u)) + Wgraph.node_weight g u
   done;
+  (n', cmap, vwgt)
+
+let contract_legacy g partner =
+  let n', cmap, vwgt = coarse_map g partner in
   let el = Edge_list.create n' in
   Wgraph.iter_edges g (fun u v w ->
       (* Self loops in the coarse graph (intra-pair edges) are dropped by
          Edge_list; parallel edges are merged by weight addition. *)
       Edge_list.add el cmap.(u) cmap.(v) w);
   (Wgraph.build ~vwgt el, cmap)
+
+(* Direct CSR -> CSR contraction. Coarse nodes are visited in id order;
+   for each one, the adjacency slices of its (at most two) members are
+   streamed and duplicate coarse neighbours merged through the
+   workspace's generation-marked position table, then the slice is
+   sorted in place by neighbour id. No edge list, no tuples — the only
+   allocations are the coarse graph's own arrays. Summing duplicates is
+   commutative, so the merged weights — and after sorting, the whole
+   slice — match the legacy Edge_list path bit for bit. *)
+let contract ?workspace g partner =
+  let n', cmap, vwgt = coarse_map g partner in
+  let ws =
+    match workspace with Some ws -> ws | None -> Workspace.create ()
+  in
+  let xadj = g.Wgraph.xadj
+  and adjncy = g.Wgraph.adjncy
+  and adjwgt = g.Wgraph.adjwgt in
+  Workspace.ensure_contract ws ~coarse_nodes:n'
+    ~half_edges:(Array.length adjncy);
+  let mark = ws.Workspace.mark
+  and pos_tbl = ws.Workspace.pos_tbl
+  and cxadj = ws.Workspace.cxadj
+  and cadj = ws.Workspace.cadj
+  and cwgt = ws.Workspace.cwgt in
+  cxadj.(0) <- 0;
+  let ptr = ref 0 in
+  let n = Wgraph.n_nodes g in
+  for u = 0 to n - 1 do
+    let p = partner.(u) in
+    if p >= u then begin
+      let c = cmap.(u) in
+      let start = !ptr in
+      let gen = Workspace.next_gen ws in
+      for mi = 0 to if p = u then 0 else 1 do
+        let node = if mi = 0 then u else p in
+        for idx = xadj.(node) to xadj.(node + 1) - 1 do
+          let cv = cmap.(adjncy.(idx)) in
+          if cv <> c then
+            if mark.(cv) = gen then begin
+              let at = pos_tbl.(cv) in
+              cwgt.(at) <- cwgt.(at) + adjwgt.(idx)
+            end
+            else begin
+              mark.(cv) <- gen;
+              pos_tbl.(cv) <- !ptr;
+              cadj.(!ptr) <- cv;
+              cwgt.(!ptr) <- adjwgt.(idx);
+              incr ptr
+            end
+        done
+      done;
+      Int_sort.sort_pairs cadj cwgt ~lo:start ~len:(!ptr - start);
+      cxadj.(c + 1) <- !ptr
+    end
+  done;
+  let total = !ptr in
+  (* The merge loop above emits each coarse slice sorted, self-loop-free
+     and weight-symmetric by construction (asserted against the legacy
+     contraction by the differential fuzz stage), so the validating
+     {!Wgraph.of_csr} would re-prove a known invariant on every level. *)
+  let coarse =
+    Wgraph.unsafe_of_csr ~vwgt ~n:n'
+      ~xadj:(Array.sub cxadj 0 (n' + 1))
+      ~adjncy:(Array.sub cadj 0 total)
+      ~adjwgt:(Array.sub cwgt 0 total)
+      ()
+  in
+  (coarse, cmap)
 
 type hierarchy = { graphs : Wgraph.t array; maps : int array array }
 
@@ -33,8 +109,8 @@ let finest h = h.graphs.(0)
 let coarsest h = h.graphs.(levels h - 1)
 let graph_at h l = h.graphs.(l)
 
-let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) ?jobs rng g0
-    ~prefix_graphs ~prefix_maps =
+let build_from ?workspace ?(legacy = false) ?(target = 100) ?strategies
+    ?(min_shrink = 0.05) ?jobs rng g0 ~prefix_graphs ~prefix_maps =
   let graphs = ref prefix_graphs and maps = ref prefix_maps in
   let current = ref g0 in
   let continue = ref true in
@@ -55,8 +131,13 @@ let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) ?jobs rng g0
             ])
           "coarsen.level"
           (fun () ->
-            let strategy, partner = Matching.best_of ?strategies ?jobs rng g in
-            let coarse, cmap = contract g partner in
+            let strategy, partner =
+              Matching.best_of ?workspace ~legacy ?strategies ?jobs rng g
+            in
+            let coarse, cmap =
+              if legacy then contract_legacy g partner
+              else contract ?workspace g partner
+            in
             (strategy, coarse, cmap))
       in
       if Ppnpart_obs.Obs.enabled () then
@@ -77,11 +158,12 @@ let build_from ?(target = 100) ?strategies ?(min_shrink = 0.05) ?jobs rng g0
     maps = Array.of_list (List.rev !maps);
   }
 
-let build ?target ?strategies ?min_shrink ?jobs rng g =
-  build_from ?target ?strategies ?min_shrink ?jobs rng g ~prefix_graphs:[ g ]
-    ~prefix_maps:[]
+let build ?workspace ?legacy ?target ?strategies ?min_shrink ?jobs rng g =
+  build_from ?workspace ?legacy ?target ?strategies ?min_shrink ?jobs rng g
+    ~prefix_graphs:[ g ] ~prefix_maps:[]
 
-let extend ?target ?strategies ?min_shrink ?jobs rng h ~from_level =
+let extend ?workspace ?legacy ?target ?strategies ?min_shrink ?jobs rng h
+    ~from_level =
   if from_level < 0 || from_level >= levels h then
     invalid_arg "Coarsen.extend: level out of range";
   let prefix_graphs =
@@ -90,8 +172,8 @@ let extend ?target ?strategies ?min_shrink ?jobs rng h ~from_level =
   let prefix_maps =
     List.rev (Array.to_list (Array.sub h.maps 0 from_level))
   in
-  build_from ?target ?strategies ?min_shrink ?jobs rng h.graphs.(from_level)
-    ~prefix_graphs ~prefix_maps
+  build_from ?workspace ?legacy ?target ?strategies ?min_shrink ?jobs rng
+    h.graphs.(from_level) ~prefix_graphs ~prefix_maps
 
 let project_one map coarse_part = Array.map (fun c -> coarse_part.(c)) map
 

@@ -10,10 +10,19 @@
 
 open Ppnpart_graph
 
-val contract : Wgraph.t -> int array -> Wgraph.t * int array
+val contract :
+  ?workspace:Workspace.t -> Wgraph.t -> int array -> Wgraph.t * int array
 (** [contract g partner] is [(coarse, cmap)] with [cmap.(u)] the coarse node
-    holding fine node [u].
+    holding fine node [u]. Runs the direct CSR→CSR kernel: the coarse
+    adjacency is built in [workspace] scratch (a private workspace if
+    omitted) with generation-marked duplicate merging, allocating only the
+    coarse graph itself. The result is bit-identical to
+    {!contract_legacy}.
     @raise Invalid_argument if [partner] is not a valid matching. *)
+
+val contract_legacy : Wgraph.t -> int array -> Wgraph.t * int array
+(** The original tuple-based contraction through {!Edge_list} — kept as
+    the oracle for differential tests and benchmarks. *)
 
 (** A coarsening hierarchy. [graphs.(0)] is the input (finest) graph;
     [maps.(l).(u)] sends node [u] of level [l] to its node at level
@@ -29,6 +38,8 @@ val coarsest : hierarchy -> Wgraph.t
 val graph_at : hierarchy -> int -> Wgraph.t
 
 val build :
+  ?workspace:Workspace.t ->
+  ?legacy:bool ->
   ?target:int ->
   ?strategies:Matching.strategy list ->
   ?min_shrink:float ->
@@ -42,9 +53,14 @@ val build :
     or no edges remain. At every level the best of [strategies] (default all
     three) by {!Matching.matched_weight} is used; with [jobs > 1] the
     strategies race concurrently (see {!Matching.best_of} — the hierarchy
-    is identical for every job count). *)
+    is identical for every job count). [workspace] is reused across all
+    levels (and across calls, e.g. V-cycle re-coarsenings); [legacy]
+    routes matching and contraction through the boxed-tuple reference
+    path — the hierarchy is bit-identical either way. *)
 
 val extend :
+  ?workspace:Workspace.t ->
+  ?legacy:bool ->
   ?target:int ->
   ?strategies:Matching.strategy list ->
   ?min_shrink:float ->

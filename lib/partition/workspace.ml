@@ -1,0 +1,104 @@
+(* Reusable scratch memory for the coarsening kernels.
+
+   Coarsening runs the same O(m) passes at every level of every V-cycle;
+   without a workspace each pass would re-allocate its marker tables and
+   edge buffers. A workspace owns them once, grows them geometrically to
+   the largest graph it has seen, and hands them back untouched-size to
+   every smaller level — the steady state of a V-cycle allocates nothing
+   but the coarse graph itself.
+
+   Concurrency contract: a workspace must not be shared by concurrent
+   [Coarsen.contract] calls, but the per-strategy edge buffers ([he],
+   [km]) are disjoint arrays, so the matching strategies of one
+   [Matching.best_of] race may run concurrently against a single
+   workspace (each strategy only ever touches its own buffer set). *)
+
+type edge_bufs = {
+  mutable e_src : int array;
+  mutable e_dst : int array;
+  mutable e_wgt : int array;
+  mutable e_key : int array;
+  mutable e_perm : int array;
+}
+
+type t = {
+  mutable mark : int array;
+  mutable pos_tbl : int array;
+  mutable gen : int;
+  mutable cxadj : int array;
+  mutable cadj : int array;
+  mutable cwgt : int array;
+  he : edge_bufs;
+  km : edge_bufs;
+}
+
+let empty_bufs () =
+  { e_src = [||]; e_dst = [||]; e_wgt = [||]; e_key = [||]; e_perm = [||] }
+
+let create () =
+  {
+    mark = [||];
+    pos_tbl = [||];
+    gen = 0;
+    cxadj = [||];
+    cadj = [||];
+    cwgt = [||];
+    he = empty_bufs ();
+    km = empty_bufs ();
+  }
+
+(* Geometric growth, so a descending level sequence (the common case)
+   allocates once at the top and never again. Counters record the words
+   the workspace did allocate ([coarsen.alloc]) and the ensure calls it
+   served from existing capacity ([workspace.reuse]). The growth
+   accumulator is local to each ensure call: the per-strategy buffer
+   sets may be ensured concurrently (see the contract above), so no
+   mutable state is shared between them. *)
+let grow grown cur needed =
+  if Array.length cur >= needed then cur
+  else begin
+    let cap = max needed (2 * Array.length cur) in
+    grown := !grown + cap;
+    Array.make cap 0
+  end
+
+let finish_ensure grown =
+  if Ppnpart_obs.Obs.enabled () then
+    if !grown > 0 then Ppnpart_obs.Counters.add "coarsen.alloc" !grown
+    else Ppnpart_obs.Counters.incr "workspace.reuse"
+
+let ensure_contract t ~coarse_nodes ~half_edges =
+  let grown = ref 0 in
+  t.mark <- grow grown t.mark coarse_nodes;
+  t.pos_tbl <- grow grown t.pos_tbl coarse_nodes;
+  t.cxadj <- grow grown t.cxadj (coarse_nodes + 1);
+  t.cadj <- grow grown t.cadj half_edges;
+  t.cwgt <- grow grown t.cwgt half_edges;
+  finish_ensure grown
+
+let ensure_edges bufs ~m ~perm =
+  let grown = ref 0 in
+  bufs.e_src <- grow grown bufs.e_src m;
+  bufs.e_dst <- grow grown bufs.e_dst m;
+  bufs.e_wgt <- grow grown bufs.e_wgt m;
+  bufs.e_key <- grow grown bufs.e_key m;
+  if perm then bufs.e_perm <- grow grown bufs.e_perm m;
+  finish_ensure grown
+
+(* A fresh generation for one marker scan: marks from earlier scans
+   become stale without clearing the arrays. Generation 0 is reserved as
+   "never marked" so freshly grown (zeroed) arrays are valid. *)
+let next_gen t =
+  t.gen <- t.gen + 1;
+  t.gen
+
+let words t =
+  Array.length t.mark + Array.length t.pos_tbl + Array.length t.cxadj
+  + Array.length t.cadj + Array.length t.cwgt
+  + List.fold_left
+      (fun acc b ->
+        acc + Array.length b.e_src + Array.length b.e_dst
+        + Array.length b.e_wgt + Array.length b.e_key
+        + Array.length b.e_perm)
+      0
+      [ t.he; t.km ]

@@ -1,0 +1,64 @@
+(** Reusable scratch memory for the coarsening kernels (DESIGN.md §6.3).
+
+    A workspace owns the integer scratch arrays the CSR contraction and
+    matching kernels need — dense coarse-neighbour marker and position
+    tables, staging buffers for the coarse CSR under construction, and
+    one SoA edge-buffer set per edge-sorting matching strategy. Arrays
+    grow geometrically to the largest graph seen and are reused across
+    coarsening levels and across V-cycle re-coarsenings, so the steady
+    state allocates nothing but the coarse graphs themselves.
+
+    Concurrency: a workspace must not be shared by concurrent
+    {!Coarsen.contract} calls. The [he] and [km] buffer sets are
+    disjoint, so the strategies of one {!Matching.best_of} race may run
+    concurrently against a single workspace.
+
+    Observability: every ensure call emits either a [coarsen.alloc]
+    counter delta (words newly allocated) or a [workspace.reuse] tick
+    (served entirely from existing capacity). *)
+
+(** One SoA edge-buffer set: sources, destinations, weights, packed sort
+    keys, and an optional shuffle permutation, all parallel. *)
+type edge_bufs = {
+  mutable e_src : int array;
+  mutable e_dst : int array;
+  mutable e_wgt : int array;
+  mutable e_key : int array;
+  mutable e_perm : int array;
+}
+
+type t = {
+  mutable mark : int array;
+      (** per-coarse-node generation marks (never cleared; see
+          {!next_gen}) *)
+  mutable pos_tbl : int array;
+      (** per-coarse-node write position into [cadj]/[cwgt], valid only
+          when [mark] holds the current generation *)
+  mutable gen : int;  (** current marker generation; 0 = never marked *)
+  mutable cxadj : int array;  (** staging row pointers, length ≥ n' + 1 *)
+  mutable cadj : int array;  (** staging coarse neighbours, length ≥ 2m *)
+  mutable cwgt : int array;  (** staging coarse weights, parallel *)
+  he : edge_bufs;  (** heavy-edge matching buffers *)
+  km : edge_bufs;  (** k-means matching buffers *)
+}
+
+val create : unit -> t
+(** An empty workspace; every array starts at size 0 and grows on first
+    use. Cheap enough to create per task when no reuse is possible. *)
+
+val ensure_contract : t -> coarse_nodes:int -> half_edges:int -> unit
+(** Grow the contraction scratch to hold a coarse graph of
+    [coarse_nodes] nodes whose directed adjacency cannot exceed
+    [half_edges] entries (the fine graph's [2m] is always a safe
+    bound). *)
+
+val ensure_edges : edge_bufs -> m:int -> perm:bool -> unit
+(** Grow one edge-buffer set to [m] edges; [perm] also grows the shuffle
+    permutation buffer. *)
+
+val next_gen : t -> int
+(** A fresh marker generation: entries of [mark] not equal to the
+    returned value are stale, so the tables never need clearing. *)
+
+val words : t -> int
+(** Total words currently owned, for tests and benchmarks. *)

@@ -144,6 +144,76 @@ let test_bucket_vs_exact_pass () =
       (Refine_constrained.exact_fm_pass st)
   done
 
+(* --- allocation-free coarsening kernels vs the boxed-tuple oracle --- *)
+
+(* The CSR fast paths promise *bit*-identity, not just isomorphism:
+   every array of the coarse graph must match the legacy result exactly
+   (same neighbour order, same weight sums, same cmap). Compare raw
+   private-record fields — [Wgraph.equal] would also accept reordered
+   slices. *)
+let bit_identical (a : Wgraph.t) (b : Wgraph.t) =
+  a.Wgraph.n = b.Wgraph.n
+  && a.Wgraph.xadj = b.Wgraph.xadj
+  && a.Wgraph.adjncy = b.Wgraph.adjncy
+  && a.Wgraph.adjwgt = b.Wgraph.adjwgt
+  && a.Wgraph.vwgt = b.Wgraph.vwgt
+
+let test_contract_fast_vs_legacy () =
+  let seeds = match mode with `Quick -> 6 | `Default -> 14 | `Full -> 36 in
+  (* One workspace for the whole sweep: sizes go up and down across
+     seeds, exercising both growth and reuse of the scratch arrays. *)
+  let ws = Workspace.create () in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xF6; seed |] in
+    let n = 2 + (37 * seed mod 600) in
+    let k = 2 + (seed mod 15) in
+    let g, _, _ = random_instance ~n ~k rng in
+    let name = Printf.sprintf "n=%d seed=%d" n seed in
+    (* Matching strategies: identical rng states in, identical partner
+       arrays out. *)
+    List.iter
+      (fun s ->
+        let r1 = Random.State.copy rng and r2 = Random.State.copy rng in
+        let fast = Matching.compute ~workspace:ws s r1 g in
+        let legacy = Matching.compute_legacy s r2 g in
+        check_bool
+          (Printf.sprintf "%s fast = legacy (%s)" (Matching.strategy_name s)
+             name)
+          true (fast = legacy))
+      Matching.all_strategies;
+    (* Contraction: same matching through both kernels must yield the
+       same coarse graph bit for bit, and the same cmap. *)
+    let partner = Matching.compute ~workspace:ws Matching.Heavy_edge rng g in
+    let fast_g, fast_map = Coarsen.contract ~workspace:ws g partner in
+    let legacy_g, legacy_map = Coarsen.contract_legacy g partner in
+    check_bool (name ^ ": contract cmap identical") true
+      (fast_map = legacy_map);
+    check_bool (name ^ ": contract graph bit-identical") true
+      (bit_identical fast_g legacy_g)
+  done;
+  (* Whole hierarchies: the workspace path and the legacy path must
+     agree level by level, maps included. *)
+  let h_seeds = match mode with `Quick -> 3 | `Default -> 6 | `Full -> 12 in
+  for seed = 1 to h_seeds do
+    let mk () = Random.State.make [| 0xF7; seed |] in
+    let n = 120 + (97 * seed mod 900) in
+    let g, _, _ = random_instance ~n ~k:4 (mk ()) in
+    let h_fast = Coarsen.build ~workspace:ws ~target:16 (mk ()) g in
+    let h_legacy = Coarsen.build ~legacy:true ~target:16 (mk ()) g in
+    let name = Printf.sprintf "hierarchy n=%d seed=%d" n seed in
+    check_int (name ^ ": same level count") (Coarsen.levels h_legacy)
+      (Coarsen.levels h_fast);
+    for l = 0 to Coarsen.levels h_fast - 1 do
+      check_bool
+        (Printf.sprintf "%s: level %d bit-identical" name l)
+        true
+        (bit_identical (Coarsen.graph_at h_fast l)
+           (Coarsen.graph_at h_legacy l))
+    done;
+    check_bool (name ^ ": maps identical") true
+      (h_fast.Coarsen.maps = h_legacy.Coarsen.maps)
+  done
+
 (* --- matching validity, all three strategies --- *)
 
 let test_matching_validity () =
@@ -225,7 +295,9 @@ let () =
           Alcotest.test_case "corrupted delta is caught" `Quick
             test_corrupted_delta_is_caught;
           Alcotest.test_case "bucket FM vs exact pass" `Quick
-            test_bucket_vs_exact_pass ] );
+            test_bucket_vs_exact_pass;
+          Alcotest.test_case "coarsen fast path vs legacy" `Quick
+            test_contract_fast_vs_legacy ] );
       ( "structure",
         [ Alcotest.test_case "matching validity" `Quick
             test_matching_validity;

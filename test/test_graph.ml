@@ -162,6 +162,97 @@ let test_equal () =
   let other = Wgraph.of_edges ~vwgt:[| 2; 4; 1; 7 |] 4 [ (0, 1, 3) ] in
   check_bool "different" false (Wgraph.equal (sample ()) other)
 
+(* --- bulk CSR constructors --- *)
+
+let rejects_invalid name f =
+  check_bool name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+(* The sample graph's CSR arrays, written out by hand. *)
+let sample_csr () =
+  ( [| 0; 2; 4; 7; 8 |],
+    [| 1; 2; 0; 2; 0; 1; 3; 2 |],
+    [| 3; 1; 3; 2; 1; 2; 5; 5 |] )
+
+let test_of_csr_adopts () =
+  let xadj, adjncy, adjwgt = sample_csr () in
+  let g =
+    Wgraph.of_csr ~vwgt:[| 2; 4; 1; 7 |] ~n:4 ~xadj ~adjncy ~adjwgt ()
+  in
+  Wgraph.validate g;
+  check_bool "equals the Edge_list build" true (Wgraph.equal g (sample ()));
+  (* Adoption, not copy: the graph exposes the very arrays passed in. *)
+  check_bool "arrays adopted" true (g.Wgraph.adjncy == adjncy);
+  let empty = Wgraph.of_csr ~n:0 ~xadj:[| 0 |] ~adjncy:[||] ~adjwgt:[||] () in
+  check_int "empty graph ok" 0 (Wgraph.n_nodes empty)
+
+let test_of_csr_validation () =
+  let mk ?vwgt ?(n = 4) ?xadj ?adjncy ?adjwgt () =
+    let dx, da, dw = sample_csr () in
+    let xadj = Option.value xadj ~default:dx
+    and adjncy = Option.value adjncy ~default:da
+    and adjwgt = Option.value adjwgt ~default:dw in
+    Wgraph.of_csr ?vwgt ~n ~xadj ~adjncy ~adjwgt ()
+  in
+  rejects_invalid "xadj wrong length" (fun () -> mk ~xadj:[| 0; 2; 4; 8 |] ());
+  rejects_invalid "xadj not starting at 0" (fun () ->
+      mk ~xadj:[| 1; 2; 4; 7; 8 |] ());
+  rejects_invalid "xadj decreasing" (fun () ->
+      mk ~xadj:[| 0; 4; 2; 7; 8 |] ());
+  rejects_invalid "xadj not exhausting adjncy" (fun () ->
+      mk ~xadj:[| 0; 2; 4; 7; 7 |] ());
+  rejects_invalid "adjwgt length mismatch" (fun () ->
+      mk ~adjwgt:[| 3; 1; 3; 2; 1; 2; 5 |] ());
+  rejects_invalid "slice not sorted" (fun () ->
+      mk
+        ~adjncy:[| 2; 1; 0; 2; 0; 1; 3; 2 |]
+        ~adjwgt:[| 1; 3; 3; 2; 1; 2; 5; 5 |] ());
+  rejects_invalid "duplicate neighbour" (fun () ->
+      mk ~adjncy:[| 1; 1; 0; 2; 0; 1; 3; 2 |] ());
+  rejects_invalid "self loop" (fun () ->
+      mk ~adjncy:[| 0; 2; 0; 2; 0; 1; 3; 2 |] ());
+  rejects_invalid "neighbour out of range" (fun () ->
+      mk ~adjncy:[| 1; 2; 0; 2; 0; 1; 9; 2 |] ());
+  rejects_invalid "negative weight" (fun () ->
+      mk ~adjwgt:[| 3; 1; 3; 2; 1; 2; -5; -5 |] ());
+  rejects_invalid "one-sided edge" (fun () ->
+      mk
+        ~xadj:[| 0; 2; 4; 7; 7 |]
+        ~adjncy:[| 1; 2; 0; 2; 0; 1; 3; |]
+        ~adjwgt:[| 3; 1; 3; 2; 1; 2; 5 |] ());
+  rejects_invalid "asymmetric weight" (fun () ->
+      mk ~adjwgt:[| 3; 1; 3; 2; 1; 2; 5; 4 |] ());
+  rejects_invalid "vwgt wrong length" (fun () -> mk ~vwgt:[| 1; 1 |] ());
+  rejects_invalid "vwgt negative" (fun () -> mk ~vwgt:[| 1; 1; -1; 1 |] ())
+
+let test_of_soa_edges_basic () =
+  (* Duplicates in either orientation merge, self loops vanish — the
+     Edge_list normalization semantics without the tuples. *)
+  let g =
+    Wgraph.of_soa_edges ~vwgt:[| 2; 4; 1; 7 |] 4
+      ~src:[| 0; 2; 1; 1; 2; 2; 0 |]
+      ~dst:[| 1; 0; 0; 2; 3; 2; 2 |]
+      ~wgt:[| 3; 1; 2; 2; 5; 9; 0 |]
+  in
+  Wgraph.validate g;
+  check_int "merged 0-1" 5 (Wgraph.edge_weight g 0 1);
+  check_int "0-2 with zero weight" 1 (Wgraph.edge_weight g 0 2);
+  check_int "edges" 4 (Wgraph.n_edges g);
+  check_bool "no self loop" false (Wgraph.mem_edge g 2 2)
+
+let test_of_soa_edges_validation () =
+  rejects_invalid "length mismatch" (fun () ->
+      Wgraph.of_soa_edges 3 ~src:[| 0 |] ~dst:[| 1; 2 |] ~wgt:[| 1; 1 |]);
+  rejects_invalid "node out of range" (fun () ->
+      Wgraph.of_soa_edges 3 ~src:[| 0 |] ~dst:[| 3 |] ~wgt:[| 1 |]);
+  rejects_invalid "negative node" (fun () ->
+      Wgraph.of_soa_edges 3 ~src:[| -1 |] ~dst:[| 1 |] ~wgt:[| 1 |]);
+  rejects_invalid "negative weight" (fun () ->
+      Wgraph.of_soa_edges 3 ~src:[| 0 |] ~dst:[| 1 |] ~wgt:[| -1 |])
+
 (* --- Graph_io --- *)
 
 let test_metis_roundtrip () =
@@ -302,6 +393,47 @@ let prop_metis_roundtrip =
       let g = Wgraph.build el in
       Wgraph.equal g (Graph_io.of_metis (Graph_io.to_metis g)))
 
+let prop_normalized_sorted =
+  QCheck2.Test.make
+    ~name:"normalized output is sorted and duplicate-free" ~count:200
+    (arbitrary_edges 12 9)
+    (fun edges ->
+      let el = Edge_list.create 12 in
+      List.iter (fun (u, v, w) -> Edge_list.add el u v w) edges;
+      let out = Edge_list.normalized el in
+      let ok = ref true in
+      for i = 1 to Array.length out - 1 do
+        let u0, v0, _ = out.(i - 1) and u1, v1, _ = out.(i) in
+        if not (u0 < u1 || (u0 = u1 && v0 < v1)) then ok := false
+      done;
+      !ok)
+
+(* The SoA bulk constructor must agree with the Edge_list path not just
+   up to isomorphism but array for array — both sort slices by neighbour
+   id and sum duplicate weights. *)
+let prop_of_soa_edges_matches_edge_list =
+  QCheck2.Test.make ~name:"of_soa_edges = Edge_list build" ~count:200
+    (arbitrary_edges 12 9)
+    (fun edges ->
+      let el = Edge_list.create 12 in
+      List.iter (fun (u, v, w) -> Edge_list.add el u v w) edges;
+      let a = Wgraph.build el in
+      let m = List.length edges in
+      let src = Array.make m 0
+      and dst = Array.make m 0
+      and wgt = Array.make m 0 in
+      List.iteri
+        (fun i (u, v, w) ->
+          src.(i) <- u;
+          dst.(i) <- v;
+          wgt.(i) <- w)
+        edges;
+      let b = Wgraph.of_soa_edges 12 ~src ~dst ~wgt in
+      a.Wgraph.xadj = b.Wgraph.xadj
+      && a.Wgraph.adjncy = b.Wgraph.adjncy
+      && a.Wgraph.adjwgt = b.Wgraph.adjwgt
+      && a.Wgraph.vwgt = b.Wgraph.vwgt)
+
 let prop_relabel_preserves_structure =
   QCheck2.Test.make ~name:"relabel by reversal preserves totals" ~count:100
     (arbitrary_edges 9 5)
@@ -320,6 +452,8 @@ let qcheck_cases =
     [
       prop_build_valid;
       prop_total_edge_weight_matches_list;
+      prop_normalized_sorted;
+      prop_of_soa_edges_matches_edge_list;
       prop_metis_roundtrip;
       prop_relabel_preserves_structure;
     ]
@@ -357,6 +491,17 @@ let () =
           Alcotest.test_case "induced" `Quick test_induced;
           Alcotest.test_case "relabel" `Quick test_relabel;
           Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "csr_constructors",
+        [
+          Alcotest.test_case "of_csr adopts arrays" `Quick
+            test_of_csr_adopts;
+          Alcotest.test_case "of_csr validation" `Quick
+            test_of_csr_validation;
+          Alcotest.test_case "of_soa_edges merge semantics" `Quick
+            test_of_soa_edges_basic;
+          Alcotest.test_case "of_soa_edges validation" `Quick
+            test_of_soa_edges_validation;
         ] );
       ( "graph_io",
         [

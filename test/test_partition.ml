@@ -398,6 +398,59 @@ let test_extend_restarts_coarsening () =
   check_bool "recoarsened to target-ish" true
     (Wgraph.n_nodes (Coarsen.coarsest h2) <= Wgraph.n_nodes g)
 
+(* --- Workspace --- *)
+
+let test_workspace_reuse_after_shrink () =
+  let ws = Workspace.create () in
+  check_int "starts empty" 0 (Workspace.words ws);
+  let big = grid ~w:40 ~h:25 (* 1000 nodes *) in
+  let small = grid ~w:8 ~h:8 in
+  let r = rng () in
+  (* Warm every buffer set on the big graph: heavy-edge and k-means own
+     disjoint scratch, so both must see the high-water size once. *)
+  List.iter
+    (fun s ->
+      let partner = Matching.compute ~workspace:ws s r big in
+      ignore (Coarsen.contract ~workspace:ws big partner))
+    [ Matching.Heavy_edge; Matching.K_means ];
+  let high = Workspace.words ws in
+  check_bool "grew for the big graph" true (high > 0);
+  (* Everything after the high-water mark must be served from existing
+     capacity: a smaller graph, then the big one again. *)
+  List.iter
+    (fun g ->
+      let partner = Matching.compute ~workspace:ws Matching.K_means r g in
+      let _ = Coarsen.contract ~workspace:ws g partner in
+      ())
+    [ small; big; small ];
+  check_int "no regrowth below the high-water mark" high
+    (Workspace.words ws)
+
+let test_workspace_hierarchy_reuse () =
+  (* A whole V-cycle-style sequence against one workspace: build, then
+     re-extend from the finest level. Steady state reuses the scratch
+     and the hierarchies stay bit-identical to workspace-free runs. *)
+  let g = grid ~w:20 ~h:20 in
+  let ws = Workspace.create () in
+  let h1 = Coarsen.build ~workspace:ws ~target:16 (rng ()) g in
+  let words_after_build = Workspace.words ws in
+  let h2 = Coarsen.extend ~workspace:ws ~target:16 (rng ()) h1 ~from_level:0 in
+  check_int "extend reuses the build's scratch" words_after_build
+    (Workspace.words ws);
+  let h2_ref = Coarsen.extend ~target:16 (rng ()) h1 ~from_level:0 in
+  check_int "same levels as workspace-free extend" (Coarsen.levels h2_ref)
+    (Coarsen.levels h2);
+  for l = 0 to Coarsen.levels h2 - 1 do
+    check_bool "level equal" true
+      (Wgraph.equal (Coarsen.graph_at h2 l) (Coarsen.graph_at h2_ref l))
+  done
+
+let test_workspace_generations () =
+  let ws = Workspace.create () in
+  let g1 = Workspace.next_gen ws in
+  let g2 = Workspace.next_gen ws in
+  check_bool "generations advance" true (g2 > g1 && g1 > 0)
+
 let prop_contract_edge_weight_conserved =
   QCheck2.Test.make
     ~name:"contract conserves edge weight (internal + cut)" ~count:50
@@ -947,6 +1000,14 @@ let () =
             test_project_through_hierarchy;
           Alcotest.test_case "extend restarts" `Quick
             test_extend_restarts_coarsening;
+        ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "reuse after shrink" `Quick
+            test_workspace_reuse_after_shrink;
+          Alcotest.test_case "hierarchy reuse" `Quick
+            test_workspace_hierarchy_reuse;
+          Alcotest.test_case "generations" `Quick test_workspace_generations;
         ] );
       ( "fm2",
         [
