@@ -418,6 +418,21 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Minimum wall time over [reps] runs, compacting before every rep so a
+   heap the earlier reps grew doesn't tax the later ones — without this
+   the min measures heap history instead of the kernel. *)
+let compacted_min ~reps f =
+  let best = ref infinity and last = ref None in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let t = Unix.gettimeofday () -. t0 in
+    last := Some r;
+    if t < !best then best := t
+  done;
+  (Option.get !last, !best)
+
 (* Words allocated on this domain by [f] (minor + major, boxed or not). *)
 let alloc_words f =
   let before = Gc.allocated_bytes () in
@@ -438,7 +453,9 @@ let quadratic_select st locked conn =
       let v, cut', t = Part_state.best_target st conn u in
       if t >= 0 then
         match !chosen with
-        | Some (_, _, v', cut'') when (v', cut'') <= (v, cut') -> ()
+        | Some (_, _, v', cut'')
+          when v' < v || (v' = v && cut'' <= cut') ->
+          ()
         | _ -> chosen := Some (u, t, v, cut')
     end
   done;
@@ -494,6 +511,88 @@ let fm_bench ~n ~m ~k =
       (quadratic_est_s /. bucket_pass_s)
       refine_s gd.Metrics.violation gd.Metrics.cut_value )
 
+(* Boundary-driven constrained refinement vs the legacy full-scan path.
+   The two consume identical rng draws and promise a bit-identical
+   partition, so equality is asserted on *every* benchmark run (not only
+   in the fuzz harness) and the timing difference is pure
+   implementation: active-set sweeps and cached connectivity rows vs
+   full-node scans with per-node neighbour sweeps. The boundary side is
+   measured in its steady state against a warmed workspace, which is how
+   the GP pipeline runs it across un-coarsening levels; one extra
+   capture-instrumented rep records how small the active set stays. *)
+let refine_bench ?(reps = 3) ~n ~k () =
+  let rng = Random.State.make [| n; k; 0x5242 |] in
+  let g, c = Ppnpart_workloads.Rand_graph.random_partitionable rng ~n ~k in
+  (* Start from the planted clustering with 2% of the nodes kicked to a
+     random other part: a mostly-converged partition that is locally
+     dirty, which is exactly what [Part_state.init_projected] hands the
+     refiner at every un-coarsening level. On such instances the vast
+     majority of nodes are interior — the regime the active set exists
+     for. (A uniformly random start is the opposite regime: nearly every
+     node is on the boundary and both paths must touch all of them; the
+     [fm_5k] row keeps covering that worst case.) *)
+  let part0 = Array.init n (fun u -> u * k / n) in
+  for _ = 1 to n / 100 do
+    let u = Random.State.int rng n in
+    part0.(u) <- (part0.(u) + 1 + Random.State.int rng (k - 1)) mod k
+  done;
+  let mk_rng () = Random.State.make [| 7 |] in
+  let ws = Workspace.create () in
+  let run_boundary () =
+    Refine_constrained.refine ~workspace:ws (mk_rng ()) g c
+      (Array.copy part0)
+  in
+  let run_legacy () =
+    Refine_constrained.refine ~legacy:true (mk_rng ()) g c
+      (Array.copy part0)
+  in
+  ignore (run_boundary () (* warm the workspace *));
+  let (bp, bg), boundary_s = compacted_min ~reps run_boundary in
+  let (lp, lg), legacy_s = compacted_min ~reps:(max 2 (reps - 1)) run_legacy in
+  let same_goodness =
+    bp = lp
+    && bg.Metrics.violation = lg.Metrics.violation
+    && bg.Metrics.cut_value = lg.Metrics.cut_value
+  in
+  if not same_goodness then
+    failwith
+      (Printf.sprintf
+         "refine_bench n=%d: boundary diverged from legacy (violation %d \
+          vs %d, cut %d vs %d, partitions %s)"
+         n bg.Metrics.violation lg.Metrics.violation bg.Metrics.cut_value
+         lg.Metrics.cut_value
+         (if bp = lp then "equal" else "differ"));
+  let _, cap = Ppnpart_obs.Obs.with_capture run_boundary in
+  let active_size_total =
+    match
+      List.assoc_opt "refine.active.size"
+        (Ppnpart_obs.Trace_export.counter_totals cap)
+    with
+    | Some v -> v
+    | None -> 0
+  in
+  let frac_count, frac_mean, frac_max =
+    match
+      List.find_opt
+        (fun (name, _, _, _, _) -> name = "refine.active.fraction")
+        (Ppnpart_obs.Trace_export.sample_stats cap)
+    with
+    | Some (_, count, _, mean, max) -> (count, mean, max)
+    | None -> (0, 0., 0.)
+  in
+  let row =
+    Printf.sprintf
+      {|{ "n": %d, "m": %d, "k": %d,
+      "legacy_refine_s": %.4f, "boundary_refine_s": %.4f, "speedup": %.1f,
+      "same_goodness": %b, "violation": %d, "cut": %d,
+      "active_sweeps": %d, "active_size_total": %d,
+      "active_fraction_mean": %.4f, "active_fraction_max": %.4f }|}
+      n (Wgraph.n_edges g) k legacy_s boundary_s (legacy_s /. boundary_s)
+      same_goodness bg.Metrics.violation bg.Metrics.cut_value frac_count
+      active_size_total frac_mean frac_max
+  in
+  (row, legacy_s, boundary_s)
+
 (* Hierarchy construction: the legacy Edge_list pipeline (boxed tuples,
    polymorphic sorts) vs the direct CSR kernel against a reusable
    workspace. Both consume identical rng draws and must produce
@@ -510,22 +609,6 @@ let coarsen_bench ~n ~m =
   let build_legacy () = Coarsen.build ~legacy:true ~target:100 (mk_rng ()) g in
   let ws = Workspace.create () in
   let build_fast () = Coarsen.build ~workspace:ws ~target:100 (mk_rng ()) g in
-  (* Compact before every rep, not just once per side: the legacy path
-     allocates ~200M words per build, so later reps otherwise run on a
-     heap the earlier ones grew and time whole-percents slower — the
-     min over reps then measures heap history instead of the kernel. *)
-  let compacted_min ~reps f =
-    let best = ref infinity and last = ref None in
-    for _ = 1 to reps do
-      Gc.compact ();
-      let t0 = Unix.gettimeofday () in
-      let r = f () in
-      let t = Unix.gettimeofday () -. t0 in
-      last := Some r;
-      if t < !best then best := t
-    done;
-    (Option.get !last, !best)
-  in
   Gc.compact ();
   let h_legacy, legacy_words = alloc_words build_legacy in
   let _, legacy_s = compacted_min ~reps:3 build_legacy in
@@ -709,25 +792,28 @@ let bench_json () =
           r.Gp.feasible r.Gp.runtime_s r.Gp.cycles_used r.Gp.levels
           Config.default.Config.jobs (p "coarsen.level")
           (p "initial.greedy")
-          (p "refine.constrained" +. p "refine.tabu")
+          (p "refine.constrained" +. p "refine.tabu"
+          +. p "refine.state_init")
           (p "gp.cycle"))
       PG.all
   in
   (* The headline micro-benchmarks stay observability-free so their
      numbers remain comparable with earlier records. *)
   let _, _, fm_row = fm_bench ~n:5000 ~m:20000 ~k:8 in
+  let refine_row, _, _ = refine_bench ~n:50_000 ~k:8 () in
   let coarsen_row = coarsen_bench ~n:50_000 ~m:200_000 in
   let vc_row = vcycle_bench () in
   let obs_row = obs_overhead () in
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-partition/3",
+  "schema": "ppnpart-bench-partition/4",
   "generated_unix": %.0f,
   "instances": [
 %s
   ],
   "fm_5k": %s,
+  "refine_50k": %s,
   "coarsen_50k": %s,
   "vcycles_20": %s,
   "obs_overhead": %s
@@ -735,7 +821,7 @@ let bench_json () =
 |}
       (Unix.time ())
       (String.concat ",\n" instance_rows)
-      fm_row coarsen_row vc_row obs_row
+      fm_row refine_row coarsen_row vc_row obs_row
   in
   let path = Filename.concat out_dir "BENCH_partition.json" in
   Graph_io.write_file path json;
@@ -754,6 +840,17 @@ let smoke () =
   section "Bench smoke (shrunk sizes, no JSON rewrite)";
   let _, _, fm_row = fm_bench ~n:600 ~m:2400 ~k:4 in
   Printf.printf "  fm_600: %s\n%!" fm_row;
+  (* Boundary vs legacy at CI size: bit-identity is asserted inside
+     refine_bench on every run, and the boundary path must additionally
+     never be slower than the full-scan path it replaces (min over reps
+     on each side, so a noise spike can't fake a regression). *)
+  let refine_row, legacy_s, boundary_s = refine_bench ~n:4_000 ~k:8 () in
+  Printf.printf "  refine_4k: %s\n%!" refine_row;
+  if boundary_s > legacy_s then
+    failwith
+      (Printf.sprintf
+         "smoke: boundary refine slower than legacy (%.4fs > %.4fs)"
+         boundary_s legacy_s);
   let coarsen_row = coarsen_bench ~n:4_000 ~m:16_000 in
   Printf.printf "  coarsen_4k: %s\n%!" coarsen_row;
   let obs_row = obs_overhead ~reps:2 () in

@@ -24,13 +24,16 @@ module Log = (val Logs.src_log src : Logs.LOG)
    resource-bounded growth (Section IV.B) and — the "partitioning phase
    (randomly)" of the cyclic scheme (Section IV.C) — a uniformly random
    assignment; the refined candidate of better goodness descends. *)
-let descend (cfg : Config.t) ~jobs rng hierarchy c =
+let descend (cfg : Config.t) ?workspace ~jobs rng hierarchy c =
   Ppnpart_obs.Span.with_ "gp.descend" @@ fun () ->
   let checking = Ppnpart_check.Check.enabled () in
+  let ws =
+    match workspace with Some w -> w | None -> Workspace.create ()
+  in
   let coarsest = Coarsen.coarsest hierarchy in
   let refine_initial initial =
-    Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
-      coarsest c initial
+    Refine_constrained.refine ~workspace:ws
+      ~max_passes:cfg.Config.refine_passes rng coarsest c initial
   in
   let greedy =
     Ppnpart_obs.Span.with_ "gp.seed.greedy" (fun () ->
@@ -52,35 +55,42 @@ let descend (cfg : Config.t) ~jobs rng hierarchy c =
   let seed_part, _ = if greedy_wins then greedy else random in
   if checking then
     Ppnpart_check.Check.partition ~site:"gp.seed" coarsest c seed_part;
-  let part = ref seed_part in
+  (* State-passing descent: the winning seed becomes a cached state once,
+     and every un-coarsening level initializes the fine state by
+     projecting the coarse one in place (bandwidth matrix, loads, cut and
+     excesses are projection-invariant) instead of recomputing from the
+     labels — the refinement itself then runs in place on the state. *)
+  let st = ref (Part_state.init ~workspace:ws coarsest c seed_part) in
   for level = Coarsen.levels hierarchy - 2 downto 0 do
     Ppnpart_obs.Span.with_
       ~args:(fun () -> [ ("level", Ppnpart_obs.Obs.Int level) ])
       "gp.uncoarsen"
       (fun () ->
-        let projected =
-          Coarsen.project_one hierarchy.Coarsen.maps.(level) !part
+        let map = hierarchy.Coarsen.maps.(level) in
+        let coarse_labels = if checking then Part_state.snapshot !st else [||] in
+        let fine_st =
+          Part_state.init_projected ~map !st (Coarsen.graph_at hierarchy level)
         in
-        if checking then
-          Ppnpart_check.Check.projection ~site:"gp.uncoarsen.project"
-            ~map:hierarchy.Coarsen.maps.(level) ~coarse:!part ~fine:projected
-            ();
-        let refined, _ =
-          Refine_constrained.refine ~max_passes:cfg.Config.refine_passes rng
-            (Coarsen.graph_at hierarchy level)
-            c projected
-        in
+        if checking then begin
+          Ppnpart_check.Check.projection ~site:"gp.uncoarsen.project" ~map
+            ~coarse:coarse_labels ~fine:fine_st.Part_state.part ();
+          Ppnpart_check.Check.part_state ~site:"gp.uncoarsen.project"
+            fine_st
+        end;
+        Refine_constrained.refine_state ~max_passes:cfg.Config.refine_passes
+          rng fine_st;
         if checking then
           Ppnpart_check.Check.partition ~site:"gp.uncoarsen.refined"
             (Coarsen.graph_at hierarchy level)
-            c refined;
-        part := refined)
+            c fine_st.Part_state.part;
+        st := fine_st)
   done;
+  let part = ref (Part_state.snapshot !st) in
   if cfg.Config.tabu_iterations > 0 then begin
     let finest = Coarsen.finest hierarchy in
     let polished, _ =
-      Refine_tabu.refine ~iterations:cfg.Config.tabu_iterations finest c
-        !part
+      Refine_tabu.refine ~iterations:cfg.Config.tabu_iterations
+        ~workspace:ws finest c !part
     in
     if checking then
       Ppnpart_check.Check.partition ~site:"gp.tabu" finest c polished;
@@ -129,7 +139,7 @@ let run_cycle (cfg : Config.t) ?workspace g (c : Types.constraints)
     Coarsen.extend ?workspace ~target ~strategies:cfg.Config.strategies
       ~jobs:1 rng base_hierarchy ~from_level
   in
-  let part = descend cfg ~jobs:1 rng h c in
+  let part = descend cfg ?workspace ~jobs:1 rng h c in
   (part, Metrics.goodness g c part, from_level)
 
 (* With at least as many parts as nodes, one node per part is *not*
@@ -253,7 +263,9 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
         ~target:config.Config.coarsen_target
         ~strategies:config.Config.strategies ~jobs rng g
     in
-    let best_part = ref (descend config ~jobs rng hierarchy c) in
+    let best_part =
+      ref (descend config ~workspace:workspaces.(0) ~jobs rng hierarchy c)
+    in
     let best_goodness = ref (Metrics.goodness g c !best_part) in
     let history = ref [ !best_goodness ] in
     let cycles = ref 0 in
@@ -299,8 +311,8 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
     done;
     if !best_goodness.Metrics.violation > 0 && n <= tabu_rescue_limit then begin
       let rescued, gd =
-        Refine_tabu.refine ~iterations:(tabu_rescue_iterations n) g c
-          !best_part
+        Refine_tabu.refine ~iterations:(tabu_rescue_iterations n)
+          ~workspace:workspaces.(0) g c !best_part
       in
       if Metrics.compare_goodness gd !best_goodness < 0 then begin
         best_part := rescued;

@@ -81,6 +81,7 @@ let pop_max t =
 let cardinal t = t.count
 let is_empty t = t.count = 0
 let max_gain t = t.max_gain
+let fits t ~n ~max_gain = n <= Array.length t.next && max_gain <= t.max_gain
 
 let clear t =
   Array.fill t.heads 0 (Array.length t.heads) (-1);

@@ -40,4 +40,11 @@ val is_empty : t -> bool
 val max_gain : t -> int
 (** The gain bound declared at creation. *)
 
+val fits : t -> n:int -> max_gain:int -> bool
+(** Whether this structure can serve nodes [0 .. n-1] with gains in
+    [-max_gain .. max_gain]. A bucket built with a larger bound works for
+    any smaller one (slots are offset by the creation-time bound, which
+    is monotone in the gain), so a workspace can reuse one bucket across
+    graphs after {!clear}. *)
+
 val clear : t -> unit

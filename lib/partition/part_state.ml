@@ -1,5 +1,25 @@
 open Ppnpart_graph
 
+(* The incremental caches (boundary-driven refinement, DESIGN.md §6.4):
+
+   - [conn] packs one k-entry connectivity row per node ([u*k + q] is
+     u's edge weight toward part q), patched in O(degree u) per move
+     instead of recomputed by a neighbour sweep per query.
+   - [ed] is each node's external degree (weight toward other parts);
+     [ed u = 0] identifies interior nodes, whose best-target scan
+     collapses to a closed form.
+   - [active]/[apos]/[n_active] is a dense set of the nodes worth
+     visiting: boundary nodes ([ed > 0]) plus every member of a part
+     whose load exceeds Rmax (those may need evacuating even without an
+     external neighbour).
+   - [pl_next]/[pl_prev]/[pl_head] chain the members of each part
+     (intrusive doubly linked lists, head marked [-p - 1] in [pl_prev])
+     so an Rmax crossing can refresh exactly the affected part's members.
+
+   A state built with [cache = false] carries none of this and behaves
+   exactly like the pre-boundary implementation — the differential
+   oracle the fuzz harness runs the fast path against. *)
+
 type t = {
   g : Wgraph.t;
   c : Types.constraints;
@@ -10,9 +30,92 @@ type t = {
   mutable bw_excess : int;
   mutable res_excess : int;
   mutable cut : int;
+  ws : Workspace.t;
+  cache : bool;
+  conn : int array;
+  ed : int array;
+  active : int array;
+  apos : int array;
+  mutable n_active : int;
+  pl_next : int array;
+  pl_prev : int array;
+  pl_head : int array;
 }
 
-let init g (c : Types.constraints) part =
+let excess_over bound v = if v > bound then v - bound else 0
+
+(* Active-set bookkeeping: dense list + position index, O(1) add/remove
+   by swap-with-last. Order within [active] is never semantically
+   meaningful — visit order in the refiners comes from a shuffled
+   identity permutation, not from this list. *)
+
+let active_add st u =
+  if st.apos.(u) < 0 then begin
+    st.apos.(u) <- st.n_active;
+    st.active.(st.n_active) <- u;
+    st.n_active <- st.n_active + 1
+  end
+
+let active_remove st u =
+  let i = st.apos.(u) in
+  if i >= 0 then begin
+    let last = st.n_active - 1 in
+    let y = st.active.(last) in
+    st.active.(i) <- y;
+    st.apos.(y) <- i;
+    st.n_active <- last;
+    st.apos.(u) <- -1
+  end
+
+let should_be_active st u =
+  st.ed.(u) > 0 || st.load.(st.part.(u)) > st.c.Types.rmax
+
+let active_refresh st u =
+  if should_be_active st u then active_add st u else active_remove st u
+
+(* Part member chains, the same intrusive-list idiom as {!Bucket}. *)
+
+let chain_unlink st u =
+  let nx = st.pl_next.(u) and pv = st.pl_prev.(u) in
+  if pv >= 0 then st.pl_next.(pv) <- nx else st.pl_head.(-pv - 1) <- nx;
+  if nx >= 0 then st.pl_prev.(nx) <- pv
+
+let chain_push st p u =
+  let h = st.pl_head.(p) in
+  st.pl_next.(u) <- h;
+  st.pl_prev.(u) <- (-p) - 1;
+  if h >= 0 then st.pl_prev.(h) <- u;
+  st.pl_head.(p) <- u
+
+(* One O(m + nk) sweep filling connectivity rows, external degrees,
+   member chains and the active set from the current labels and loads. *)
+let build_node_caches st =
+  let g = st.g in
+  let k = st.c.Types.k in
+  let n = Wgraph.n_nodes g in
+  Array.fill st.pl_head 0 k (-1);
+  st.n_active <- 0;
+  for u = n - 1 downto 0 do
+    let row = u * k in
+    Array.fill st.conn row k 0;
+    let wdeg = ref 0 in
+    Wgraph.iter_neighbors g u (fun v w ->
+        let q = st.part.(v) in
+        st.conn.(row + q) <- st.conn.(row + q) + w;
+        wdeg := !wdeg + w);
+    let p = st.part.(u) in
+    st.ed.(u) <- !wdeg - st.conn.(row + p);
+    chain_push st p u;
+    st.apos.(u) <- -1
+  done;
+  for u = 0 to n - 1 do
+    if should_be_active st u then active_add st u
+  done
+
+(* The pre-boundary initialization, verbatim: fresh allocations through
+   [Metrics], no caches. This is the state the [~legacy] oracle runs on,
+   so its cost model must stay that of the original implementation. *)
+let init_alloc g (c : Types.constraints) part =
   let k = c.Types.k in
   let bw = Metrics.bandwidth_matrix g ~k part in
   let load = Metrics.part_resources g ~k part in
@@ -28,14 +131,153 @@ let init g (c : Types.constraints) part =
     bw_excess = Metrics.bandwidth_excess g c part;
     res_excess = Metrics.resource_excess g c part;
     cut = Metrics.cut g part;
+    ws = Workspace.create ();
+    cache = false;
+    conn = [||];
+    ed = [||];
+    active = [||];
+    apos = [||];
+    n_active = 0;
+    pl_next = [||];
+    pl_prev = [||];
+    pl_head = [||];
   }
 
-let connectivity st conn u =
-  Array.fill conn 0 st.c.Types.k 0;
-  Wgraph.iter_neighbors st.g u (fun v w ->
-      conn.(st.part.(v)) <- conn.(st.part.(v)) + w)
+let init ?workspace ?(cache = true) g (c : Types.constraints) part0 =
+  if not cache then init_alloc g c part0
+  else begin
+    let ws =
+      match workspace with Some w -> w | None -> Workspace.create ()
+    in
+    let k = c.Types.k in
+    let n = Wgraph.n_nodes g in
+    Workspace.ensure_state ws ~n ~k;
+    let part = Workspace.part_bank ws ~n in
+    Array.blit part0 0 part 0 n;
+    let bw = ws.Workspace.ps_bw in
+    for p = 0 to k - 1 do
+      Array.fill bw.(p) 0 k 0
+    done;
+    let load = ws.Workspace.ps_load in
+    let members = ws.Workspace.ps_members in
+    Array.fill load 0 k 0;
+    Array.fill members 0 k 0;
+    for u = 0 to n - 1 do
+      let p = part.(u) in
+      load.(p) <- load.(p) + Wgraph.node_weight g u;
+      members.(p) <- members.(p) + 1
+    done;
+    let cut = ref 0 in
+    Wgraph.iter_edges g (fun u v w ->
+        let p = part.(u) and q = part.(v) in
+        if p <> q then begin
+          bw.(p).(q) <- bw.(p).(q) + w;
+          bw.(q).(p) <- bw.(q).(p) + w;
+          cut := !cut + w
+        end);
+    let bw_excess = ref 0 in
+    for p = 0 to k - 1 do
+      for q = p + 1 to k - 1 do
+        bw_excess := !bw_excess + excess_over c.Types.bmax bw.(p).(q)
+      done
+    done;
+    let res_excess = ref 0 in
+    for p = 0 to k - 1 do
+      res_excess := !res_excess + excess_over c.Types.rmax load.(p)
+    done;
+    let st =
+      {
+        g;
+        c;
+        part;
+        bw;
+        load;
+        members;
+        bw_excess = !bw_excess;
+        res_excess = !res_excess;
+        cut = !cut;
+        ws;
+        cache = true;
+        conn = ws.Workspace.ps_conn;
+        ed = ws.Workspace.ps_ed;
+        active = ws.Workspace.ps_active;
+        apos = ws.Workspace.ps_apos;
+        n_active = 0;
+        pl_next = ws.Workspace.pl_next;
+        pl_prev = ws.Workspace.pl_prev;
+        pl_head = ws.Workspace.pl_head;
+      }
+    in
+    build_node_caches st;
+    st
+  end
 
-let excess_over bound v = if v > bound then v - bound else 0
+(* Contraction preserves cut, pairwise bandwidth and per-part loads
+   exactly (the multilevel invariant, Coarsen's module doc), so the fine
+   state inherits the coarse scalar totals and reuses the coarse k×k
+   matrix and load array *in place* — only the member counts (a coarse
+   node is a whole cluster) and the per-node caches are rebuilt. The
+   coarse state is consumed: it shares [bw]/[load]/[members] with the
+   fine state and must not be touched afterwards. *)
+let init_projected ~map coarse fine_g =
+  Ppnpart_obs.Span.with_
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes fine_g)) ])
+    "refine.state_init"
+  @@ fun () ->
+  if not coarse.cache then
+    invalid_arg "Part_state.init_projected: coarse state has no caches";
+  let ws = coarse.ws in
+  let c = coarse.c in
+  let k = c.Types.k in
+  let n = Wgraph.n_nodes fine_g in
+  if Array.length map <> n then
+    invalid_arg "Part_state.init_projected: map length";
+  Workspace.ensure_state ws ~n ~k;
+  let part = Workspace.part_bank ws ~n in
+  if part == coarse.part then
+    invalid_arg "Part_state.init_projected: label bank aliasing";
+  let members = coarse.members in
+  Array.fill members 0 k 0;
+  for u = 0 to n - 1 do
+    let p = coarse.part.(map.(u)) in
+    part.(u) <- p;
+    members.(p) <- members.(p) + 1
+  done;
+  let st =
+    {
+      g = fine_g;
+      c;
+      part;
+      bw = coarse.bw;
+      load = coarse.load;
+      members;
+      bw_excess = coarse.bw_excess;
+      res_excess = coarse.res_excess;
+      cut = coarse.cut;
+      ws;
+      cache = true;
+      conn = ws.Workspace.ps_conn;
+      ed = ws.Workspace.ps_ed;
+      active = ws.Workspace.ps_active;
+      apos = ws.Workspace.ps_apos;
+      n_active = 0;
+      pl_next = ws.Workspace.pl_next;
+      pl_prev = ws.Workspace.pl_prev;
+      pl_head = ws.Workspace.pl_head;
+    }
+  in
+  build_node_caches st;
+  st
+
+let connectivity st conn u =
+  let k = st.c.Types.k in
+  if st.cache then Array.blit st.conn (u * k) conn 0 k
+  else begin
+    Array.fill conn 0 k 0;
+    Wgraph.iter_neighbors st.g u (fun v w ->
+        conn.(st.part.(v)) <- conn.(st.part.(v)) + w)
+  end
 
 let move_deltas st u t conn =
   let c = st.c in
@@ -83,6 +325,9 @@ let apply_move st u t conn =
   st.bw.(p).(t) <- pt';
   st.bw.(t).(p) <- pt';
   let w_u = Wgraph.node_weight st.g u in
+  let rmax = st.c.Types.rmax in
+  let p_was_over = st.cache && st.load.(p) > rmax in
+  let t_was_over = st.cache && st.load.(t) > rmax in
   st.load.(p) <- st.load.(p) - w_u;
   st.load.(t) <- st.load.(t) + w_u;
   st.members.(p) <- st.members.(p) - 1;
@@ -90,7 +335,42 @@ let apply_move st u t conn =
   st.part.(u) <- t;
   st.bw_excess <- st.bw_excess + d_bw;
   st.res_excess <- st.res_excess + d_res;
-  st.cut <- st.cut + d_cut
+  st.cut <- st.cut + d_cut;
+  if st.cache then begin
+    (* Patch the caches from the *true* edge weights — never from the
+       caller's [conn], so a corrupted delta still leaves the caches in
+       sync with the labels and the validator pins the divergence on the
+       scalar totals. u's own row is unchanged by its own move. *)
+    let row_u = u * k in
+    st.ed.(u) <- st.ed.(u) + st.conn.(row_u + p) - st.conn.(row_u + t);
+    Wgraph.iter_neighbors st.g u (fun v w ->
+        let rv = v * k in
+        st.conn.(rv + p) <- st.conn.(rv + p) - w;
+        st.conn.(rv + t) <- st.conn.(rv + t) + w;
+        let pv = st.part.(v) in
+        if pv = p then st.ed.(v) <- st.ed.(v) + w
+        else if pv = t then st.ed.(v) <- st.ed.(v) - w;
+        active_refresh st v);
+    chain_unlink st u;
+    chain_push st t u;
+    active_refresh st u;
+    (* An Rmax crossing flips the activity of a whole part's interior:
+       refresh exactly that part's members via its chain. *)
+    if p_was_over && st.load.(p) <= rmax then begin
+      let x = ref st.pl_head.(p) in
+      while !x >= 0 do
+        active_refresh st !x;
+        x := st.pl_next.(!x)
+      done
+    end;
+    if (not t_was_over) && st.load.(t) > rmax then begin
+      let x = ref st.pl_head.(t) in
+      while !x >= 0 do
+        active_add st !x;
+        x := st.pl_next.(!x)
+      done
+    end
+  end
 
 let violation st =
   Metrics.normalized_violation st.c ~bw_excess:st.bw_excess
@@ -110,9 +390,28 @@ let best_target st conn u =
      exactly when doing so strictly reduces the violation. *)
   let singleton = st.members.(p) = 1 in
   let cur_v = if singleton then violation st else max_int in
+  (* Interior fast path: with every neighbour in [p], [conn] is zero
+     everywhere but at [p], so [move_deltas] degenerates to a closed
+     form — only the (p, t) bandwidth pair and the two loads change.
+     Algebraically identical to the general case, O(1) per target. *)
+  let interior = st.cache && st.ed.(u) = 0 in
+  let bmax = st.c.Types.bmax and rmax = st.c.Types.rmax in
+  let w_u = Wgraph.node_weight st.g u in
+  let cp = conn.(p) in
+  let d_res_p = excess_over rmax (st.load.(p) - w_u) - excess_over rmax st.load.(p) in
   for t = 0 to k - 1 do
     if t <> p then begin
-      let d_bw, d_res, d_cut = move_deltas st u t conn in
+      let d_bw, d_res, d_cut =
+        if interior then begin
+          let pt = st.bw.(p).(t) in
+          ( excess_over bmax (pt + cp) - excess_over bmax pt,
+            d_res_p
+            + excess_over rmax (st.load.(t) + w_u)
+            - excess_over rmax st.load.(t),
+            cp )
+        end
+        else move_deltas st u t conn
+      in
       let v =
         Metrics.normalized_violation st.c
           ~bw_excess:(st.bw_excess + d_bw)

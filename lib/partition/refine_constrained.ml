@@ -1,12 +1,36 @@
 open Ppnpart_graph
 
-(* Greedy sweeps: strictly improving moves only, random node order. *)
+(* Greedy sweeps: strictly improving moves only, random node order.
+
+   Boundary-driven: on a cached state only nodes in the active set are
+   evaluated. An inactive node u (ed u = 0 and its part p within Rmax)
+   can never have an accepted move: its connectivity is zero except at
+   p, so for any target t the cut delta is conn p >= 0, the resource
+   delta is excess(load t + w) - excess(load t) >= 0 (the p side
+   contributes 0 since load p <= rmax), and the only bandwidth pair that
+   changes is (p, t), growing by conn p — every delta is non-negative
+   under a monotone violation, so the strict-improvement acceptance (and
+   the stricter singleton rule in best_target) rejects it. The full
+   identity permutation is still shuffled, so the rng draw sequence and
+   the visit order of active nodes are bit-identical to the legacy full
+   scan — inactive nodes are skipped in O(1) at visit time, against the
+   active set as it stands at that moment. *)
 let greedy_sweeps max_passes rng (st : Part_state.t) =
   Ppnpart_obs.Span.with_ "refine.greedy" @@ fun () ->
   let n = Wgraph.n_nodes st.Part_state.g in
   let k = st.Part_state.c.Types.k in
-  let conn = Array.make k 0 in
-  let order = Array.init n (fun i -> i) in
+  let cache = st.Part_state.cache in
+  let conn, order =
+    if cache then begin
+      let ws = st.Part_state.ws in
+      let order = ws.Workspace.rf_order in
+      for i = 0 to n - 1 do
+        order.(i) <- i
+      done;
+      (ws.Workspace.rf_conn, order)
+    end
+    else (Array.make k 0, Array.init n (fun i -> i))
+  in
   let shuffle () =
     for i = n - 1 downto 1 do
       let j = Random.State.int rng (i + 1) in
@@ -23,8 +47,9 @@ let greedy_sweeps max_passes rng (st : Part_state.t) =
     moved := false;
     incr passes;
     shuffle ();
-    Array.iter
-      (fun u ->
+    for i = 0 to n - 1 do
+      let u = order.(i) in
+      if (not cache) || st.Part_state.apos.(u) >= 0 then begin
         Part_state.connectivity st conn u;
         let cur_violation = Part_state.violation st in
         let v, cut', t = Part_state.best_target st conn u in
@@ -36,10 +61,16 @@ let greedy_sweeps max_passes rng (st : Part_state.t) =
           Part_state.apply_move st u t conn;
           incr applied;
           moved := true
-        end)
-      order
+        end
+      end
+    done
   done;
   Ppnpart_obs.Counters.add "refine.greedy.moves" !applied
+
+(* Below this size the exact pass is cheap enough to rescue a stalled
+   infeasible state (see [run_rounds]); it is also the size up to which
+   fm_pass explores unboundedly instead of early-exiting. *)
+let exact_fallback_limit = 512
 
 (* One FM pass: tentative moves (worsening allowed), each node moved at
    most once, rollback to the best state seen.
@@ -55,7 +86,22 @@ let greedy_sweeps max_passes rng (st : Part_state.t) =
    at its fresh priority when it got worse — an applied move therefore
    always uses exact deltas. After each applied move only the moved
    node's unlocked neighbours are re-gained, which drops move selection
-   from O(n^2 k) per pass to O(m (d_avg + k^2)). *)
+   from O(n^2 k) per pass to O(m (d_avg + k^2)).
+
+   The bucket is seeded from the active set, not over all n nodes: an
+   inactive node (no external neighbour, part within Rmax) can only
+   carry a strictly worsening move (see the greedy_sweeps proof; with
+   every edge weight >= 1 its cut delta conn p is strictly positive), so
+   it can never hold a non-negative slot, and the hill-climbing phase
+   reaches it anyway the moment it matters — each applied move re-gains
+   *all* the mover's unlocked neighbours, members or not, so nodes the
+   churn activates join the bucket then. What the restriction drops is
+   tentative worsening churn through untouched interior regions, which
+   is exactly the work that made a pass O(n) even on a converged
+   partition. Both implementations seed the same set in the same
+   ascending-u order — the cached path skips by membership table in
+   O(1), the full-scan oracle recomputes the predicate per node by
+   neighbour sweep — so the two stay bit-identical, move for move. *)
 
 let violation_cap = 32
 
@@ -67,17 +113,22 @@ let fm_pass (st : Part_state.t) =
   let g = st.Part_state.g in
   let n = Wgraph.n_nodes g in
   let k = st.Part_state.c.Types.k in
+  let cache = st.Part_state.cache in
+  let ws = st.Part_state.ws in
   let cut_cap =
-    let m = ref 1 in
-    for u = 0 to n - 1 do
-      let d = Wgraph.weighted_degree g u in
-      if d > !m then m := d
-    done;
-    !m
+    if cache then Workspace.cut_cap ws g
+    else begin
+      let m = ref 1 in
+      for u = 0 to n - 1 do
+        let d = Wgraph.weighted_degree g u in
+        if d > !m then m := d
+      done;
+      !m
+    end
   in
   let scale = (2 * cut_cap) + 3 in
   let clamp lo hi v = if v < lo then lo else if v > hi then hi else v in
-  let conn = Array.make k 0 in
+  let conn = if cache then ws.Workspace.rf_conn else Array.make k 0 in
   (* Best move of [u] under the (violation, cut) order, encoded as a
      bucket gain. Leaves [conn] filled with u's connectivity. *)
   let best_move u =
@@ -92,24 +143,82 @@ let fm_pass (st : Part_state.t) =
       Some ((vq * scale) + cq, t)
     end
   in
-  let bucket = Bucket.create ~n ~max_gain:((violation_cap + 1) * scale) in
-  let locked = Array.make n false in
-  let moves = Array.make (max n 1) (-1, -1) in
+  (* The reused bucket may have a larger capacity than this graph needs,
+     so every bound-derived quantity below uses the *logical* gain bound,
+     never [Bucket.max_gain]. *)
+  let logical_max_gain = (violation_cap + 1) * scale in
+  let bucket =
+    if cache then Workspace.bucket ws ~n ~max_gain:logical_max_gain
+    else Bucket.create ~n ~max_gain:logical_max_gain
+  in
+  let locked =
+    if cache then begin
+      Array.fill ws.Workspace.rf_locked 0 n false;
+      ws.Workspace.rf_locked
+    end
+    else Array.make n false
+  in
+  let moves_u, moves_from =
+    if cache then (ws.Workspace.rf_moves_u, ws.Workspace.rf_moves_from)
+    else (Array.make (max n 1) (-1), Array.make (max n 1) (-1))
+  in
   let n_moves = ref 0 in
   let start = Part_state.goodness st in
   let best = ref start and best_prefix = ref 0 in
-  for u = 0 to n - 1 do
+  let seed u =
     match best_move u with
     | Some (gain, _) -> Bucket.insert bucket u gain
     | None -> ()
-  done;
+  in
+  (* Small graphs seed every node: there the exhaustive pass is cheap
+     and pairs with the exact rescue, and restricting it only shifts
+     exploration onto that costlier rescue. *)
+  if n <= exact_fallback_limit then
+    for u = 0 to n - 1 do
+      seed u
+    done
+  else if cache then
+    for u = 0 to n - 1 do
+      if st.Part_state.apos.(u) >= 0 then seed u
+    done
+  else begin
+    let rmax = st.Part_state.c.Types.rmax in
+    for u = 0 to n - 1 do
+      let p = st.Part_state.part.(u) in
+      let active =
+        st.Part_state.load.(p) > rmax
+        ||
+        let ed = ref 0 in
+        Wgraph.iter_neighbors g u (fun v w ->
+            if st.Part_state.part.(v) <> p then ed := !ed + w);
+        !ed > 0
+      in
+      if active then seed u
+    done
+  end;
   (* Stale re-queues strictly lower a node's priority, so they terminate;
      the budget is a safety net against pathological thrashing. *)
   let pops = ref 0 in
   let stale = ref 0 and regains = ref 0 in
-  let pop_budget = (20 * (n + 1)) + (2 * Bucket.max_gain bucket) in
+  let pop_budget = (20 * (n + 1)) + (2 * logical_max_gain) in
+  (* Early exit (the classic FM window): once this many tentative moves
+     in a row fail to produce a new best goodness, the hill-climb has
+     wandered off and the suffix is doomed to roll back anyway. Without
+     it every pass churns through all n nodes — each worsening move
+     re-activates its neighbours, so the wavefront crosses the whole
+     graph even from a converged partition, which is exactly the O(n)
+     floor boundary-driven refinement exists to remove. Graphs up to
+     [exact_fallback_limit] are exempt: a full pass is cheap there, and
+     an early exit only shifts the same exploration onto the O(n^2 k)
+     exact rescue, which costs more per round than it saves. *)
+  let stall_limit =
+    if n <= exact_fallback_limit then n else min 512 (max 32 (n / 64))
+  in
   let continue = ref true in
-  while !continue && !n_moves < n && !pops < pop_budget do
+  while
+    !continue && !n_moves < n && !pops < pop_budget
+    && !n_moves - !best_prefix < stall_limit
+  do
     incr pops;
     match Bucket.pop_max bucket with
     | None -> continue := false
@@ -125,7 +234,8 @@ let fm_pass (st : Part_state.t) =
           let from = st.Part_state.part.(u) in
           Part_state.apply_move st u t conn;
           locked.(u) <- true;
-          moves.(!n_moves) <- (u, from);
+          moves_u.(!n_moves) <- u;
+          moves_from.(!n_moves) <- from;
           incr n_moves;
           let now = Part_state.goodness st in
           if Metrics.compare_goodness now !best < 0 then begin
@@ -144,7 +254,7 @@ let fm_pass (st : Part_state.t) =
   done;
   (* Roll back to the best prefix. *)
   for i = !n_moves - 1 downto !best_prefix do
-    let u, from = moves.(i) in
+    let u = moves_u.(i) and from = moves_from.(i) in
     Part_state.connectivity st conn u;
     Part_state.apply_move st u from conn
   done;
@@ -170,9 +280,20 @@ let exact_fm_pass (st : Part_state.t) =
   @@ fun () ->
   let n = Wgraph.n_nodes st.Part_state.g in
   let k = st.Part_state.c.Types.k in
-  let conn = Array.make k 0 in
-  let locked = Array.make n false in
-  let moves = Array.make (max n 1) (-1, -1) in
+  let cache = st.Part_state.cache in
+  let ws = st.Part_state.ws in
+  let conn = if cache then ws.Workspace.rf_conn else Array.make k 0 in
+  let locked =
+    if cache then begin
+      Array.fill ws.Workspace.rf_locked 0 n false;
+      ws.Workspace.rf_locked
+    end
+    else Array.make n false
+  in
+  let moves_u, moves_from =
+    if cache then (ws.Workspace.rf_moves_u, ws.Workspace.rf_moves_from)
+    else (Array.make (max n 1) (-1), Array.make (max n 1) (-1))
+  in
   let n_moves = ref 0 in
   let start = Part_state.goodness st in
   let best = ref start and best_prefix = ref 0 in
@@ -185,7 +306,9 @@ let exact_fm_pass (st : Part_state.t) =
         let v, cut', t = Part_state.best_target st conn u in
         if t >= 0 then
           match !chosen with
-          | Some (_, _, v', cut'') when (v', cut'') <= (v, cut') -> ()
+          | Some (_, _, v', cut'')
+            when v' < v || (v' = v && cut'' <= cut') ->
+            ()
           | _ -> chosen := Some (u, t, v, cut')
       end
     done;
@@ -196,7 +319,8 @@ let exact_fm_pass (st : Part_state.t) =
       Part_state.connectivity st conn u;
       Part_state.apply_move st u t conn;
       locked.(u) <- true;
-      moves.(!n_moves) <- (u, from);
+      moves_u.(!n_moves) <- u;
+      moves_from.(!n_moves) <- from;
       incr n_moves;
       let now = Part_state.goodness st in
       if Metrics.compare_goodness now !best < 0 then begin
@@ -205,7 +329,7 @@ let exact_fm_pass (st : Part_state.t) =
       end
   done;
   for i = !n_moves - 1 downto !best_prefix do
-    let u, from = moves.(i) in
+    let u = moves_u.(i) and from = moves_from.(i) in
     Part_state.connectivity st conn u;
     Part_state.apply_move st u from conn
   done;
@@ -214,11 +338,42 @@ let exact_fm_pass (st : Part_state.t) =
   Debug_hooks.validate ~site:"exact_pass.rollback" st;
   Metrics.compare_goodness !best start < 0
 
-(* Below this size the exact pass is cheap enough to rescue a stalled
-   infeasible state. *)
-let exact_fallback_limit = 512
+let observe_active (st : Part_state.t) n =
+  if st.Part_state.cache && Ppnpart_obs.Obs.enabled () then begin
+    Ppnpart_obs.Counters.add "refine.active.size" st.Part_state.n_active;
+    Ppnpart_obs.Counters.sample "refine.active.fraction"
+      (float_of_int st.Part_state.n_active /. float_of_int (max 1 n))
+  end
 
-let refine ?(max_passes = 16) rng g (c : Types.constraints) part0 =
+let run_rounds max_passes rng (st : Part_state.t) =
+  let n = Wgraph.n_nodes st.Part_state.g in
+  observe_active st n;
+  let rounds = ref 0 in
+  let improving = ref true in
+  while !improving && !rounds < max_passes do
+    incr rounds;
+    greedy_sweeps max_passes rng st;
+    improving := fm_pass st;
+    if (not !improving) && n <= exact_fallback_limit then
+      improving := exact_fm_pass st;
+    observe_active st n
+  done;
+  Debug_hooks.validate ~site:"refine.constrained" st
+
+let refine_state ?(max_passes = 16) rng (st : Part_state.t) =
+  Ppnpart_obs.Span.with_result
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes st.Part_state.g));
+        ("k", Ppnpart_obs.Obs.Int st.Part_state.c.Types.k) ])
+    ~result:(fun () ->
+      let gd = Part_state.goodness st in
+      [ ("violation", Ppnpart_obs.Obs.Int gd.Metrics.violation);
+        ("cut", Ppnpart_obs.Obs.Int gd.Metrics.cut_value) ])
+    "refine.constrained"
+  @@ fun () -> run_rounds max_passes rng st
+
+let refine ?(max_passes = 16) ?workspace ?(legacy = false) rng g
+    (c : Types.constraints) part0 =
   let n = Wgraph.n_nodes g in
   let k = c.Types.k in
   Ppnpart_obs.Span.with_result
@@ -230,15 +385,9 @@ let refine ?(max_passes = 16) rng g (c : Types.constraints) part0 =
     "refine.constrained"
   @@ fun () ->
   Types.check_partition ~n ~k part0;
-  let st = Part_state.init g c part0 in
-  let rounds = ref 0 in
-  let improving = ref true in
-  while !improving && !rounds < max_passes do
-    incr rounds;
-    greedy_sweeps max_passes rng st;
-    improving := fm_pass st;
-    if (not !improving) && n <= exact_fallback_limit then
-      improving := exact_fm_pass st
-  done;
-  Debug_hooks.validate ~site:"refine.constrained" st;
+  let st =
+    if legacy then Part_state.init ~cache:false g c part0
+    else Part_state.init ?workspace g c part0
+  in
+  run_rounds max_passes rng st;
   (Part_state.snapshot st, Part_state.goodness st)

@@ -41,8 +41,18 @@ val exact_fm_pass : Part_state.t -> bool
     {!refine} uses on graphs up to 512 nodes; exposed so the differential
     fuzz harness can cross-check the bucket pass against it. *)
 
+val refine_state : ?max_passes:int -> Random.State.t -> Part_state.t -> unit
+(** Refine a state in place — the entry point of the boundary-driven
+    un-coarsening loop, fed by {!Part_state.init_projected} so that
+    neither the state nor the refinement scratch is reallocated between
+    levels. Same rounds as {!refine}; runs under the [refine.constrained]
+    span and emits the [refine.active.size] / [refine.active.fraction]
+    observability counters on cached states. *)
+
 val refine :
   ?max_passes:int ->
+  ?workspace:Workspace.t ->
+  ?legacy:bool ->
   Random.State.t ->
   Wgraph.t ->
   Types.constraints ->
@@ -51,4 +61,10 @@ val refine :
 (** [refine rng g c part] returns the improved copy and its goodness.
     [max_passes] defaults to 16; each round runs greedy strictly-improving
     sweeps followed by one tentative {!fm_pass}, and stops when the FM
-    pass no longer improves the goodness. *)
+    pass no longer improves the goodness. [workspace] backs the state and
+    all refinement scratch (a private workspace is used when omitted).
+    [legacy] runs the pre-boundary full-scan path — cache-less state,
+    per-call allocations, neighbour-sweep connectivity — kept as the
+    differential oracle; it consumes the same rng draw sequence and
+    produces a bit-identical partition (the fuzz harness asserts this
+    across its corpus). *)

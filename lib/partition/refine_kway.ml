@@ -27,7 +27,7 @@ let best_move g part load members limit conn ~k u =
     end
   end
 
-let refine_fm ?(max_passes = 8) ?(imbalance = 1.03) g ~k part0 =
+let refine_fm ?workspace ?(max_passes = 8) ?(imbalance = 1.03) g ~k part0 =
   let n = Wgraph.n_nodes g in
   Types.check_partition ~n ~k part0;
   let part = Array.copy part0 in
@@ -43,12 +43,15 @@ let refine_fm ?(max_passes = 8) ?(imbalance = 1.03) g ~k part0 =
       members.(p) <- members.(p) + 1)
     part;
   let max_gain =
-    let m = ref 1 in
-    for u = 0 to n - 1 do
-      let d = Wgraph.weighted_degree g u in
-      if d > !m then m := d
-    done;
-    !m
+    match workspace with
+    | Some ws -> Workspace.cut_cap ws g
+    | None ->
+      let m = ref 1 in
+      for u = 0 to n - 1 do
+        let d = Wgraph.weighted_degree g u in
+        if d > !m then m := d
+      done;
+      !m
   in
   let conn = Array.make k 0 in
   let cut = ref (Metrics.cut g part) in
@@ -57,7 +60,14 @@ let refine_fm ?(max_passes = 8) ?(imbalance = 1.03) g ~k part0 =
   while !improved && !passes < max_passes do
     improved := false;
     incr passes;
-    let bucket = Bucket.create ~n ~max_gain in
+    (* A reused oversized bucket preserves behaviour exactly: slots are
+       offset by the creation-time bound, so relative gain order and the
+       LIFO tie order within a slot are unchanged. *)
+    let bucket =
+      match workspace with
+      | Some ws -> Workspace.bucket ws ~n ~max_gain
+      | None -> Bucket.create ~n ~max_gain
+    in
     for u = 0 to n - 1 do
       match best_move g part load members limit conn ~k u with
       | Some (gain, _) -> Bucket.insert bucket u gain

@@ -1,6 +1,7 @@
 open Ppnpart_graph
 
-let refine ?iterations ?tenure ?stall_limit g (c : Types.constraints) part0 =
+let refine ?iterations ?tenure ?stall_limit ?workspace g
+    (c : Types.constraints) part0 =
   let n = Wgraph.n_nodes g in
   let k = c.Types.k in
   Ppnpart_obs.Span.with_result
@@ -15,9 +16,14 @@ let refine ?iterations ?tenure ?stall_limit g (c : Types.constraints) part0 =
   let iterations = Option.value iterations ~default:(4 * n) in
   let tenure = Option.value tenure ~default:(7 + (n / 16)) in
   let stall_limit = Option.value stall_limit ~default:(2 * n) in
-  let st = Part_state.init g c part0 in
-  let conn = Array.make k 0 in
-  let tabu_until = Array.make n 0 in
+  let st = Part_state.init ?workspace g c part0 in
+  (* The state's workspace (passed in or private) also carries the
+     per-call scratch; the expiry array is dirty across calls and must be
+     reset. *)
+  let ws = st.Part_state.ws in
+  let conn = ws.Workspace.rf_conn in
+  let tabu_until = ws.Workspace.rf_tabu in
+  Array.fill tabu_until 0 n 0;
   let best_part = ref (Part_state.snapshot st) in
   let best = ref (Part_state.goodness st) in
   let stall = ref 0 in
@@ -38,7 +44,9 @@ let refine ?iterations ?tenure ?stall_limit g (c : Types.constraints) part0 =
         let aspirated = Metrics.compare_goodness candidate !best < 0 in
         if (not tabu) || aspirated then
           match !chosen with
-          | Some (_, _, v', cut'') when (v', cut'') <= (v, cut') -> ()
+          | Some (_, _, v', cut'')
+            when v' < v || (v' = v && cut'' <= cut') ->
+            ()
           | _ -> chosen := Some (u, t, v, cut')
       end
     done;

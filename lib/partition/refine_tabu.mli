@@ -19,6 +19,7 @@ val refine :
   ?iterations:int ->
   ?tenure:int ->
   ?stall_limit:int ->
+  ?workspace:Workspace.t ->
   Wgraph.t ->
   Types.constraints ->
   int array ->
@@ -26,5 +27,7 @@ val refine :
 (** [refine g c part] runs at most [iterations] (default [4 * n]) moves
     with tabu tenure [tenure] (default [7 + n/16]), stopping early after
     [stall_limit] (default [2 * n]) moves without a new best. Deterministic
-    (ties break by node id). Returns the best partition visited and its
-    goodness — never worse than the input. *)
+    (ties break by node id). [workspace] backs the state and scratch
+    (private when omitted); the cached connectivity rows make the global
+    selection scan O(nk) per step instead of O(m + nk). Returns the best
+    partition visited and its goodness — never worse than the input. *)

@@ -30,6 +30,33 @@ type t = {
   mutable cwgt : int array;
   he : edge_bufs;
   km : edge_bufs;
+  (* Part_state backing store (boundary-driven refinement). The partition
+     label array ping-pongs between two exact-length banks so that
+     projecting a coarse state into a fine one can read the coarse labels
+     while writing the fine ones; everything else is capacity-backed. *)
+  ps_banks : int array array;
+  mutable ps_bank : int;
+  mutable ps_bw : int array array;
+  mutable ps_load : int array;
+  mutable ps_members : int array;
+  mutable pl_head : int array;
+  mutable ps_conn : int array;
+  mutable ps_ed : int array;
+  mutable ps_active : int array;
+  mutable ps_apos : int array;
+  mutable pl_next : int array;
+  mutable pl_prev : int array;
+  (* Per-call refinement scratch. *)
+  mutable rf_order : int array;
+  mutable rf_locked : bool array;
+  mutable rf_moves_u : int array;
+  mutable rf_moves_from : int array;
+  mutable rf_conn : int array;
+  mutable rf_tabu : int array;
+  mutable rf_bucket : Bucket.t option;
+  (* Per-graph maximum weighted degree, keyed by physical identity. *)
+  mutable cc_graph : Ppnpart_graph.Wgraph.t option;
+  mutable cc_value : int;
 }
 
 let empty_bufs () =
@@ -45,6 +72,27 @@ let create () =
     cwgt = [||];
     he = empty_bufs ();
     km = empty_bufs ();
+    ps_banks = [| [||]; [||] |];
+    ps_bank = 0;
+    ps_bw = [||];
+    ps_load = [||];
+    ps_members = [||];
+    pl_head = [||];
+    ps_conn = [||];
+    ps_ed = [||];
+    ps_active = [||];
+    ps_apos = [||];
+    pl_next = [||];
+    pl_prev = [||];
+    rf_order = [||];
+    rf_locked = [||];
+    rf_moves_u = [||];
+    rf_moves_from = [||];
+    rf_conn = [||];
+    rf_tabu = [||];
+    rf_bucket = None;
+    cc_graph = None;
+    cc_value = 0;
   }
 
 (* Geometric growth, so a descending level sequence (the common case)
@@ -62,9 +110,9 @@ let grow grown cur needed =
     Array.make cap 0
   end
 
-let finish_ensure grown =
+let finish_ensure ?(counter = "coarsen.alloc") grown =
   if Ppnpart_obs.Obs.enabled () then
-    if !grown > 0 then Ppnpart_obs.Counters.add "coarsen.alloc" !grown
+    if !grown > 0 then Ppnpart_obs.Counters.add counter !grown
     else Ppnpart_obs.Counters.incr "workspace.reuse"
 
 let ensure_contract t ~coarse_nodes ~half_edges =
@@ -92,6 +140,76 @@ let next_gen t =
   t.gen <- t.gen + 1;
   t.gen
 
+let ensure_state t ~n ~k =
+  let grown = ref 0 in
+  t.ps_load <- grow grown t.ps_load k;
+  t.ps_members <- grow grown t.ps_members k;
+  t.pl_head <- grow grown t.pl_head k;
+  t.rf_conn <- grow grown t.rf_conn k;
+  t.ps_conn <- grow grown t.ps_conn (n * k);
+  t.ps_ed <- grow grown t.ps_ed n;
+  t.ps_active <- grow grown t.ps_active n;
+  t.ps_apos <- grow grown t.ps_apos n;
+  t.pl_next <- grow grown t.pl_next n;
+  t.pl_prev <- grow grown t.pl_prev n;
+  t.rf_order <- grow grown t.rf_order n;
+  t.rf_moves_u <- grow grown t.rf_moves_u n;
+  t.rf_moves_from <- grow grown t.rf_moves_from n;
+  t.rf_tabu <- grow grown t.rf_tabu n;
+  if Array.length t.rf_locked < n then begin
+    let cap = max n (2 * Array.length t.rf_locked) in
+    grown := !grown + cap;
+    t.rf_locked <- Array.make cap false
+  end;
+  if Array.length t.ps_bw < k then begin
+    let cap = max k (2 * Array.length t.ps_bw) in
+    grown := !grown + (cap * cap);
+    t.ps_bw <- Array.make_matrix cap cap 0
+  end;
+  finish_ensure ~counter:"refine.alloc" grown
+
+(* The label bank alternates on every acquisition, so two consecutively
+   initialized states never share their partition array — the invariant
+   [Part_state.init_projected] relies on to read coarse labels while
+   writing fine ones. Banks are exact-length (unlike the capacity-backed
+   scratch) because the [part] array is part of the public [Part_state]
+   record and its length is meaningful to every consumer. *)
+let part_bank t ~n =
+  t.ps_bank <- 1 - t.ps_bank;
+  let b = t.ps_banks.(t.ps_bank) in
+  if Array.length b = n then b
+  else begin
+    let b = Array.make n 0 in
+    if Ppnpart_obs.Obs.enabled () then
+      Ppnpart_obs.Counters.add "refine.alloc" n;
+    t.ps_banks.(t.ps_bank) <- b;
+    b
+  end
+
+let bucket t ~n ~max_gain =
+  match t.rf_bucket with
+  | Some b when Bucket.fits b ~n ~max_gain ->
+    Bucket.clear b;
+    b
+  | _ ->
+    let b = Bucket.create ~n ~max_gain in
+    t.rf_bucket <- Some b;
+    b
+
+let cut_cap t g =
+  match t.cc_graph with
+  | Some g0 when g0 == g -> t.cc_value
+  | _ ->
+    let n = Ppnpart_graph.Wgraph.n_nodes g in
+    let m = ref 1 in
+    for u = 0 to n - 1 do
+      let d = Ppnpart_graph.Wgraph.weighted_degree g u in
+      if d > !m then m := d
+    done;
+    t.cc_graph <- Some g;
+    t.cc_value <- !m;
+    !m
+
 let words t =
   Array.length t.mark + Array.length t.pos_tbl + Array.length t.cxadj
   + Array.length t.cadj + Array.length t.cwgt
@@ -102,3 +220,13 @@ let words t =
         + Array.length b.e_perm)
       0
       [ t.he; t.km ]
+  + Array.length t.ps_banks.(0)
+  + Array.length t.ps_banks.(1)
+  + (Array.length t.ps_bw * Array.length t.ps_bw)
+  + Array.length t.ps_load + Array.length t.ps_members
+  + Array.length t.pl_head + Array.length t.ps_conn + Array.length t.ps_ed
+  + Array.length t.ps_active + Array.length t.ps_apos
+  + Array.length t.pl_next + Array.length t.pl_prev
+  + Array.length t.rf_order + Array.length t.rf_locked
+  + Array.length t.rf_moves_u + Array.length t.rf_moves_from
+  + Array.length t.rf_conn + Array.length t.rf_tabu

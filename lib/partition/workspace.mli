@@ -40,6 +40,36 @@ type t = {
   mutable cwgt : int array;  (** staging coarse weights, parallel *)
   he : edge_bufs;  (** heavy-edge matching buffers *)
   km : edge_bufs;  (** k-means matching buffers *)
+  ps_banks : int array array;
+      (** two exact-length partition-label banks (see {!part_bank}) *)
+  mutable ps_bank : int;  (** index of the bank handed out last *)
+  mutable ps_bw : int array array;
+      (** k×k pairwise bandwidth matrix backing store, capacity ≥ k rows *)
+  mutable ps_load : int array;  (** per-part resource loads, length ≥ k *)
+  mutable ps_members : int array;  (** per-part member counts, length ≥ k *)
+  mutable pl_head : int array;
+      (** per-part member-chain heads (−1 = empty), length ≥ k *)
+  mutable ps_conn : int array;
+      (** per-node connectivity rows, [u*k + q] = weight from [u] to part
+          [q]; length ≥ n·k *)
+  mutable ps_ed : int array;  (** per-node external degree, length ≥ n *)
+  mutable ps_active : int array;
+      (** dense active list (boundary ∪ over-Rmax parts), length ≥ n *)
+  mutable ps_apos : int array;
+      (** position of a node in [ps_active], −1 when inactive *)
+  mutable pl_next : int array;  (** member-chain forward links *)
+  mutable pl_prev : int array;
+      (** member-chain back links; [−p − 1] marks the head of part [p] *)
+  mutable rf_order : int array;  (** greedy sweep visit order, length ≥ n *)
+  mutable rf_locked : bool array;  (** FM per-pass lock flags *)
+  mutable rf_moves_u : int array;  (** FM move journal: moved node *)
+  mutable rf_moves_from : int array;  (** FM move journal: source part *)
+  mutable rf_conn : int array;  (** shared connectivity row, length ≥ k *)
+  mutable rf_tabu : int array;  (** tabu expiry steps, length ≥ n *)
+  mutable rf_bucket : Bucket.t option;  (** reused FM gain bucket *)
+  mutable cc_graph : Ppnpart_graph.Wgraph.t option;
+      (** graph the {!cut_cap} memo belongs to (physical identity) *)
+  mutable cc_value : int;  (** memoized maximum weighted degree *)
 }
 
 val create : unit -> t
@@ -59,6 +89,26 @@ val ensure_edges : edge_bufs -> m:int -> perm:bool -> unit
 val next_gen : t -> int
 (** A fresh marker generation: entries of [mark] not equal to the
     returned value are stale, so the tables never need clearing. *)
+
+val ensure_state : t -> n:int -> k:int -> unit
+(** Grow every {!Part_state} cache and refinement scratch array to an
+    [n]-node, [k]-part instance. Emits [refine.alloc] (words grown) or
+    [workspace.reuse]. *)
+
+val part_bank : t -> n:int -> int array
+(** An exact-length-[n] partition label array. Alternates between two
+    banks on every call, so the arrays of two consecutively initialized
+    states never alias — the projection init reads coarse labels while
+    writing fine ones. Contents are unspecified. *)
+
+val bucket : t -> n:int -> max_gain:int -> Bucket.t
+(** A cleared gain bucket serving nodes [0 .. n-1] with gains within
+    [±max_gain]; reuses the cached bucket when it {!Bucket.fits}. *)
+
+val cut_cap : t -> Ppnpart_graph.Wgraph.t -> int
+(** Maximum weighted degree of the graph (≥ 1), memoized per physical
+    graph — the FM gain-scale bound that was previously rescanned on
+    every pass. *)
 
 val words : t -> int
 (** Total words currently owned, for tests and benchmarks. *)

@@ -144,6 +144,54 @@ let test_bucket_vs_exact_pass () =
       (Refine_constrained.exact_fm_pass st)
   done
 
+(* --- boundary-driven refine vs the legacy full-scan oracle --- *)
+
+(* The boundary path promises *bit*-identity with the legacy full-scan
+   refine, not merely equal quality: both consume the same rng draw
+   sequence (the greedy sweep still shuffles the full n-permutation and
+   only skips inactive nodes), so the partitions and goodness must match
+   exactly. One workspace serves the whole sweep — sizes go up and down
+   across seeds, exercising both growth and steady-state reuse of the
+   state banks and refinement scratch — and every fifth seed runs under
+   installed invariant checks, revalidating the connectivity caches and
+   active set at each phase boundary along the way. *)
+let test_boundary_vs_legacy_refine () =
+  let seeds = match mode with `Quick -> 8 | `Default -> 18 | `Full -> 48 in
+  let ws = Workspace.create () in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xF8; seed |] in
+    let n = 2 + (43 * seed mod 800) in
+    let k = 2 + (seed mod 15) in
+    let g, c, part0 = random_instance ~n ~k rng in
+    let name = Printf.sprintf "n=%d k=%d seed=%d" n k seed in
+    let guard f = if seed mod 5 = 0 then Check.with_checks f else f () in
+    let r_fast = Random.State.make [| 0xF9; seed |] in
+    let r_legacy = Random.State.copy r_fast in
+    let part_fast, gd_fast =
+      guard (fun () ->
+          Refine_constrained.refine ~workspace:ws r_fast g c
+            (Array.copy part0))
+    in
+    let part_legacy, gd_legacy =
+      guard (fun () ->
+          Refine_constrained.refine ~legacy:true r_legacy g c
+            (Array.copy part0))
+    in
+    check_bool (name ^ ": partitions bit-identical") true
+      (part_fast = part_legacy);
+    check_int
+      (name ^ ": violation identical")
+      gd_legacy.Metrics.violation gd_fast.Metrics.violation;
+    check_int (name ^ ": cut identical") gd_legacy.Metrics.cut_value
+      gd_fast.Metrics.cut_value;
+    (* Equal rng consumption: after both runs the streams must be in the
+       same state, so their next draws coincide. *)
+    check_int
+      (name ^ ": same rng draws consumed")
+      (Random.State.int r_legacy 1_000_000)
+      (Random.State.int r_fast 1_000_000)
+  done
+
 (* --- allocation-free coarsening kernels vs the boxed-tuple oracle --- *)
 
 (* The CSR fast paths promise *bit*-identity, not just isomorphism:
@@ -296,6 +344,8 @@ let () =
             test_corrupted_delta_is_caught;
           Alcotest.test_case "bucket FM vs exact pass" `Quick
             test_bucket_vs_exact_pass;
+          Alcotest.test_case "boundary refine vs legacy oracle" `Quick
+            test_boundary_vs_legacy_refine;
           Alcotest.test_case "coarsen fast path vs legacy" `Quick
             test_contract_fast_vs_legacy ] );
       ( "structure",

@@ -893,6 +893,93 @@ let test_fm_pass_timing_smoke () =
       (quadratic_est_s >= 5.0 *. bucket_s)
   end
 
+(* --- boundary refinement: active set, cache rollback, ws reuse --- *)
+
+let test_active_set_invariant () =
+  (* After an arbitrary move sequence the active set must hold exactly
+     the nodes with an external neighbour or sitting in an over-Rmax
+     part. Checked from ground truth (a fresh neighbour sweep and
+     Metrics loads), independently of the state's own cached [ed]. *)
+  List.iter
+    (fun (n, k, seed) ->
+      let g, c, part0 = fm_instance ~n ~k ~seed in
+      let st = Part_state.init g c (Array.copy part0) in
+      let conn = Array.make k 0 in
+      let r = Random.State.make [| 0xA5; seed |] in
+      for _step = 1 to 300 do
+        let u = Random.State.int r n in
+        let t =
+          let t = Random.State.int r (k - 1) in
+          if t >= st.Part_state.part.(u) then t + 1 else t
+        in
+        Part_state.connectivity st conn u;
+        Part_state.apply_move st u t conn
+      done;
+      let part = st.Part_state.part in
+      let load = Metrics.part_resources g ~k part in
+      let in_set = Array.make n false in
+      for i = 0 to st.Part_state.n_active - 1 do
+        in_set.(st.Part_state.active.(i)) <- true
+      done;
+      for u = 0 to n - 1 do
+        let ext = ref 0 in
+        Wgraph.iter_neighbors g u (fun v w ->
+            if part.(v) <> part.(u) then ext := !ext + w);
+        let should = !ext > 0 || load.(part.(u)) > c.Types.rmax in
+        check_bool
+          (Printf.sprintf "n=%d seed=%d: node %d active membership" n seed u)
+          should in_set.(u)
+      done)
+    [ (60, 3, 1); (200, 5, 2); (500, 8, 3) ]
+
+let test_cache_exact_after_fm_rollback () =
+  (* fm_pass applies tentative worsening moves and then rolls back to
+     the best prefix; the rollback must restore the connectivity rows,
+     external degrees, active set and member chains *exactly* — checked
+     by the full recomputing validator, which diffs every cached field
+     against a from-scratch sweep. *)
+  List.iter
+    (fun (n, k, seed) ->
+      let g, c, part0 = fm_instance ~n ~k ~seed in
+      let st = Part_state.init g c (Array.copy part0) in
+      ignore (Refine_constrained.fm_pass st);
+      Ppnpart_check.Check.part_state ~site:"test.fm_rollback" st;
+      ignore (Refine_constrained.exact_fm_pass st);
+      Ppnpart_check.Check.part_state ~site:"test.exact_rollback" st)
+    [ (40, 2, 7); (120, 4, 8); (300, 6, 9) ]
+
+let test_refine_workspace_reuse () =
+  (* Two consecutive refine calls against one workspace must return
+     exactly what fresh-workspace calls return, and the second call
+     (same n, smaller k) must run entirely out of the scratch the first
+     one grew. *)
+  let ws = Workspace.create () in
+  let run ?workspace (n, k, seed) =
+    let g, c, part0 = fm_instance ~n ~k ~seed in
+    Refine_constrained.refine ?workspace
+      (Random.State.make [| 0x5E; seed |])
+      g c (Array.copy part0)
+  in
+  let a = (300, 5, 11) and b = (300, 3, 12) in
+  let pa, ga = run ~workspace:ws a in
+  let pb, gb = run ~workspace:ws b in
+  (* Both ping-pong state banks exist after two calls; from here on
+     same-size calls must not allocate any scratch at all. *)
+  let words_warm = Workspace.words ws in
+  ignore (run ~workspace:ws b);
+  check_int "no scratch growth once warm" words_warm (Workspace.words ws);
+  let pa', ga' = run a in
+  let pb', gb' = run b in
+  check_bool "first call matches fresh-workspace run" true
+    (pa = pa' && Metrics.compare_goodness ga ga' = 0);
+  check_bool "second call matches fresh-workspace run" true
+    (pb = pb' && Metrics.compare_goodness gb gb' = 0);
+  (* A third call repeating the first instance on the warmed workspace:
+     the ping-pong state banks and reused bucket must not leak any state
+     between calls. *)
+  let pa'', _ = run ~workspace:ws a in
+  check_bool "warmed workspace reproduces the first call" true (pa = pa'')
+
 (* --- Initial --- *)
 
 let test_pick_heaviest () =
@@ -1046,6 +1133,12 @@ let () =
             test_fm_pass_never_worsens;
           Alcotest.test_case "fm_pass timing smoke" `Slow
             test_fm_pass_timing_smoke;
+          Alcotest.test_case "active set invariant" `Quick
+            test_active_set_invariant;
+          Alcotest.test_case "cache exact after FM rollback" `Quick
+            test_cache_exact_after_fm_rollback;
+          Alcotest.test_case "workspace reuse across refines" `Quick
+            test_refine_workspace_reuse;
         ] );
       ( "initial",
         [
