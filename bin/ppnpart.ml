@@ -103,6 +103,36 @@ let algo_arg =
            $(b,kl) (two-way only unless k is a power of two), or \
            $(b,exact) (branch and bound, <= 24 nodes).")
 
+let mode_arg =
+  let modes =
+    [ ("multilevel", Ppnpart_core.Config.Multilevel);
+      ("stream", Ppnpart_core.Config.Stream);
+      ("hybrid", Ppnpart_core.Config.Hybrid) ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) Ppnpart_core.Config.Multilevel
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "GP pipeline (GP only): $(b,multilevel) (the paper's full \
+           V-cycle, default), $(b,stream) (one-pass restreaming \
+           partitioner, O(edges) time and O(n + k + k^2) state, for \
+           graphs that dwarf the multilevel path), or $(b,hybrid) \
+           (streaming seed polished by the constrained boundary refiner, \
+           no coarsening). Stream and hybrid are bit-identical across \
+           $(b,--jobs).")
+
+let stream_iterations_arg =
+  Arg.(
+    value
+    & opt int Ppnpart_partition.Stream.default_iterations
+    & info [ "stream-iterations" ] ~docv:"N"
+        ~doc:
+          "Restream passes for $(b,--mode stream)/$(b,hybrid): pass 1 \
+           streams the unassigned graph, each further pass revisits \
+           every node with an escalated load/bandwidth penalty and stops \
+           early at a fixed point.")
+
 let dot_arg =
   Arg.(
     value
@@ -177,8 +207,8 @@ let resolve_input input paper seed =
 (* --- partition command --- *)
 
 let partition_cmd =
-  let run () input paper seed jobs k bmax rmax algo dot save trace_out
-      trace_jsonl stats check =
+  let run () input paper seed jobs k bmax rmax algo mode stream_iterations
+      dot save trace_out trace_jsonl stats check =
     match resolve_input input paper seed with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -196,12 +226,18 @@ let partition_cmd =
         match algo with
         | `Gp ->
           let config =
-            { Ppnpart_core.Config.default with seed; jobs;
+            { Ppnpart_core.Config.default with seed; jobs; mode;
+              stream_iterations;
               debug_checks = Ppnpart_core.Config.default.debug_checks || check
             }
           in
           let r = Ppnpart_core.Gp.partition ~config g c in
-          ("GP", r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.report)
+          let name =
+            match mode with
+            | Ppnpart_core.Config.Multilevel -> "GP"
+            | m -> "GP/" ^ Ppnpart_core.Config.mode_name m
+          in
+          (name, r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.report)
         | `Metis ->
           let s = Ppnpart_baselines.Metis_like.partition ~seed g ~k in
           ( "METIS-like",
@@ -268,8 +304,9 @@ let partition_cmd =
   let term =
     Term.(
       const run $ setup_logs_term $ input_arg $ paper_arg $ seed_arg
-      $ jobs_arg $ k_arg $ bmax_arg $ rmax_arg $ algo_arg $ dot_arg
-      $ save_arg $ trace_out_arg $ trace_jsonl_arg $ stats_arg $ check_arg)
+      $ jobs_arg $ k_arg $ bmax_arg $ rmax_arg $ algo_arg $ mode_arg
+      $ stream_iterations_arg $ dot_arg $ save_arg $ trace_out_arg
+      $ trace_jsonl_arg $ stats_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "partition"

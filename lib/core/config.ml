@@ -1,3 +1,10 @@
+type mode = Multilevel | Stream | Hybrid
+
+let mode_name = function
+  | Multilevel -> "multilevel"
+  | Stream -> "stream"
+  | Hybrid -> "hybrid"
+
 type t = {
   coarsen_target : int;
   n_initial_seeds : int;
@@ -8,6 +15,8 @@ type t = {
   seed : int;
   jobs : int;
   debug_checks : bool;
+  mode : mode;
+  stream_iterations : int;
 }
 
 let default =
@@ -21,6 +30,8 @@ let default =
     seed = 0;
     jobs = 1;
     debug_checks = Ppnpart_check.Check.env_enabled ();
+    mode = Multilevel;
+    stream_iterations = Ppnpart_partition.Stream.default_iterations;
   }
 
 let validate t =
@@ -30,4 +41,5 @@ let validate t =
   if t.refine_passes < 1 then invalid_arg "Config: refine_passes < 1";
   if t.tabu_iterations < 0 then invalid_arg "Config: tabu_iterations < 0";
   if t.jobs < 0 then invalid_arg "Config: jobs < 0";
+  if t.stream_iterations < 1 then invalid_arg "Config: stream_iterations < 1";
   if t.strategies = [] then invalid_arg "Config: no matching strategies"

@@ -5,6 +5,25 @@
     random seeds, and the un-coarsen / re-coarsen cycle repeats "a number of
     parametrized times". *)
 
+(** How {!Gp.partition} spends its time budget (DESIGN.md §6.5):
+
+    - [Multilevel] — the paper's full V-cycle pipeline, the quality
+      oracle; the default.
+    - [Stream] — the {!Ppnpart_partition.Stream} restreaming
+      partitioner alone: one O(edges) pass (restreamed up to
+      [stream_iterations] times) with O(n + k + k²) live state, for
+      graphs that dwarf the multilevel path.
+    - [Hybrid] — the restream output seeds the boundary-driven
+      {!Ppnpart_partition.Refine_constrained} active-set refiner
+      directly, skipping coarsening and the V-cycle entirely.
+
+    Stream and hybrid runs never touch the domain pool, so they are
+    bit-identical across [jobs] by construction. *)
+type mode = Multilevel | Stream | Hybrid
+
+val mode_name : mode -> string
+(** ["multilevel"], ["stream"] or ["hybrid"] — the [--mode] spellings. *)
+
 type t = {
   coarsen_target : int;  (** stop coarsening at this many nodes (paper: 100) *)
   n_initial_seeds : int;  (** greedy-growth restarts (paper: 10) *)
@@ -33,6 +52,11 @@ type t = {
           [PPNPART_CHECK=1] in the environment; the CLI flag is
           [--check]. Off by default — disabled checks cost one atomic
           load per site. *)
+  mode : mode;  (** pipeline selection (default [Multilevel]) *)
+  stream_iterations : int;
+      (** restream passes for [Stream]/[Hybrid] modes (default
+          {!Ppnpart_partition.Stream.default_iterations} = 3); ignored
+          by [Multilevel]. Must be ≥ 1. *)
 }
 
 val default : t

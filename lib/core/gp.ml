@@ -238,7 +238,65 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
   if n = 0 then finish [||] 0 0
   else if n <= c.Types.k && n <= exhaustive_limit then
     finish (exhaustive_best g c) 0 0
-  else begin
+  else
+    match config.Config.mode with
+    | Config.Stream ->
+        let part, _stats =
+          Stream.partition
+            ~workspace:(Workspace.create ())
+            ~max_iterations:config.Config.stream_iterations g c
+        in
+        if Ppnpart_check.Check.enabled () then
+          Ppnpart_check.Check.partition ~site:"gp.stream" g c part;
+        finish part 0 0
+    | Config.Hybrid ->
+        (* Stream once, then hand the labels straight to the
+           boundary-driven refiner — no coarsening, no V-cycle. The
+           refiner only ever commits strict improvements, so the result
+           is never worse than the streaming seed; its goodness is kept
+           as the single [history] entry so callers can see what
+           refinement bought. Sequential and pool-free, hence
+           bit-identical across [--jobs] like the stream itself. *)
+        let checking = Ppnpart_check.Check.enabled () in
+        let ws = Workspace.create () in
+        let seed_part, _stats =
+          Stream.partition ~workspace:ws
+            ~max_iterations:config.Config.stream_iterations g c
+        in
+        if checking then
+          Ppnpart_check.Check.partition ~site:"gp.stream" g c seed_part;
+        let seed_goodness = Metrics.goodness g c seed_part in
+        let st = Part_state.init ~workspace:ws g c seed_part in
+        Refine_constrained.refine_state
+          ~max_passes:config.Config.refine_passes rng st;
+        if checking then begin
+          Ppnpart_check.Check.part_state ~site:"gp.hybrid.refined" st;
+          Ppnpart_check.Check.partition ~site:"gp.hybrid.refined" g c
+            st.Part_state.part
+        end;
+        let best_part = ref (Part_state.snapshot st) in
+        let best_goodness = ref (Metrics.goodness g c !best_part) in
+        let history = ref [ seed_goodness ] in
+        (* Same feasibility rescue as the multilevel path: single-move FM
+           from a streaming seed can be stuck one basin away from the
+           feasible set on small tight instances. *)
+        if !best_goodness.Metrics.violation > 0 && n <= tabu_rescue_limit
+        then begin
+          let rescued, gd =
+            Refine_tabu.refine ~iterations:(tabu_rescue_iterations n)
+              ~workspace:ws g c !best_part
+          in
+          if Metrics.compare_goodness gd !best_goodness < 0 then begin
+            if checking then
+              Ppnpart_check.Check.partition ~site:"gp.hybrid.rescue" g c
+                rescued;
+            best_part := rescued;
+            best_goodness := gd;
+            history := gd :: !history
+          end
+        end;
+        finish ~history:!history !best_part 0 0
+    | Config.Multilevel -> begin
     (* Speculative width is additionally capped by the hardware: wave
        cycles beyond the domains that can actually run them buy nothing
        and keep [wave] whole hierarchies live at once — on a single-core

@@ -1,0 +1,54 @@
+(** Streaming / restreaming K-way partitioning (DESIGN.md §6.5).
+
+    A Battaglino-style one-pass partitioner for graphs that dwarf the
+    multilevel path: nodes are visited in a fixed order and each is
+    assigned in one O(degree + k) step that maximizes neighbour affinity
+    minus an [a · (load/Rmax)^g] penalty, with edge weight that would
+    land on a Bmax-saturated part pair discounted from the affinity.
+    The whole live state is O(n + k + k²) words — labels, per-part
+    loads and the pairwise bandwidth matrix — allocated from a
+    {!Workspace}, so an O(edges)-time pass over millions of edges runs
+    in a few megabytes of scratch.
+
+    Restreaming: up to [max_iterations] passes, the penalty multiplier
+    escalating by [ta = 1.7] per pass; a pass that moves no node is a
+    fixed point and stops early. The result is a pure function of
+    (graph, constraints, max_iterations) — no rng, no domain pool —
+    hence bit-identical across runs and job counts.
+
+    Quality is deliberately traded for time and memory: the multilevel
+    {!Ppnpart_core.Gp} pipeline remains the quality oracle, and hybrid
+    mode ([Config.Hybrid]) feeds this partitioner's output to
+    {!Refine_constrained} instead of running a full V-cycle. *)
+
+open Ppnpart_graph
+
+type stats = {
+  iterations : int;  (** streaming passes actually run (≥ 1) *)
+  moved : int array;
+      (** nodes assigned to a different part than before, per pass;
+          entry 0 counts first-time assignments as 0 moves *)
+  converged : bool;
+      (** a restream pass moved nothing — the assignment is a fixed
+          point of the objective *)
+  state_words : int;
+      (** live partitioner state in words: n + k² + 3k — the
+          O(n + k + k²) bound, measured *)
+}
+
+val default_iterations : int
+(** 3 — one stream plus two restreams. *)
+
+val partition :
+  ?workspace:Workspace.t ->
+  ?max_iterations:int ->
+  Wgraph.t ->
+  Types.constraints ->
+  int array * stats
+(** [partition g c] streams [g] into [c.k] parts and returns a fresh
+    label array (always a valid partition: every label in
+    [0 .. k - 1]) with the run's statistics. Feasibility is best-effort
+    — constraints shape the objective but are not enforced; check the
+    result's {!Metrics.goodness} or polish it with
+    {!Refine_constrained}.
+    @raise Invalid_argument if [max_iterations < 1]. *)

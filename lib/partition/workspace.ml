@@ -57,6 +57,15 @@ type t = {
   (* Per-graph maximum weighted degree, keyed by physical identity. *)
   mutable cc_graph : Ppnpart_graph.Wgraph.t option;
   mutable cc_value : int;
+  (* Streaming partitioner state (Stream): per-part loads, the flat k x k
+     pairwise bandwidth matrix, and the per-node connectivity scratch
+     (values + touched-part list, reset in O(degree) per node). Together
+     with one partition label bank this is the *entire* live state of a
+     streaming run — O(n + k + k^2) words regardless of edge count. *)
+  mutable st_load : int array;
+  mutable st_bw : int array;
+  mutable st_conn : int array;
+  mutable st_touched : int array;
 }
 
 let empty_bufs () =
@@ -93,6 +102,10 @@ let create () =
     rf_bucket = None;
     cc_graph = None;
     cc_value = 0;
+    st_load = [||];
+    st_bw = [||];
+    st_conn = [||];
+    st_touched = [||];
   }
 
 (* Geometric growth, so a descending level sequence (the common case)
@@ -168,6 +181,14 @@ let ensure_state t ~n ~k =
   end;
   finish_ensure ~counter:"refine.alloc" grown
 
+let ensure_stream t ~k =
+  let grown = ref 0 in
+  t.st_load <- grow grown t.st_load k;
+  t.st_bw <- grow grown t.st_bw (k * k);
+  t.st_conn <- grow grown t.st_conn k;
+  t.st_touched <- grow grown t.st_touched k;
+  finish_ensure ~counter:"stream.alloc" grown
+
 (* The label bank alternates on every acquisition, so two consecutively
    initialized states never share their partition array — the invariant
    [Part_state.init_projected] relies on to read coarse labels while
@@ -230,3 +251,5 @@ let words t =
   + Array.length t.rf_order + Array.length t.rf_locked
   + Array.length t.rf_moves_u + Array.length t.rf_moves_from
   + Array.length t.rf_conn + Array.length t.rf_tabu
+  + Array.length t.st_load + Array.length t.st_bw + Array.length t.st_conn
+  + Array.length t.st_touched

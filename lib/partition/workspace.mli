@@ -70,6 +70,14 @@ type t = {
   mutable cc_graph : Ppnpart_graph.Wgraph.t option;
       (** graph the {!cut_cap} memo belongs to (physical identity) *)
   mutable cc_value : int;  (** memoized maximum weighted degree *)
+  mutable st_load : int array;
+      (** streaming per-part resource loads, length ≥ k *)
+  mutable st_bw : int array;
+      (** streaming pairwise bandwidth matrix, flat [p*k + q], length ≥ k² *)
+  mutable st_conn : int array;
+      (** streaming per-node connectivity scratch, length ≥ k *)
+  mutable st_touched : int array;
+      (** parts with nonzero [st_conn] for the node in flight, length ≥ k *)
 }
 
 val create : unit -> t
@@ -93,6 +101,13 @@ val next_gen : t -> int
 val ensure_state : t -> n:int -> k:int -> unit
 (** Grow every {!Part_state} cache and refinement scratch array to an
     [n]-node, [k]-part instance. Emits [refine.alloc] (words grown) or
+    [workspace.reuse]. *)
+
+val ensure_stream : t -> k:int -> unit
+(** Grow the {!Stream} scratch (loads, flat bandwidth matrix, per-node
+    connectivity row and touched list) to a [k]-part instance. Together
+    with one {!part_bank} label array this is the whole live state of a
+    streaming run. Emits [stream.alloc] (words grown) or
     [workspace.reuse]. *)
 
 val part_bank : t -> n:int -> int array

@@ -89,13 +89,55 @@ let layered ?(vw_range = (1, 1)) ?(ew_range = (1, 1)) ?(skip_prob = 0.1) rng
 let rmat ?(vw_range = (1, 1)) ?(ew_range = (1, 1))
     ?(probabilities = (0.57, 0.19, 0.19, 0.05)) rng ~scale ~m =
   if scale < 1 then invalid_arg "Rand_graph.rmat: scale < 1";
+  if scale > 31 then invalid_arg "Rand_graph.rmat: scale > 31";
   let a, b, c, d = probabilities in
   if abs_float (a +. b +. c +. d -. 1.0) > 1e-6 then
     invalid_arg "Rand_graph.rmat: probabilities must sum to 1";
   let n = 1 lsl scale in
   if m > n * (n - 1) / 2 then invalid_arg "Rand_graph.rmat: too many edges";
-  let el = Edge_list.create n in
-  let present = Hashtbl.create (2 * m) in
+  (* Million-node instances are this generator's whole point, so the
+     working set is kept below the final CSR (~4m + 2n words): exact-size
+     SoA edge arrays (3m) fed straight to {!Wgraph.of_soa_edges}, and an
+     open-addressing set of packed [(min lsl scale) lor max] keys
+     (2m..4m words at <= 0.5 load) for the distinctness test — where the
+     boxed-pair Hashtbl plus growing edge list used to cost several
+     times the graph. Key 0 would be the (0,0) self loop, which is never
+     stored, so it doubles as the empty slot marker. *)
+  let cap =
+    let c = ref 16 in
+    while !c < 2 * m do
+      c := !c * 2
+    done;
+    !c
+  in
+  let table = Array.make cap 0 in
+  let mask = cap - 1 in
+  let add_new key =
+    let i = ref (key * 0x2545F4914F6CDD1D land max_int land mask) in
+    while table.(!i) <> 0 && table.(!i) <> key do
+      i := (!i + 1) land mask
+    done;
+    if table.(!i) = key then false
+    else begin
+      table.(!i) <- key;
+      true
+    end
+  in
+  let src = Array.make m 0
+  and dst = Array.make m 0
+  and wgt = Array.make m 0 in
+  let count = ref 0 in
+  let accept u v =
+    if u <> v then begin
+      let key = (min u v lsl scale) lor max u v in
+      if add_new key then begin
+        src.(!count) <- u;
+        dst.(!count) <- v;
+        wgt.(!count) <- uniform rng ew_range;
+        incr count
+      end
+    end
+  in
   let draw_edge () =
     let u = ref 0 and v = ref 0 in
     for _ = 1 to scale do
@@ -116,27 +158,18 @@ let rmat ?(vw_range = (1, 1)) ?(ew_range = (1, 1))
      requests cannot loop forever on an unlucky distribution. *)
   let attempts = ref 0 in
   let max_attempts = 100 * m in
-  while Hashtbl.length present < m && !attempts < max_attempts do
+  while !count < m && !attempts < max_attempts do
     incr attempts;
     let u, v = draw_edge () in
-    let key = (min u v, max u v) in
-    if u <> v && not (Hashtbl.mem present key) then begin
-      Hashtbl.add present key ();
-      Edge_list.add el u v (uniform rng ew_range)
-    end
+    accept u v
   done;
   (* Top up with uniform pairs if the skewed sampler stalls (rare, dense
      corner); keeps the edge count exact. *)
-  while Hashtbl.length present < m do
-    let u = Random.State.int rng n and v = Random.State.int rng n in
-    let key = (min u v, max u v) in
-    if u <> v && not (Hashtbl.mem present key) then begin
-      Hashtbl.add present key ();
-      Edge_list.add el u v (uniform rng ew_range)
-    end
+  while !count < m do
+    accept (Random.State.int rng n) (Random.State.int rng n)
   done;
   let vwgt = Array.init n (fun _ -> uniform rng vw_range) in
-  Wgraph.build ~vwgt el
+  Wgraph.of_soa_edges ~vwgt n ~src ~dst ~wgt
 
 let random_partitionable rng ~n ~k =
   if k < 1 || n < 2 * k then

@@ -49,8 +49,14 @@ val rmat :
     heavy-tailed degree distributions of real communication graphs. Self
     loops and duplicates are rejected; isolated nodes may remain (pass the
     result through your own connectivity check if that matters).
-    @raise Invalid_argument when [scale < 1], probabilities do not sum to
-    ~1, or [m] exceeds the simple-graph bound. *)
+
+    Generation is streaming-friendly: edges land in exact-size SoA arrays
+    and distinctness uses an open-addressing set of packed int keys, so
+    no intermediate structure exceeds the final CSR — million-node
+    instances for the streaming-partitioner benchmarks build in a few
+    graph-sizes of memory.
+    @raise Invalid_argument when [scale] is outside [1..31], probabilities
+    do not sum to ~1, or [m] exceeds the simple-graph bound. *)
 
 val random_partitionable :
   Random.State.t ->

