@@ -1,0 +1,426 @@
+(* Snapshot comparison for the BENCH_*.json records: a minimal JSON
+   reader (the container ships no JSON library, and the records are
+   machine-written by this repo, so the subset below is the whole
+   grammar they use) plus a rule table mapping dotted paths to
+   per-row regression thresholds.
+
+   A rule names a path into the document — object fields separated by
+   dots, [*] fanning out over every element of an array (elements are
+   re-identified in the other snapshot by their "name" field when they
+   have one, by position otherwise) — and a direction:
+
+   - [Lower_better]  (times, cuts, violations): the current value may
+     not exceed baseline * (1 + pct/100) + abs;
+   - [Higher_better] (speedups, throughput): symmetric, downward;
+   - [Max_abs tol]: |current - baseline| must stay within [tol];
+   - [Must_stay_true]: a structural boolean (bit-identity, determinism
+     across jobs, feasibility) that regresses the moment it is false —
+     unless the baseline already had it false, which is recorded but
+     not charged to the change under test.
+
+   A path missing on either side is skipped, not failed: rows are
+   added to the records over time and an old baseline must not brick
+   the gate. A snapshot that does not parse is an [Error], which the
+   CLI turns into exit 2 (broken setup) as opposed to exit 1 (honest
+   regression). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect ch =
+    match peek () with
+    | Some c when c = ch -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" ch)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' ->
+          Buffer.add_char b '\n';
+          advance ();
+          go ()
+        | Some 't' ->
+          Buffer.add_char b '\t';
+          advance ();
+          go ()
+        | Some 'r' ->
+          Buffer.add_char b '\r';
+          advance ();
+          go ()
+        | Some 'b' ->
+          Buffer.add_char b '\b';
+          advance ();
+          go ()
+        | Some 'f' ->
+          Buffer.add_char b '\012';
+          advance ();
+          go ()
+        | Some 'u' ->
+          (* The records are pure ASCII; pass the escape through
+             verbatim rather than transcoding. *)
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          Buffer.add_string b (String.sub s (!pos - 1) 6);
+          pos := !pos + 5;
+          go ()
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+        | None -> fail "unterminated escape")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rules.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type direction =
+  | Lower_better of { pct : float; abs : float }
+  | Higher_better of { pct : float; abs : float }
+  | Max_abs of float
+  | Must_stay_true
+
+type rule = { path : string; dir : direction }
+
+type status = Pass | Regression | Skipped
+
+type row = {
+  rule : rule;
+  concrete : string;  (** the path with [*] resolved, for reporting *)
+  status : status;
+  detail : string;
+}
+
+(* Expand a dotted path against [j], fanning [*] out over arrays (and,
+   for symmetry, over every field of an object). Array elements carry
+   the "name" field they were matched under, so the same logical row is
+   re-found in the other snapshot even if its position moved. *)
+type step = Field of string | Elem of int * string option
+
+let expand path j =
+  let segs = String.split_on_char '.' path in
+  let rec go j rev_steps = function
+    | [] -> [ (List.rev rev_steps, j) ]
+    | "*" :: rest -> (
+      match j with
+      | Arr items ->
+        List.concat
+          (List.mapi
+             (fun i item ->
+               let nm =
+                 match member "name" item with
+                 | Some (Str s) -> Some s
+                 | _ -> None
+               in
+               go item (Elem (i, nm) :: rev_steps) rest)
+             items)
+      | Obj fields ->
+        List.concat
+          (List.map
+             (fun (k, v) -> go v (Field k :: rev_steps) rest)
+             fields)
+      | _ -> [])
+    | seg :: rest -> (
+      match member seg j with
+      | Some v -> go v (Field seg :: rev_steps) rest
+      | None -> [])
+  in
+  go j [] segs
+
+let resolve steps j =
+  let rec go j = function
+    | [] -> Some j
+    | Field f :: rest -> Option.bind (member f j) (fun v -> go v rest)
+    | Elem (i, nm) :: rest -> (
+      match j with
+      | Arr items -> (
+        let picked =
+          match nm with
+          | Some name ->
+            List.find_opt
+              (fun item -> member "name" item = Some (Str name))
+              items
+          | None -> List.nth_opt items i
+        in
+        match picked with Some v -> go v rest | None -> None)
+      | _ -> None)
+  in
+  go j steps
+
+let concrete_of_steps steps =
+  String.concat "."
+    (List.map
+       (function
+         | Field f -> f
+         | Elem (_, Some nm) -> Printf.sprintf "[%s]" nm
+         | Elem (i, None) -> Printf.sprintf "[%d]" i)
+       steps)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_numeric rule base cur =
+  let fmt = Printf.sprintf in
+  match rule.dir with
+  | Lower_better { pct; abs } ->
+    let limit = (base *. (1. +. (pct /. 100.))) +. abs in
+    if cur > limit then
+      (Regression, fmt "%.6g > allowed %.6g (baseline %.6g)" cur limit base)
+    else (Pass, fmt "%.6g vs baseline %.6g" cur base)
+  | Higher_better { pct; abs } ->
+    let limit = (base *. (1. -. (pct /. 100.))) -. abs in
+    if cur < limit then
+      (Regression, fmt "%.6g < allowed %.6g (baseline %.6g)" cur limit base)
+    else (Pass, fmt "%.6g vs baseline %.6g" cur base)
+  | Max_abs tol ->
+    if Float.abs (cur -. base) > tol then
+      (Regression, fmt "|%.6g - %.6g| > %.6g" cur base tol)
+    else (Pass, fmt "%.6g vs baseline %.6g" cur base)
+  | Must_stay_true -> (Skipped, "boolean rule on numeric value")
+
+let check_rule rule ~baseline ~current =
+  let targets = expand rule.path baseline in
+  if targets = [] then
+    [
+      {
+        rule;
+        concrete = rule.path;
+        status = Skipped;
+        detail = "path absent from baseline";
+      };
+    ]
+  else
+    List.map
+      (fun (steps, bval) ->
+        let concrete = concrete_of_steps steps in
+        match resolve steps current with
+        | None ->
+          { rule; concrete; status = Skipped;
+            detail = "path absent from current" }
+        | Some cval -> (
+          match (rule.dir, bval, cval) with
+          | Must_stay_true, Bool true, Bool true ->
+            { rule; concrete; status = Pass; detail = "true" }
+          | Must_stay_true, Bool true, _ ->
+            { rule; concrete; status = Regression;
+              detail = "was true in baseline, not true now" }
+          | Must_stay_true, _, _ ->
+            { rule; concrete; status = Skipped;
+              detail = "not true in baseline" }
+          | _, Num b, Num c ->
+            let status, detail = check_numeric rule b c in
+            { rule; concrete; status; detail }
+          | _, _, _ ->
+            { rule; concrete; status = Skipped;
+              detail = "non-numeric value" }))
+      targets
+
+let compare_snapshots ~rules ~baseline ~current =
+  List.concat_map (fun r -> check_rule r ~baseline ~current) rules
+
+let has_regression rows =
+  List.exists (fun r -> r.status = Regression) rows
+
+(* ------------------------------------------------------------------ *)
+(* Built-in rule tables, keyed by the snapshot's "schema" field.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural rows (cuts, violations, determinism, bit-identity) are
+   seeded-deterministic and machine-independent, so they get tight
+   thresholds; wall-clock rows vary with the host and only get loose
+   advisory bounds. *)
+let lower ?(pct = 0.) ?(abs = 0.) path =
+  { path; dir = Lower_better { pct; abs } }
+
+let higher ?(pct = 0.) ?(abs = 0.) path =
+  { path; dir = Higher_better { pct; abs } }
+
+let stay_true path = { path; dir = Must_stay_true }
+
+let smoke_rules =
+  [
+    lower ~pct:5. ~abs:2. "fm_600.refine_cut";
+    lower "fm_600.refine_violation";
+    higher ~pct:60. ~abs:0.5 "fm_600.fm_pass_speedup";
+    stay_true "refine_4k.same_goodness";
+    lower ~pct:5. ~abs:2. "refine_4k.cut";
+    lower "refine_4k.violation";
+    higher ~pct:60. ~abs:0.5 "refine_4k.speedup";
+    stay_true "coarsen_4k.bit_identical";
+    higher ~pct:50. "coarsen_4k.alloc_ratio";
+    stay_true "obs_overhead.same_partition";
+    lower ~abs:6. "obs_overhead.overhead_pct";
+    lower ~abs:6. "obs_overhead.metrics_overhead_pct";
+    stay_true "vcycles_5.deterministic_across_jobs";
+    stay_true "stream_20k.deterministic_across_jobs";
+    lower ~pct:10. ~abs:5. "stream_20k.stream_cut";
+    lower "stream_20k.stream_violation";
+    lower ~pct:10. ~abs:5. "hybrid_20k.hybrid_cut";
+    higher ~pct:60. "ingest_8k.mb_per_s";
+  ]
+
+let partition_rules =
+  [
+    lower ~pct:5. ~abs:2. "instances.*.cut";
+    stay_true "instances.*.feasible";
+    lower ~pct:100. ~abs:0.05 "instances.*.runtime_s";
+    higher ~pct:60. ~abs:1. "fm_5k.fm_pass_speedup";
+    lower ~pct:5. ~abs:2. "fm_5k.refine_cut";
+    stay_true "refine_50k.same_goodness";
+    higher ~pct:60. ~abs:0.5 "refine_50k.speedup";
+    stay_true "coarsen_50k.bit_identical";
+    higher ~pct:50. "coarsen_50k.alloc_ratio";
+    stay_true "vcycles_20.deterministic_across_jobs";
+    stay_true "vcycles_20.gated_small.deterministic_across_jobs";
+    stay_true "obs_overhead.same_partition";
+    lower ~abs:6. "obs_overhead.overhead_pct";
+    lower ~abs:6. "obs_overhead.metrics_overhead_pct";
+    stay_true "stream_1m.converged";
+    lower "stream_1m.violation";
+    stay_true "stream_200k.deterministic_across_jobs";
+    lower ~pct:25. ~abs:0.5 "stream_200k.cut_ratio";
+    lower ~pct:25. ~abs:0.5 "hybrid_200k.cut_ratio";
+    higher ~pct:60. "ingest_131k.mb_per_s";
+  ]
+
+let rules_for_schema = function
+  | "ppnpart-bench-smoke/1" -> Some smoke_rules
+  | "ppnpart-bench-partition/5" | "ppnpart-bench-partition/6" ->
+    Some partition_rules
+  | _ -> None
+
+let schema_of j =
+  match member "schema" j with Some (Str s) -> Some s | _ -> None

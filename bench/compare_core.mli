@@ -1,0 +1,65 @@
+(** Rule-driven comparison of two BENCH_*.json snapshots.
+
+    Backs the [compare.exe] CLI behind the [@bench-compare] alias: a
+    minimal JSON reader (the records are machine-written by
+    [bench/main.ml]; no external JSON dependency) plus per-row
+    regression thresholds keyed by dotted paths. Structural rows
+    (cuts, determinism booleans) are seeded-deterministic across
+    machines and gate tightly; wall-clock rows get loose advisory
+    bounds. Paths missing from either snapshot are skipped so an old
+    baseline never bricks the gate. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+(** Parse one JSON document. [Error msg] carries a byte offset. *)
+
+val member : string -> json -> json option
+(** Field lookup; [None] on non-objects. *)
+
+type direction =
+  | Lower_better of { pct : float; abs : float }
+      (** current may not exceed baseline * (1 + pct/100) + abs *)
+  | Higher_better of { pct : float; abs : float }
+      (** current may not fall below baseline * (1 - pct/100) - abs *)
+  | Max_abs of float  (** |current - baseline| must stay within *)
+  | Must_stay_true
+      (** boolean row; regression the moment a baseline-true value is
+          no longer true *)
+
+type rule = { path : string; dir : direction }
+(** [path] is dot-separated; a [*] segment fans out over every array
+    element (re-identified in the other snapshot by its "name" field
+    when present, by position otherwise). *)
+
+type status = Pass | Regression | Skipped
+
+type row = {
+  rule : rule;
+  concrete : string;
+  status : status;
+  detail : string;
+}
+
+val compare_snapshots :
+  rules:rule list -> baseline:json -> current:json -> row list
+
+val has_regression : row list -> bool
+
+val lower : ?pct:float -> ?abs:float -> string -> rule
+val higher : ?pct:float -> ?abs:float -> string -> rule
+val stay_true : string -> rule
+
+val smoke_rules : rule list
+val partition_rules : rule list
+
+val rules_for_schema : string -> rule list option
+(** Built-in rule table for a snapshot's "schema" value, if known. *)
+
+val schema_of : json -> string option

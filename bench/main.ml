@@ -19,6 +19,43 @@ let out_dir = "bench_out"
 let ensure_out_dir () =
   if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755
 
+(* Strip all whitespace outside string literals: a pretty-printed JSON
+   document becomes one line, suitable for a JSONL history file. *)
+let minify_json s =
+  let b = Buffer.create (String.length s) in
+  let in_str = ref false and escaped = ref false in
+  String.iter
+    (fun ch ->
+      if !in_str then begin
+        Buffer.add_char b ch;
+        if !escaped then escaped := false
+        else if ch = '\\' then escaped := true
+        else if ch = '"' then in_str := false
+      end
+      else
+        match ch with
+        | ' ' | '\t' | '\n' | '\r' -> ()
+        | '"' ->
+          in_str := true;
+          Buffer.add_char b ch
+        | _ -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+(* Every JSON snapshot rewrite also appends its minified form to
+   [bench_out/history/<name>.jsonl], so the perf trajectory across PRs
+   survives the snapshot being overwritten in place. *)
+let append_history name json =
+  ensure_out_dir ();
+  let dir = Filename.concat out_dir "history" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".jsonl") in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (minify_json json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  appended %s\n" path
+
 let section title =
   Printf.printf "\n==== %s ====\n\n%!" title
 
@@ -739,18 +776,34 @@ let obs_overhead ?(reps = 9) () =
   let run_on () =
     Ppnpart_obs.Obs.with_capture (fun () -> Gp.partition ~config g c)
   in
-  let r_off = ref (run_off ()) and r_on = ref (run_on ()) (* warm-up *) in
-  let offs = Array.make reps 0. and ons = Array.make reps 0. in
+  (* Third variant: the metrics registry (counters, histograms, GC
+     deltas around every phase) installed, trace capture absent — the
+     --metrics-out / --report-json configuration. *)
+  let run_met () =
+    Ppnpart_obs.Metrics_registry.install ();
+    let r = Gp.partition ~config g c in
+    ignore (Ppnpart_obs.Metrics_registry.finish ());
+    r
+  in
+  let r_off = ref (run_off ())
+  and r_on = ref (run_on ())
+  and r_met = ref (run_met ()) (* warm-up *) in
+  let offs = Array.make reps 0.
+  and ons = Array.make reps 0.
+  and mets = Array.make reps 0. in
   for i = 0 to reps - 1 do
     let t0 = Unix.gettimeofday () in
     r_off := run_off ();
     let t1 = Unix.gettimeofday () in
     r_on := run_on ();
     let t2 = Unix.gettimeofday () in
+    r_met := run_met ();
+    let t3 = Unix.gettimeofday () in
     offs.(i) <- t1 -. t0;
-    ons.(i) <- t2 -. t1
+    ons.(i) <- t2 -. t1;
+    mets.(i) <- t3 -. t2
   done;
-  let r_off = !r_off and r_on, _cap = !r_on in
+  let r_off = !r_off and r_on, _cap = !r_on and r_met = !r_met in
   (* Each side repeats the same deterministic computation, so its
      minimum converges on the noise-free floor; the floors' ratio is the
      honest overhead. The true overhead is nonnegative (enabled does
@@ -758,15 +811,19 @@ let obs_overhead ?(reps = 9) () =
      below the noise floor and is clamped to 0 rather than recorded as a
      nonsense speedup. *)
   let disabled_s = Array.fold_left min infinity offs
-  and enabled_s = Array.fold_left min infinity ons in
-  let overhead_pct =
-    Float.max 0. ((enabled_s -. disabled_s) /. disabled_s *. 100.)
+  and enabled_s = Array.fold_left min infinity ons
+  and metrics_enabled_s = Array.fold_left min infinity mets in
+  let pct_over v =
+    Float.max 0. ((v -. disabled_s) /. disabled_s *. 100.)
   in
+  let overhead_pct = pct_over enabled_s in
+  let metrics_overhead_pct = pct_over metrics_enabled_s in
   Printf.sprintf
     {|{ "disabled_s": %.4f, "enabled_s": %.4f, "overhead_pct": %.2f,
+      "metrics_enabled_s": %.4f, "metrics_overhead_pct": %.2f,
       "same_partition": %b }|}
-    disabled_s enabled_s overhead_pct
-    (r_off.Gp.part = r_on.Gp.part)
+    disabled_s enabled_s overhead_pct metrics_enabled_s metrics_overhead_pct
+    (r_off.Gp.part = r_on.Gp.part && r_off.Gp.part = r_met.Gp.part)
 
 (* ------------------------------------------------------------------ *)
 (* Streaming partitioner: the O(edges) path vs the multilevel V-cycle. *)
@@ -982,7 +1039,7 @@ let bench_json () =
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-partition/5",
+  "schema": "ppnpart-bench-partition/6",
   "generated_unix": %.0f,
   "instances": [
 %s
@@ -1006,7 +1063,8 @@ let bench_json () =
   let path = Filename.concat out_dir "BENCH_partition.json" in
   Graph_io.write_file path json;
   print_string json;
-  Printf.printf "  wrote %s\n" path
+  Printf.printf "  wrote %s\n" path;
+  append_history "partition" json
 
 (* ------------------------------------------------------------------ *)
 (* Smoke: the micro-benchmarks at shrunk sizes, for CI.                 *)
@@ -1068,6 +1126,57 @@ let smoke () =
          stream_cut ml_cut);
   let ingest_row = ingest_bench ~scale:13 ~reps:2 in
   Printf.printf "  ingest_8k: %s\n%!" ingest_row
+
+(* The smoke rows, machine-readable: the shrunk-size counterpart of
+   BENCH_partition.json, cheap enough to regenerate on a CI runner.
+   Every row is produced by the same measurement code as the full
+   record; the structural fields (cuts, violations, determinism and
+   bit-identity booleans) are seeded-deterministic and therefore
+   machine-independent, which is what `compare.exe` keys its tight
+   thresholds on — the timing fields only get loose advisory bounds. *)
+let bench_json_smoke () =
+  section "Machine-readable smoke record (BENCH_smoke.json)";
+  ensure_out_dir ();
+  let _, _, fm_row = fm_bench ~n:600 ~m:2400 ~k:4 in
+  let refine_row, _, _ = refine_bench ~n:4_000 ~k:8 () in
+  let coarsen_row = coarsen_bench ~n:4_000 ~m:16_000 in
+  let obs_row = obs_overhead ~reps:3 () in
+  let g, c = vcycle_instance ~layers:20 ~width:10 in
+  let r1, t1, r4, t4 = vcycle_pair ~reps:1 ~max_cycles:5 g c in
+  let vc_row =
+    Printf.sprintf
+      {|{ "jobs1_s": %.4f, "jobs4_s": %.4f, "cycles_used": %d,
+      "deterministic_across_jobs": %b }|}
+      t1 t4 r1.Gp.cycles_used
+      (r1.Gp.part = r4.Gp.part)
+  in
+  let stream_row, hybrid_row, _, _, _, _ =
+    mode_bench ~n_target:20_000 ~reps:2
+  in
+  let ingest_row = ingest_bench ~scale:13 ~reps:2 in
+  let json =
+    Printf.sprintf
+      {|{
+  "schema": "ppnpart-bench-smoke/1",
+  "generated_unix": %.0f,
+  "fm_600": %s,
+  "refine_4k": %s,
+  "coarsen_4k": %s,
+  "obs_overhead": %s,
+  "vcycles_5": %s,
+  "stream_20k": %s,
+  "hybrid_20k": %s,
+  "ingest_8k": %s
+}
+|}
+      (Unix.time ()) fm_row refine_row coarsen_row obs_row vc_row stream_row
+      hybrid_row ingest_row
+  in
+  let path = Filename.concat out_dir "BENCH_smoke.json" in
+  Graph_io.write_file path json;
+  print_string json;
+  Printf.printf "  wrote %s\n" path;
+  append_history "smoke" json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
@@ -1148,6 +1257,7 @@ let () =
       ("ablation-kwayfm", ablation_kwayfm);
       ("scaling", scaling);
       ("json", bench_json);
+      ("json-smoke", bench_json_smoke);
       ("smoke", smoke);
       ("timing", timing);
       ("all", all);

@@ -167,6 +167,67 @@ let trace_jsonl_arg =
           "Profile the run and write the raw event stream as JSON lines \
            to $(docv).")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Collect run metrics (counters, gauges, per-phase latency and \
+           GC/allocation histograms) and write them in OpenMetrics/\
+           Prometheus text format to $(docv). Metric values are identical \
+           for every $(b,--jobs) value.")
+
+let report_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a consolidated machine-readable run report to $(docv): \
+           partition quality (cut, pairwise bandwidth matrix, Bmax/Rmax \
+           excess, per-part loads, imbalance) plus per-phase wall time, \
+           latency quantiles and GC deltas.")
+
+let det_report_arg =
+  Arg.(
+    value & flag
+    & info [ "deterministic-report" ]
+        ~doc:
+          "Render $(b,--report-json) in deterministic mode: spans are \
+           timed on the logical event clock and every field whose value \
+           depends on the schedule or heap history (wall seconds, \
+           collection counts, promoted/major words, heap sizes) is \
+           dropped, so the report is byte-identical for every \
+           $(b,--jobs) value. Traces written alongside use the logical \
+           clock too.")
+
+(* Output files land wherever the user pointed the flag; create missing
+   parent directories, and turn the remaining failures (permissions,
+   path is a directory, ...) into a CLI error naming the flag instead
+   of an uncaught Sys_error. *)
+let rec mkdirs dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let with_output ~flag path f =
+  (try
+     mkdirs (Filename.dirname path);
+     f path
+   with
+  | Sys_error msg ->
+    Printf.eprintf "ppnpart: %s %s: %s\n" flag path msg;
+    exit 2
+  | Unix.Unix_error (e, _, arg) ->
+    Printf.eprintf "ppnpart: %s %s: %s%s\n" flag path (Unix.error_message e)
+      (if arg = "" then "" else " (" ^ arg ^ ")");
+    exit 2);
+  Printf.printf "wrote %s\n" path
+
 let stats_arg =
   Arg.(
     value & flag
@@ -208,17 +269,31 @@ let resolve_input input paper seed =
 
 let partition_cmd =
   let run () input paper seed jobs k bmax rmax algo mode stream_iterations
-      dot save trace_out trace_jsonl stats check =
+      dot save trace_out trace_jsonl metrics_out report_json det_report
+      stats check =
     match resolve_input input paper seed with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
     | Ok g ->
       let c = Types.constraints ~k ~bmax ~rmax in
-      let tracing = trace_out <> None || trace_jsonl <> None || stats in
-      if tracing then Ppnpart_obs.Obs.install ();
+      (* Deterministic reports need span durations measured on the
+         logical event clock, which lives in the trace buffers — so the
+         flag implies a capture even when no trace file was asked for. *)
+      let tracing =
+        trace_out <> None || trace_jsonl <> None || stats || det_report
+      in
+      let metrics = metrics_out <> None || report_json <> None in
+      if tracing then
+        Ppnpart_obs.Obs.install
+          ~clock:
+            (if det_report then Ppnpart_obs.Obs.Logical
+             else Ppnpart_obs.Obs.Wall)
+          ();
+      if metrics then Ppnpart_obs.Metrics_registry.install ();
       (* The report is computed exactly once per run: GP already returns
          one, the other algorithms build theirs from their own timing. *)
+      let gp_result = ref None in
       let name, part, report =
         let t0 = Unix.gettimeofday () in
         let rng = Random.State.make [| seed |] in
@@ -232,6 +307,7 @@ let partition_cmd =
             }
           in
           let r = Ppnpart_core.Gp.partition ~config g c in
+          gp_result := Some r;
           let name =
             match mode with
             | Ppnpart_core.Config.Multilevel -> "GP"
@@ -265,6 +341,9 @@ let partition_cmd =
             exit 3)
       in
       let capture = if tracing then Ppnpart_obs.Obs.finish () else None in
+      let snapshot =
+        if metrics then Ppnpart_obs.Metrics_registry.finish () else None
+      in
       print_string
         (Ppnpart_core.Report.table
            ~title:(Printf.sprintf "%s on %s" name (Wgraph.summary g))
@@ -275,29 +354,56 @@ let partition_cmd =
       print_newline ();
       Option.iter
         (fun path ->
-          Graph_io.write_file path (Graph_io.to_dot ~partition:part g);
-          Printf.printf "wrote %s\n" path)
+          with_output ~flag:"--dot" path (fun path ->
+              Graph_io.write_file path (Graph_io.to_dot ~partition:part g)))
         dot;
       Option.iter
         (fun path ->
-          Partition_io.save path ~k part;
-          Printf.printf "wrote %s\n" path)
+          with_output ~flag:"--save" path (fun path ->
+              Partition_io.save path ~k part))
         save;
       Option.iter
         (fun cap ->
           Option.iter
             (fun path ->
-              Graph_io.write_file path (Ppnpart_obs.Trace_export.to_chrome cap);
-              Printf.printf "wrote %s\n" path)
+              with_output ~flag:"--trace-out" path (fun path ->
+                  Graph_io.write_file path
+                    (Ppnpart_obs.Trace_export.to_chrome cap)))
             trace_out;
           Option.iter
             (fun path ->
-              Graph_io.write_file path (Ppnpart_obs.Trace_export.to_jsonl cap);
-              Printf.printf "wrote %s\n" path)
+              with_output ~flag:"--trace-jsonl" path (fun path ->
+                  Graph_io.write_file path
+                    (Ppnpart_obs.Trace_export.to_jsonl cap)))
             trace_jsonl;
           if stats then
             Format.printf "@.%a" Ppnpart_obs.Trace_export.pp_stats cap)
         capture;
+      Option.iter
+        (fun path ->
+          let snap =
+            Option.value ~default:Ppnpart_obs.Metrics_registry.empty_snapshot
+              snapshot
+          in
+          with_output ~flag:"--metrics-out" path (fun path ->
+              Graph_io.write_file path
+                (Ppnpart_obs.Trace_export.to_openmetrics snap)))
+        metrics_out;
+      Option.iter
+        (fun path ->
+          let json =
+            match !gp_result with
+            | Some r ->
+              Ppnpart_core.Run_report.of_result ~deterministic:det_report
+                ~algo:name ?snapshot g c r
+            | None ->
+              Ppnpart_core.Run_report.to_json ~deterministic:det_report
+                ~algo:name ~runtime_s:report.Metrics.runtime_s ?snapshot g c
+                part
+          in
+          with_output ~flag:"--report-json" path (fun path ->
+              Graph_io.write_file path (json ^ "\n")))
+        report_json;
       if report.Metrics.bandwidth_ok && report.Metrics.resource_ok then 0
       else 4
   in
@@ -306,7 +412,8 @@ let partition_cmd =
       const run $ setup_logs_term $ input_arg $ paper_arg $ seed_arg
       $ jobs_arg $ k_arg $ bmax_arg $ rmax_arg $ algo_arg $ mode_arg
       $ stream_iterations_arg $ dot_arg $ save_arg $ trace_out_arg
-      $ trace_jsonl_arg $ stats_arg $ check_arg)
+      $ trace_jsonl_arg $ metrics_out_arg $ report_json_arg
+      $ det_report_arg $ stats_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "partition"

@@ -25,7 +25,14 @@ module Log = (val Logs.src_log src : Logs.LOG)
    (randomly)" of the cyclic scheme (Section IV.C) — a uniformly random
    assignment; the refined candidate of better goodness descends. *)
 let descend (cfg : Config.t) ?workspace ~jobs rng hierarchy c =
-  Ppnpart_obs.Span.with_ "gp.descend" @@ fun () ->
+  Ppnpart_obs.Span.phase
+    ~args:(fun () ->
+      let coarsest = Coarsen.coarsest hierarchy in
+      [ ("levels", Ppnpart_obs.Obs.Int (Coarsen.levels hierarchy));
+        ("coarsest_nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes coarsest));
+        ("coarsest_edges", Ppnpart_obs.Obs.Int (Wgraph.n_edges coarsest)) ])
+    "gp.descend"
+  @@ fun () ->
   let checking = Ppnpart_check.Check.enabled () in
   let ws =
     match workspace with Some w -> w | None -> Workspace.create ()
@@ -62,8 +69,12 @@ let descend (cfg : Config.t) ?workspace ~jobs rng hierarchy c =
      labels — the refinement itself then runs in place on the state. *)
   let st = ref (Part_state.init ~workspace:ws coarsest c seed_part) in
   for level = Coarsen.levels hierarchy - 2 downto 0 do
-    Ppnpart_obs.Span.with_
-      ~args:(fun () -> [ ("level", Ppnpart_obs.Obs.Int level) ])
+    let fine_g = Coarsen.graph_at hierarchy level in
+    Ppnpart_obs.Span.phase
+      ~args:(fun () ->
+        [ ("level", Ppnpart_obs.Obs.Int level);
+          ("nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes fine_g));
+          ("edges", Ppnpart_obs.Obs.Int (Wgraph.n_edges fine_g)) ])
       "gp.uncoarsen"
       (fun () ->
         let map = hierarchy.Coarsen.maps.(level) in
@@ -107,7 +118,7 @@ let descend (cfg : Config.t) ?workspace ~jobs rng hierarchy c =
    themselves. *)
 let run_cycle (cfg : Config.t) ?workspace g (c : Types.constraints)
     base_hierarchy i =
-  Ppnpart_obs.Span.with_result
+  Ppnpart_obs.Span.phase_result
     ~args:(fun () -> [ ("cycle", Ppnpart_obs.Obs.Int i) ])
     ~result:(fun (_, (gd : Metrics.goodness), from_level) ->
       [ ("from_level", Ppnpart_obs.Obs.Int from_level);
@@ -204,7 +215,7 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
   Config.validate config;
   (* No jobs-dependent attribute may appear here: the exported trace is
      documented to be identical for every job count. *)
-  Ppnpart_obs.Span.with_result
+  Ppnpart_obs.Span.phase_result
     ~args:(fun () ->
       [ ("nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes g));
         ("edges", Ppnpart_obs.Obs.Int (Wgraph.n_edges g));
@@ -222,13 +233,16 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
   let rng = Random.State.make [| config.Config.seed; 0x6770 |] in
   let n = Wgraph.n_nodes g in
   let finish ?(history = []) part cycles levels =
-    let goodness = Metrics.goodness g c part in
+    (* One quality pass feeds goodness and the report; the same record
+       backs the CLI tables and the run report downstream. *)
+    let q = Metrics.quality g c part in
+    let goodness = Metrics.goodness_of_quality c q in
     let runtime_s = Unix.gettimeofday () -. t0 in
     {
       part;
       feasible = goodness.Metrics.violation = 0;
       goodness;
-      report = Metrics.report ~runtime_s g c part;
+      report = Metrics.report_of_quality ~runtime_s q;
       cycles_used = cycles;
       levels;
       runtime_s;

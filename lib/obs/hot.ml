@@ -1,0 +1,26 @@
+(* The single flag every instrumentation site loads first.
+
+   Two observability sinks can be installed independently — the trace
+   capture (event buffers, [Obs]) and the metrics registry
+   ([Metrics_registry]) — but a hot-loop call site must not pay one
+   atomic load per sink when both are off. [active] is the OR of the two
+   installation states, maintained on (un)install, so the disabled path
+   of every site is exactly one load and one branch. *)
+
+let trace = Atomic.make false
+let metrics = Atomic.make false
+let any = Atomic.make false
+
+let refresh () = Atomic.set any (Atomic.get trace || Atomic.get metrics)
+
+let set_trace v =
+  Atomic.set trace v;
+  refresh ()
+
+let set_metrics v =
+  Atomic.set metrics v;
+  refresh ()
+
+let[@inline] active () = Atomic.get any
+let[@inline] trace_active () = Atomic.get trace
+let[@inline] metrics_active () = Atomic.get metrics

@@ -1,0 +1,29 @@
+(** The shared fast-path flag of the observability subsystem.
+
+    Instrumentation sites ({!Span}, {!Counters}) check {!active} — one
+    atomic load — before touching any sink-specific state, so a build
+    with neither tracing nor metrics installed pays a single predictable
+    branch per site. The per-sink flags exist for the slow path only:
+    once [active] passed, a site consults {!trace_active} /
+    {!metrics_active} to decide which sinks to feed.
+
+    Maintained by {!Obs.install}/{!Obs.finish} and
+    {!Metrics_registry.install}/{!Metrics_registry.finish}; not meant
+    for application code. *)
+
+val active : unit -> bool
+(** Whether any sink is installed — one atomic load. *)
+
+val trace_active : unit -> bool
+(** Whether a trace capture is installed. *)
+
+val metrics_active : unit -> bool
+(** Whether a metrics registry is installed. *)
+
+val set_trace : bool -> unit
+(** Record the trace capture's installation state and refresh
+    {!active}. Main-domain operation. *)
+
+val set_metrics : bool -> unit
+(** Record the metrics registry's installation state and refresh
+    {!active}. Main-domain operation. *)

@@ -48,15 +48,14 @@ let events buf = List.rev buf.rev_events
    worker domains only ever see buffers handed to them via {!in_task}. *)
 let installed : capture option Atomic.t = Atomic.make None
 
-(* Single-load fast path for every instrumentation site: true exactly
-   while a capture is installed. Checking this one flag (a plain load on
-   mainstream hardware) before touching domain-local storage is what
-   keeps the disabled pipeline within measurement noise of an
-   uninstrumented build — DLS lookup plus an option branch per site was
-   measurable on the hot refinement loops. *)
-let active_flag : bool Atomic.t = Atomic.make false
-
-let[@inline] active () = Atomic.get active_flag
+(* Single-load fast path for every instrumentation site, shared with the
+   metrics registry via [Hot]: instrumentation checks [Hot.active]
+   first, then this per-sink flag. Keeping the check to one plain load
+   before any domain-local storage access is what keeps the disabled
+   pipeline within measurement noise of an uninstrumented build — DLS
+   lookup plus an option branch per site was measurable on the hot
+   refinement loops. *)
+let[@inline] active () = Hot.trace_active ()
 
 (* Current buffer of this domain, consulted only once [active] passed. *)
 let current : buf option ref Domain.DLS.key =
@@ -67,15 +66,19 @@ let cur () = !(Domain.DLS.get current)
 let enabled () =
   active () && match cur () with None -> false | Some _ -> true
 
+(* True when either sink would record from this domain right now; the
+   guard for instrumentation whose argument computation is not free. *)
+let recording () = enabled () || Metrics_registry.active ()
+
 let install ?(clock = Wall) () =
   let root = make_buf clock in
   Atomic.set installed (Some { root; clock });
   Domain.DLS.get current := Some root;
-  Atomic.set active_flag true
+  Hot.set_trace true
 
 let finish () =
   let cap = Atomic.get installed in
-  Atomic.set active_flag false;
+  Hot.set_trace false;
   Atomic.set installed None;
   Domain.DLS.get current := None;
   cap
@@ -91,30 +94,47 @@ let with_capture ?clock f =
     ignore (finish ());
     raise e
 
-(* --- task groups (the Pool integration) --- *)
+(* --- task groups (the Pool integration) ---
+
+   One group value drives both sinks: per-task trace buffers (when a
+   capture is installed and the caller has a current buffer) and
+   per-task registry shards (when a registry is installed). Bundling
+   them here lets [Exec.Pool] and every [commit ~keep] caller stay
+   sink-agnostic. *)
 
 type group = {
-  parent : buf;
-  bufs : buf array;
+  parent : buf option;
+  bufs : buf array;  (* empty when no capture *)
+  metrics : Metrics_registry.group option;
   mutable committed : bool;
 }
 
 let group n =
-  match cur () with
-  | None -> None
-  | Some parent ->
-    Some
-      {
-        parent;
-        bufs = Array.init n (fun _ -> make_buf parent.clock);
-        committed = false;
-      }
+  let parent = if active () then cur () else None in
+  let metrics = Metrics_registry.group n in
+  match (parent, metrics) with
+  | None, None -> None
+  | _ ->
+    let bufs =
+      match parent with
+      | None -> [||]
+      | Some p -> Array.init n (fun _ -> make_buf p.clock)
+    in
+    Some { parent; bufs; metrics; committed = false }
 
 let in_task g i f =
-  let slot = Domain.DLS.get current in
-  let saved = !slot in
-  slot := Some g.bufs.(i);
-  Fun.protect ~finally:(fun () -> slot := saved) f
+  let run_traced f =
+    if Array.length g.bufs = 0 then f ()
+    else begin
+      let slot = Domain.DLS.get current in
+      let saved = !slot in
+      slot := Some g.bufs.(i);
+      Fun.protect ~finally:(fun () -> slot := saved) f
+    end
+  in
+  match g.metrics with
+  | None -> run_traced f
+  | Some mg -> Metrics_registry.in_task mg i (fun () -> run_traced f)
 
 let commit ?keep g_opt =
   match g_opt with
@@ -122,13 +142,17 @@ let commit ?keep g_opt =
   | Some g ->
     if not g.committed then begin
       g.committed <- true;
-      let n = Array.length g.bufs in
-      let n =
-        match keep with
-        | None -> n
-        | Some k -> if k < 0 then 0 else min k n
-      in
-      for i = 0 to n - 1 do
-        emit g.parent (Child g.bufs.(i))
-      done
+      (match g.parent with
+      | None -> ()
+      | Some parent ->
+        let n = Array.length g.bufs in
+        let n =
+          match keep with
+          | None -> n
+          | Some k -> if k < 0 then 0 else min k n
+        in
+        for i = 0 to n - 1 do
+          emit parent (Child g.bufs.(i))
+        done);
+      Metrics_registry.commit ?keep g.metrics
     end

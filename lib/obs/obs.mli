@@ -59,6 +59,12 @@ val enabled : unit -> bool
     to guard instrumentation whose {e argument computation} is not free
     (e.g. counting matched pairs before a {!Counters.add}). *)
 
+val recording : unit -> bool
+(** Whether any sink — trace buffer or metrics registry — would record
+    from this domain right now. Prefer this over {!enabled} to guard
+    costly argument computation, so metrics-only runs still collect
+    samples. *)
+
 val events : buf -> event list
 (** Events in emission order (consumed by {!Trace_export}). *)
 
@@ -82,18 +88,24 @@ val now : buf -> int
 val emit : buf -> event -> unit
 
 type group
-(** Per-task buffers for one [Pool.run] call. *)
+(** Per-task sinks for one [Pool.run] call: trace buffers when a capture
+    is installed, registry shards ({!Metrics_registry}) when a registry
+    is installed — one value drives both, so the pool and every
+    [commit ~keep] caller stay sink-agnostic. *)
 
 val group : int -> group option
-(** [group n] creates [n] task buffers under the current buffer, or
-    [None] when tracing is off (then the pool runs untouched). *)
+(** [group n] creates [n] task buffers and/or registry shards under the
+    current ones, or [None] when neither sink is active (then the pool
+    runs untouched). *)
 
 val in_task : group -> int -> (unit -> 'a) -> 'a
-(** [in_task g i f] runs [f] with task [i]'s buffer current on the
-    calling domain, restoring the previous buffer afterwards. *)
+(** [in_task g i f] runs [f] with task [i]'s buffer and shard current on
+    the calling domain, restoring the previous ones afterwards. *)
 
 val commit : ?keep:int -> group option -> unit
 (** Attach the first [keep] task buffers (default: all) to the buffer
-    that created the group, in task order. Speculative executions beyond
-    [keep] are discarded so the trace matches the sequential schedule.
-    Idempotent: only the first commit has effect. *)
+    that created the group, in task order, and fold the corresponding
+    registry shards into their parent shard in the same order.
+    Speculative executions beyond [keep] are discarded so trace and
+    metrics match the sequential schedule. Idempotent: only the first
+    commit has effect. *)

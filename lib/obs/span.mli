@@ -4,12 +4,25 @@
     the same domain while its body runs, plus the task buffers of any
     {!Ppnpart_exec.Pool} call it makes. Attribute thunks are only
     evaluated when tracing is on, so instrumentation sites may build
-    argument lists freely without a disabled-mode cost. *)
+    argument lists freely without a disabled-mode cost.
+
+    Every span also feeds the {!Metrics_registry} when one is installed:
+    the duration is observed into the [<name>.us] histogram (reusing the
+    trace timestamps when a capture is present — ticks under the
+    {!Obs.Logical} clock, microseconds otherwise). The {!phase} variants
+    additionally bracket the body with {!Gc_stats.measure} and record
+    per-phase allocation cost ([<name>.minor_words] /
+    [<name>.major_words] / [<name>.promoted_words] histograms,
+    [<name>.{minor,major}_collections] counters, [gc.heap_words] gauge)
+    — into the registry only, never into span args, so traces stay
+    bit-identical across runs whose heap history differs. Use them on
+    top-level phases (partition, descend, cycle, refine, stream), not in
+    hot loops. *)
 
 val with_ : ?args:(unit -> Obs.args) -> string -> (unit -> 'a) -> 'a
 (** [with_ name f] times [f] under a span called [name]. Exceptions
-    close the span (tagged [error=true]) and propagate. When tracing is
-    off this is exactly [f ()]. *)
+    close the span (tagged [error=true]) and propagate. When all
+    observability is off this is exactly [f ()]. *)
 
 val with_result :
   ?args:(unit -> Obs.args) ->
@@ -19,6 +32,17 @@ val with_result :
   'a
 (** Like {!with_}, additionally attaching [result v] as closing
     attributes — e.g. the goodness a V-cycle achieved. *)
+
+val phase : ?args:(unit -> Obs.args) -> string -> (unit -> 'a) -> 'a
+(** {!with_} plus GC/allocation telemetry into the registry. *)
+
+val phase_result :
+  ?args:(unit -> Obs.args) ->
+  result:('a -> Obs.args) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** {!with_result} plus GC/allocation telemetry into the registry. *)
 
 val instant : ?args:(unit -> Obs.args) -> string -> unit
 (** A zero-duration marker event (e.g. which seeding won). *)

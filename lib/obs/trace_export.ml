@@ -156,6 +156,61 @@ let to_jsonl (cap : Obs.capture) =
   walk 0 cap.root;
   Buffer.contents b
 
+(* --- OpenMetrics text format (Prometheus-scrapable) --- *)
+
+let sanitize_metric_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let om_name name = "ppnpart_" ^ sanitize_metric_name name
+
+let om_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_openmetrics (snap : Metrics_registry.snapshot) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = om_name name in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s counter\n%s_total %d\n" n n v))
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = om_name name in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (om_float v)))
+    snap.gauges;
+  List.iter
+    (fun (name, (h : Histogram.snapshot)) ->
+      let n = om_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      Array.iter
+        (fun (i, c) ->
+          cum := !cum + c;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+               (om_float (Histogram.upper_bound i))
+               !cum))
+        h.buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (om_float h.sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.count))
+    snap.histograms;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
 (* --- aggregation --- *)
 
 type agg = {

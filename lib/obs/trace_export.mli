@@ -20,6 +20,27 @@ val to_jsonl : Obs.capture -> string
     [{"ev":"begin"|"end"|"instant"|"count"|"sample"|"task", ...}]; a
     ["task"] line introduces virtual track [vt] under its parent. *)
 
+val to_openmetrics : Metrics_registry.snapshot -> string
+(** The registry snapshot in OpenMetrics text format (Prometheus
+    exposition): counters as [<name>_total], gauges plain, histograms as
+    cumulative [_bucket{le="..."}] series plus [_sum]/[_count],
+    terminated by [# EOF]. Metric names are prefixed [ppnpart_] and
+    sanitized (dots become underscores). Deterministic: metrics appear
+    sorted by name. *)
+
+(** {2 JSON helpers}
+
+    Shared by {!Ppnpart_core.Run_report}; emit compact JSON with the
+    escaping rules of the trace exporters. *)
+
+val json_string : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val json_value : Obs.value -> string
+
+val json_args : Obs.args -> string
+(** An args list as a JSON object. *)
+
 val span_totals : Obs.capture -> (string * int * int) list
 (** [(name, calls, total)] per span name, sorted by descending total
     (ties by name). Totals are in the capture clock's unit:

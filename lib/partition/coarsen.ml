@@ -121,13 +121,15 @@ let build_from ?workspace ?(legacy = false) ?(target = 100) ?strategies
     else begin
       let level = List.length !graphs - 1 in
       let _strategy, coarse, cmap =
-        Ppnpart_obs.Span.with_result
+        Ppnpart_obs.Span.phase_result
           ~args:(fun () ->
             [ ("level", Ppnpart_obs.Obs.Int level);
-              ("nodes", Ppnpart_obs.Obs.Int n) ])
+              ("nodes", Ppnpart_obs.Obs.Int n);
+              ("edges", Ppnpart_obs.Obs.Int (Wgraph.n_edges g)) ])
           ~result:(fun (s, coarse, _) ->
             [ ("strategy", Ppnpart_obs.Obs.Str (Matching.strategy_name s));
-              ("coarse_nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes coarse))
+              ("coarse_nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes coarse));
+              ("coarse_edges", Ppnpart_obs.Obs.Int (Wgraph.n_edges coarse))
             ])
           "coarsen.level"
           (fun () ->
@@ -140,7 +142,7 @@ let build_from ?workspace ?(legacy = false) ?(target = 100) ?strategies
             in
             (strategy, coarse, cmap))
       in
-      if Ppnpart_obs.Obs.enabled () then
+      if Ppnpart_obs.Obs.recording () then
         Ppnpart_obs.Counters.sample "coarsen.ratio"
           (float_of_int (Wgraph.n_nodes coarse) /. float_of_int n);
       let shrunk = n - Wgraph.n_nodes coarse in

@@ -194,7 +194,7 @@ let greedy_resource_growth ?(n_seeds = 10) ?(jobs = 1) rng g
     done;
     let eff_jobs = if n >= parallel_node_threshold then jobs else 1 in
     let results =
-      Ppnpart_obs.Span.with_
+      Ppnpart_obs.Span.phase
         ~args:(fun () ->
           [ ("nodes", Ppnpart_obs.Obs.Int n);
             ("attempts", Ppnpart_obs.Obs.Int n_attempts) ])

@@ -438,7 +438,7 @@ let best_of ?workspace ?(legacy = false) ?(strategies = all_strategies)
                  if legacy then compute_legacy s states.(i) g
                  else compute ?workspace s states.(i) g
                in
-               if Ppnpart_obs.Obs.enabled () then
+               if Ppnpart_obs.Obs.recording () then
                  Ppnpart_obs.Counters.add (pairs_counter s)
                    (count_matched_pairs m);
                (s, m))))

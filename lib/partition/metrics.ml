@@ -60,6 +60,60 @@ let resource_excess g (c : Types.constraints) part =
 let feasible g c part =
   bandwidth_excess g c part = 0 && resource_excess g c part = 0
 
+(* --- one-pass quality record ---
+
+   Everything the evaluation reports, computed from a single bandwidth
+   matrix build and a single load scan. [goodness], [report], the CLI
+   tables, bench and the run report all derive from this one record, so
+   the quantities can never drift apart. *)
+
+type quality = {
+  cut : int;
+  bandwidth : int array array;
+  max_bandwidth : int;
+  bw_excess : int;
+  loads : int array;
+  max_resources : int;
+  res_excess : int;
+  imbalance : float;
+}
+
+let quality g (c : Types.constraints) part =
+  let k = c.Types.k in
+  Types.check_partition ~n:(Wgraph.n_nodes g) ~k part;
+  let m = bandwidth_matrix g ~k part in
+  let cut = ref 0 and max_bw = ref 0 and bw_ex = ref 0 in
+  for p = 0 to k - 1 do
+    for q = p + 1 to k - 1 do
+      let w = m.(p).(q) in
+      cut := !cut + w;
+      if w > !max_bw then max_bw := w;
+      if w > c.Types.bmax then bw_ex := !bw_ex + w - c.Types.bmax
+    done
+  done;
+  let loads = part_resources g ~k part in
+  let max_res = Array.fold_left max 0 loads in
+  let res_ex =
+    Array.fold_left
+      (fun acc r -> if r > c.Types.rmax then acc + r - c.Types.rmax else acc)
+      0 loads
+  in
+  let total = Wgraph.total_node_weight g in
+  let imbalance =
+    if total = 0 then 0.
+    else float_of_int (k * max_res) /. float_of_int total
+  in
+  {
+    cut = !cut;
+    bandwidth = m;
+    max_bandwidth = !max_bw;
+    bw_excess = !bw_ex;
+    loads;
+    max_resources = max_res;
+    res_excess = res_ex;
+    imbalance;
+  }
+
 type goodness = { violation : int; cut_value : int }
 
 (* Any nonzero excess must register as a violation even after integer
@@ -70,10 +124,14 @@ let normalize excess bound =
 let normalized_violation (c : Types.constraints) ~bw_excess ~res_excess =
   normalize bw_excess c.Types.bmax + normalize res_excess c.Types.rmax
 
-let goodness g c part =
-  let bw = normalize (bandwidth_excess g c part) c.Types.bmax in
-  let res = normalize (resource_excess g c part) c.Types.rmax in
-  { violation = bw + res; cut_value = cut g part }
+let goodness_of_quality (c : Types.constraints) q =
+  {
+    violation =
+      normalized_violation c ~bw_excess:q.bw_excess ~res_excess:q.res_excess;
+    cut_value = q.cut;
+  }
+
+let goodness g c part = goodness_of_quality c (quality g c part)
 
 let compare_goodness a b =
   match compare a.violation b.violation with
@@ -92,17 +150,19 @@ type report = {
   runtime_s : float;
 }
 
-let report ?(runtime_s = 0.0) g (c : Types.constraints) part =
+let report_of_quality ?(runtime_s = 0.0) q =
   Ppnpart_obs.Counters.incr "metrics.report";
-  Types.check_partition ~n:(Wgraph.n_nodes g) ~k:c.Types.k part;
   {
-    total_cut = cut g part;
-    max_bandwidth = max_local_bandwidth g ~k:c.Types.k part;
-    max_resources = max_resource g ~k:c.Types.k part;
-    bandwidth_ok = bandwidth_excess g c part = 0;
-    resource_ok = resource_excess g c part = 0;
+    total_cut = q.cut;
+    max_bandwidth = q.max_bandwidth;
+    max_resources = q.max_resources;
+    bandwidth_ok = q.bw_excess = 0;
+    resource_ok = q.res_excess = 0;
     runtime_s;
   }
+
+let report ?runtime_s g (c : Types.constraints) part =
+  report_of_quality ?runtime_s (quality g c part)
 
 let pp_report ppf r =
   let flag ok = if ok then "met" else "VIOLATED" in

@@ -39,6 +39,25 @@ val resource_excess : Wgraph.t -> Types.constraints -> int array -> int
 
 val feasible : Wgraph.t -> Types.constraints -> int array -> bool
 
+(** Everything the evaluation reports, from one pass: a single bandwidth
+    matrix build and load scan. {!goodness}, {!report}, the CLI tables,
+    bench rows and the run report all derive from this record, so the
+    quantities can never drift apart. *)
+type quality = {
+  cut : int;  (** total edge cut *)
+  bandwidth : int array array;  (** [k x k] pairwise bandwidth matrix *)
+  max_bandwidth : int;  (** largest off-diagonal entry *)
+  bw_excess : int;  (** total bandwidth over [bmax], 0 iff ok *)
+  loads : int array;  (** per-part resource sums *)
+  max_resources : int;
+  res_excess : int;  (** total resources over [rmax], 0 iff ok *)
+  imbalance : float;  (** [k * max_resources / total_weight] *)
+}
+
+val quality : Wgraph.t -> Types.constraints -> int array -> quality
+(** Validates the labelling ({!Types.check_partition}) and computes the
+    full quality record. *)
+
 (** Goodness of a candidate clustering. Ordering (smaller = better):
     normalized total violation first — so any feasible partition beats any
     infeasible one — then the cut. Violations are normalized by their bound
@@ -51,6 +70,7 @@ type goodness = {
 }
 
 val goodness : Wgraph.t -> Types.constraints -> int array -> goodness
+val goodness_of_quality : Types.constraints -> quality -> goodness
 val compare_goodness : goodness -> goodness -> int
 
 (** The violation component of {!goodness} from raw excess totals; exposed
@@ -71,5 +91,9 @@ type report = {
 
 val report :
   ?runtime_s:float -> Wgraph.t -> Types.constraints -> int array -> report
+
+val report_of_quality : ?runtime_s:float -> quality -> report
+(** Derive the table record from an already-computed {!quality} (bumps
+    the [metrics.report] counter, like {!report}). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -339,7 +339,7 @@ let exact_fm_pass (st : Part_state.t) =
   Metrics.compare_goodness !best start < 0
 
 let observe_active (st : Part_state.t) n =
-  if st.Part_state.cache && Ppnpart_obs.Obs.enabled () then begin
+  if st.Part_state.cache && Ppnpart_obs.Obs.recording () then begin
     Ppnpart_obs.Counters.add "refine.active.size" st.Part_state.n_active;
     Ppnpart_obs.Counters.sample "refine.active.fraction"
       (float_of_int st.Part_state.n_active /. float_of_int (max 1 n))
@@ -361,7 +361,7 @@ let run_rounds max_passes rng (st : Part_state.t) =
   Debug_hooks.validate ~site:"refine.constrained" st
 
 let refine_state ?(max_passes = 16) rng (st : Part_state.t) =
-  Ppnpart_obs.Span.with_result
+  Ppnpart_obs.Span.phase_result
     ~args:(fun () ->
       [ ("nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes st.Part_state.g));
         ("k", Ppnpart_obs.Obs.Int st.Part_state.c.Types.k) ])
@@ -376,7 +376,7 @@ let refine ?(max_passes = 16) ?workspace ?(legacy = false) rng g
     (c : Types.constraints) part0 =
   let n = Wgraph.n_nodes g in
   let k = c.Types.k in
-  Ppnpart_obs.Span.with_result
+  Ppnpart_obs.Span.phase_result
     ~args:(fun () ->
       [ ("nodes", Ppnpart_obs.Obs.Int n); ("k", Ppnpart_obs.Obs.Int k) ])
     ~result:(fun (_, (gd : Metrics.goodness)) ->

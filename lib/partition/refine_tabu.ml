@@ -4,7 +4,7 @@ let refine ?iterations ?tenure ?stall_limit ?workspace g
     (c : Types.constraints) part0 =
   let n = Wgraph.n_nodes g in
   let k = c.Types.k in
-  Ppnpart_obs.Span.with_result
+  Ppnpart_obs.Span.phase_result
     ~args:(fun () ->
       [ ("nodes", Ppnpart_obs.Obs.Int n); ("k", Ppnpart_obs.Obs.Int k) ])
     ~result:(fun (_, (gd : Metrics.goodness)) ->

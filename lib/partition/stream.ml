@@ -67,7 +67,7 @@ let partition ?workspace ?(max_iterations = default_iterations) g
   let k = c.Types.k in
   let bmax = c.Types.bmax and rmax = c.Types.rmax in
   let ws = match workspace with Some w -> w | None -> Workspace.create () in
-  Ppnpart_obs.Span.with_result
+  Ppnpart_obs.Span.phase_result
     ~args:(fun () ->
       [ ("nodes", Ppnpart_obs.Obs.Int n);
         ("edges", Ppnpart_obs.Obs.Int (Wgraph.n_edges g));
@@ -225,7 +225,7 @@ let partition ?workspace ?(max_iterations = default_iterations) g
     incr it
   done;
   let state_words = n + (k * k) + (3 * k) in
-  if Ppnpart_obs.Obs.enabled () then begin
+  if Ppnpart_obs.Obs.recording () then begin
     Ppnpart_obs.Counters.add "stream.iterations" !iterations;
     Array.iteri
       (fun i m -> if i < !iterations then Ppnpart_obs.Counters.add "stream.moves" m)
