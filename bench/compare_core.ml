@@ -390,6 +390,11 @@ let smoke_rules =
     lower "stream_20k.stream_violation";
     lower ~pct:10. ~abs:5. "hybrid_20k.hybrid_cut";
     higher ~pct:60. "ingest_8k.mb_per_s";
+    stay_true "repartition_4k.incremental";
+    stay_true "repartition_4k.feasible_agree";
+    stay_true "repartition_4k.never_worse";
+    stay_true "repartition_4k.deterministic_across_jobs";
+    higher ~pct:60. ~abs:0.5 "repartition_4k.speedup";
   ]
 
 let partition_rules =
@@ -414,11 +419,22 @@ let partition_rules =
     lower ~pct:25. ~abs:0.5 "stream_200k.cut_ratio";
     lower ~pct:25. ~abs:0.5 "hybrid_200k.cut_ratio";
     higher ~pct:60. "ingest_131k.mb_per_s";
+    stay_true "repartition_50k.incremental";
+    stay_true "repartition_50k.feasible_agree";
+    stay_true "repartition_50k.never_worse";
+    stay_true "repartition_50k.deterministic_across_jobs";
+    higher ~pct:50. ~abs:1. "repartition_50k.speedup";
+    higher ~pct:60. "daemon.req_per_s_1";
+    higher ~pct:60. "daemon.req_per_s_4";
+    lower ~pct:150. ~abs:5. "daemon.p99_ms_1";
+    lower ~pct:150. ~abs:5. "daemon.p99_ms_4";
+    higher ~pct:50. ~abs:1. "daemon.incremental_vs_scratch_speedup";
   ]
 
 let rules_for_schema = function
-  | "ppnpart-bench-smoke/1" -> Some smoke_rules
-  | "ppnpart-bench-partition/5" | "ppnpart-bench-partition/6" ->
+  | "ppnpart-bench-smoke/1" | "ppnpart-bench-smoke/2" -> Some smoke_rules
+  | "ppnpart-bench-partition/5" | "ppnpart-bench-partition/6"
+  | "ppnpart-bench-partition/7" ->
     Some partition_rules
   | _ -> None
 

@@ -995,6 +995,229 @@ let ingest_bench ~scale ~reps =
     (float_of_int bytes /. of_s /. 1e6)
     (float_of_int (Wgraph.n_edges g) /. of_s)
 
+(* Incremental repartitioning vs from-scratch on a planted instance
+   with a small edit (DESIGN.md §6.7): the daemon's steady-state
+   request. The edit touches ~[edit_pct]% of the nodes (weight bumps,
+   added/removed channels, one added and one removed process);
+   [Gp.repartition] projects the previous labels, seeds the holes and
+   runs only the boundary refiner, and must be (a) much faster than the
+   full pipeline on the edited graph, (b) no less feasible, (c) never
+   worse than the labelling it seeded from, and (d) bit-identical
+   across --jobs 1/4. All four are recorded as machine-checkable
+   fields. *)
+let repartition_bench ~n ~k ~edit_pct ~reps () =
+  let rng = Random.State.make [| 0x7270; n; k |] in
+  let g, c = Ppnpart_workloads.Rand_graph.random_partitionable rng ~n ~k in
+  let base = Gp.partition g c in
+  let prev = base.Gp.part in
+  let budget = max 1 (n * edit_pct / 100) in
+  let ops =
+    (* Deterministic batch mimicking one DSE step: resource
+       re-estimates drawn from the planted weight distribution (5..20),
+       new channels only between nodes of the same planted cluster
+       (clusters are the contiguous ranges u*k/n — a random
+       cross-cluster channel would blow the tight planted bmax and turn
+       every request into an infeasible instance, which is not the
+       steady state this row measures), one dropped chord, one process
+       added and one removed. *)
+    let same_cluster u v = u * k / n = v * k / n in
+    let ops = ref [ Graph_edit.Add_node { weight = 2; neighbors = [ (0, 1) ] } ] in
+    let count = ref 1 in
+    (if n > 8 then begin
+       ops := Graph_edit.Remove_node (n - 1) :: !ops;
+       incr count
+     end);
+    let i = ref 0 in
+    while !count < budget && !i < 6 * budget do
+      let u = Random.State.int rng (n - 1) in
+      (match !i mod 3 with
+      | 0 ->
+        ops :=
+          Graph_edit.Set_node_weight (u, 5 + Random.State.int rng 16) :: !ops;
+        incr count
+      | 1 ->
+        let v = u + 2 in
+        if v < n - 1 && same_cluster u v && not (Wgraph.mem_edge g u v)
+        then begin
+          ops := Graph_edit.Add_edge (u, v, 1 + Random.State.int rng 3) :: !ops;
+          incr count
+        end
+      | _ ->
+        if Wgraph.degree g u > 2 then begin
+          let v = Wgraph.fold_neighbors g u (fun acc v _ -> max acc v) (-1) in
+          if v <> n - 1 && same_cluster u v then begin
+            ops := Graph_edit.Remove_edge (u, v) :: !ops;
+            incr count
+          end
+        end);
+      incr i
+    done;
+    (* Dedup: two ops naming the same node pair or node weight twice is
+       legal only for some kinds; keep the first of each key. *)
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun op ->
+        let key =
+          match op with
+          | Graph_edit.Set_node_weight (u, _) -> Some (`N u)
+          | Graph_edit.Add_edge (u, v, _) | Graph_edit.Remove_edge (u, v)
+          | Graph_edit.Set_edge_weight (u, v, _) ->
+            Some (`E (min u v, max u v))
+          | Graph_edit.Add_node _ | Graph_edit.Remove_node _ -> None
+        in
+        match key with
+        | None -> true
+        | Some k ->
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.replace seen k ();
+            true
+          end)
+      (List.rev !ops)
+  in
+  let g', _, edit = Graph_edit.apply g ops in
+  let ws = Workspace.create () in
+  let run_incremental ~jobs () =
+    Gp.repartition
+      ~config:{ Config.default with Config.jobs }
+      ~workspace:ws ~prev g c ops
+  in
+  ignore (run_incremental ~jobs:1 ());
+  (* warm workspace *)
+  let rp, incr_s = compacted_min ~reps (fun () -> run_incremental ~jobs:1 ()) in
+  let rp4 = run_incremental ~jobs:4 () in
+  let scratch, scratch_s = compacted_min ~reps (fun () -> Gp.partition g' c) in
+  let gd = rp.Gp.rp_result.Gp.goodness in
+  let never_worse =
+    match (rp.Gp.rp_incremental, rp.Gp.rp_result.Gp.history) with
+    | true, seed_gd :: _ -> Metrics.compare_goodness gd seed_gd <= 0
+    | _ -> true
+  in
+  let feasible_agree =
+    rp.Gp.rp_result.Gp.feasible || not scratch.Gp.feasible
+  in
+  let row =
+    Printf.sprintf
+      {|{ "n": %d, "m": %d, "k": %d, "ops": %d, "touched": %d,
+      "scratch_s": %.4f, "incremental_s": %.4f, "speedup": %.2f,
+      "incremental": %b, "seeded": %d,
+      "violation": %d, "cut": %d, "scratch_cut": %d,
+      "feasible": %b, "feasible_agree": %b, "never_worse": %b,
+      "deterministic_across_jobs": %b }|}
+      n (Wgraph.n_edges g) k (List.length ops) edit.Graph_edit.touched
+      scratch_s incr_s
+      (scratch_s /. incr_s)
+      rp.Gp.rp_incremental rp.Gp.rp_seeded gd.Metrics.violation
+      gd.Metrics.cut_value scratch.Gp.goodness.Metrics.cut_value
+      rp.Gp.rp_result.Gp.feasible feasible_agree never_worse
+      (rp.Gp.rp_result.Gp.part = rp4.Gp.rp_result.Gp.part)
+  in
+  (row, scratch_s, incr_s, rp.Gp.rp_incremental)
+
+(* Daemon throughput: an in-process [Daemon.serve] on a temp socket,
+   [clients] connections each owning its own submitted graph (the
+   service serializes per graph, so distinct graphs are what the worker
+   domains parallelize over), each streaming [requests] one-op
+   repartition requests and reading the response before sending the
+   next. Sustained request rate plus p99 latency; the protocol,
+   framing, scheduling and compute are all on the measured path. *)
+let daemon_bench ~workers ~clients ~requests ~n ~k () =
+  let module Daemon = Ppnpart_server.Daemon in
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ppnpartd-bench-%d-%d.sock" (Unix.getpid ()) workers)
+  in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let is_ready = ref false in
+  let daemon =
+    Thread.create
+      (fun () ->
+        Daemon.serve
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            is_ready := true;
+            Condition.broadcast ready_c;
+            Mutex.unlock ready_m)
+          { Daemon.socket_path; workers; queue_limit = 64 })
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !is_ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let metis =
+    let rng = Random.State.make [| 0xDA; n |] in
+    let g, _ = Ppnpart_workloads.Rand_graph.random_partitionable rng ~n ~k in
+    String.concat "\\n" (String.split_on_char '\n' (Graph_io.to_metis g))
+  in
+  let latencies = Array.make (clients * requests) 0. in
+  let request oc ic line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  let client_thread ci =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    let name = Printf.sprintf "g%d" ci in
+    ignore
+      (request oc ic
+         (Printf.sprintf "{\"op\":\"submit\",\"graph\":%S,\"metis\":\"%s\"}"
+            name metis));
+    ignore
+      (request oc ic
+         (Printf.sprintf
+            "{\"op\":\"partition\",\"graph\":%S,\"k\":%d,\"seed\":1}" name k));
+    for r = 0 to requests - 1 do
+      (* Alternate a node weight up and down: a minimal real edit, so
+         every request exercises apply/seed/refine end to end. *)
+      let line =
+        Printf.sprintf
+          "{\"op\":\"repartition\",\"graph\":%S,\"edits\":[{\"op\":\"set_node_weight\",\"node\":%d,\"w\":%d}]}"
+          name (r mod n)
+          (1 + (r mod 2))
+      in
+      let t0 = Unix.gettimeofday () in
+      let resp = request oc ic line in
+      latencies.((ci * requests) + r) <- Unix.gettimeofday () -. t0;
+      if String.length resp < 11 || String.sub resp 0 11 <> "{\"ok\":true," then
+        failwith ("daemon_bench: request failed: " ^ resp)
+    done;
+    Unix.close fd
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun ci -> Thread.create client_thread ci) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Clean shutdown through the protocol, so the socket file goes away. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  let oc = Unix.out_channel_of_descr fd in
+  ignore (request oc (Unix.in_channel_of_descr fd) "{\"op\":\"shutdown\"}");
+  Unix.close fd;
+  Thread.join daemon;
+  Array.sort compare latencies;
+  let p99 = latencies.(min (Array.length latencies - 1)
+                         (Array.length latencies * 99 / 100)) in
+  let total = clients * requests in
+  (float_of_int total /. elapsed, p99 *. 1000., elapsed)
+
+let daemon_row ~clients ~requests ~n ~k ~speedup () =
+  let rps1, p99_1, _ = daemon_bench ~workers:1 ~clients ~requests ~n ~k () in
+  let rps4, p99_4, _ = daemon_bench ~workers:4 ~clients ~requests ~n ~k () in
+  Printf.sprintf
+    {|{ "n": %d, "k": %d, "clients": %d, "requests_per_client": %d,
+      "req_per_s_1": %.1f, "p99_ms_1": %.3f,
+      "req_per_s_4": %.1f, "p99_ms_4": %.3f,
+      "incremental_vs_scratch_speedup": %.2f }|}
+    n k clients requests rps1 p99_1 rps4 p99_4 speedup
+
 let bench_json () =
   section "Machine-readable benchmark record (BENCH_partition.json)";
   ensure_out_dir ();
@@ -1036,10 +1259,17 @@ let bench_json () =
   in
   let stream_1m_row = stream_1m_bench ~reps:3 () in
   let ingest_row = ingest_bench ~scale:17 ~reps:3 in
+  let repartition_row, scratch_s, incr_s, _ =
+    repartition_bench ~n:50_000 ~k:8 ~edit_pct:1 ~reps:3 ()
+  in
+  let daemon_row =
+    daemon_row ~clients:4 ~requests:50 ~n:2_000 ~k:4
+      ~speedup:(scratch_s /. incr_s) ()
+  in
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-partition/6",
+  "schema": "ppnpart-bench-partition/7",
   "generated_unix": %.0f,
   "instances": [
 %s
@@ -1052,13 +1282,15 @@ let bench_json () =
   "stream_1m": %s,
   "stream_200k": %s,
   "hybrid_200k": %s,
-  "ingest_131k": %s
+  "ingest_131k": %s,
+  "repartition_50k": %s,
+  "daemon": %s
 }
 |}
       (Unix.time ())
       (String.concat ",\n" instance_rows)
       fm_row refine_row coarsen_row vc_row obs_row stream_1m_row stream_row
-      hybrid_row ingest_row
+      hybrid_row ingest_row repartition_row daemon_row
   in
   let path = Filename.concat out_dir "BENCH_partition.json" in
   Graph_io.write_file path json;
@@ -1125,7 +1357,22 @@ let smoke () =
          "smoke: streaming cut %d more than 20x the multilevel cut %d"
          stream_cut ml_cut);
   let ingest_row = ingest_bench ~scale:13 ~reps:2 in
-  Printf.printf "  ingest_8k: %s\n%!" ingest_row
+  Printf.printf "  ingest_8k: %s\n%!" ingest_row;
+  (* Incremental repartitioning at CI scale: same measurement code as
+     the 50k JSON row. The whole point of the daemon's steady state is
+     that a small-edit request is cheaper than a scratch run, so the
+     incremental side must never be the slower one. *)
+  let repart_row, scratch_s, incr_s, incremental =
+    repartition_bench ~n:4_000 ~k:8 ~edit_pct:1 ~reps:2 ()
+  in
+  Printf.printf "  repartition_4k: %s\n%!" repart_row;
+  if not incremental then
+    failwith "smoke: 1%-edit repartition fell back to the full pipeline";
+  if incr_s > scratch_s then
+    failwith
+      (Printf.sprintf
+         "smoke: incremental repartition slower than scratch (%.4fs > %.4fs)"
+         incr_s scratch_s)
 
 (* The smoke rows, machine-readable: the shrunk-size counterpart of
    BENCH_partition.json, cheap enough to regenerate on a CI runner.
@@ -1154,10 +1401,13 @@ let bench_json_smoke () =
     mode_bench ~n_target:20_000 ~reps:2
   in
   let ingest_row = ingest_bench ~scale:13 ~reps:2 in
+  let repart_row, _, _, _ =
+    repartition_bench ~n:4_000 ~k:8 ~edit_pct:1 ~reps:2 ()
+  in
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-smoke/1",
+  "schema": "ppnpart-bench-smoke/2",
   "generated_unix": %.0f,
   "fm_600": %s,
   "refine_4k": %s,
@@ -1166,11 +1416,12 @@ let bench_json_smoke () =
   "vcycles_5": %s,
   "stream_20k": %s,
   "hybrid_20k": %s,
-  "ingest_8k": %s
+  "ingest_8k": %s,
+  "repartition_4k": %s
 }
 |}
       (Unix.time ()) fm_row refine_row coarsen_row obs_row vc_row stream_row
-      hybrid_row ingest_row
+      hybrid_row ingest_row repart_row
   in
   let path = Filename.concat out_dir "BENCH_smoke.json" in
   Graph_io.write_file path json;

@@ -651,17 +651,12 @@ let eval_cmd =
       Printf.eprintf "error: %s\n" msg;
       1
     | Ok g -> (
-      match Partition_io.load part_path with
-      | exception Failure msg ->
+      match Partition_io.load ~expect_n:(Wgraph.n_nodes g) part_path with
+      | exception Partition_io.Parse_error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
       | part, k ->
-        if Array.length part <> Wgraph.n_nodes g then begin
-          Printf.eprintf "error: partition is for %d nodes, graph has %d\n"
-            (Array.length part) (Wgraph.n_nodes g);
-          1
-        end
-        else begin
+        begin
           let c = Types.constraints ~k ~bmax ~rmax in
           let report = Metrics.report g c part in
           print_string

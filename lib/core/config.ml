@@ -17,6 +17,7 @@ type t = {
   debug_checks : bool;
   mode : mode;
   stream_iterations : int;
+  repartition_gate : float;
 }
 
 let default =
@@ -32,6 +33,7 @@ let default =
     debug_checks = Ppnpart_check.Check.env_enabled ();
     mode = Multilevel;
     stream_iterations = Ppnpart_partition.Stream.default_iterations;
+    repartition_gate = 0.25;
   }
 
 let validate t =
@@ -42,4 +44,7 @@ let validate t =
   if t.tabu_iterations < 0 then invalid_arg "Config: tabu_iterations < 0";
   if t.jobs < 0 then invalid_arg "Config: jobs < 0";
   if t.stream_iterations < 1 then invalid_arg "Config: stream_iterations < 1";
+  (* Negated comparison so NaN is rejected too. *)
+  if not (t.repartition_gate >= 0.0) then
+    invalid_arg "Config: repartition_gate < 0";
   if t.strategies = [] then invalid_arg "Config: no matching strategies"

@@ -57,6 +57,13 @@ type t = {
       (** restream passes for [Stream]/[Hybrid] modes (default
           {!Ppnpart_partition.Stream.default_iterations} = 3); ignored
           by [Multilevel]. Must be ≥ 1. *)
+  repartition_gate : float;
+      (** {!Gp.repartition} edit-ratio gate: when an edit touches more
+          than this fraction of the edited graph's nodes, incremental
+          seeding is skipped and the full pipeline runs from scratch —
+          at that scale boundary refinement would be repairing more of
+          the labelling than it keeps. Must be ≥ 0; [0] forces
+          from-scratch always (default 0.25). *)
 }
 
 val default : t

@@ -249,11 +249,31 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
       history = List.rev history;
     }
   in
+  (* Degenerate dispatch, shared by every mode so that
+     [--mode stream|hybrid|multilevel] agree by construction on the
+     cases where heuristics have nothing to decide (the n <= k class is
+     the PR 3 false-infeasibility fix; stream/hybrid used to bypass it
+     and hand these inputs to the streaming objective, which can and
+     did answer differently):
+
+     - n = 0: the empty labelling;
+     - k = 1: one part is the only labelling — running a pipeline can
+       only burn cycles to reach it;
+     - n <= k <= 10: exhaustive enumeration (see [exhaustive_best]);
+     - larger n <= k, and zero-edge graphs (every labelling has cut 0
+       and the objective is load placement only): the multilevel
+       pipeline is the canonical path regardless of the requested
+       mode. *)
   if n = 0 then finish [||] 0 0
+  else if c.Types.k = 1 then finish (Array.make n 0) 0 0
   else if n <= c.Types.k && n <= exhaustive_limit then
     finish (exhaustive_best g c) 0 0
   else
-    match config.Config.mode with
+    let mode =
+      if n <= c.Types.k || Wgraph.n_edges g = 0 then Config.Multilevel
+      else config.Config.mode
+    in
+    match mode with
     | Config.Stream ->
         let part, _stats =
           Stream.partition
@@ -407,3 +427,170 @@ let partition_exn ?config g c =
       "GP: partitioning with these constraints is either impossible or the \
        tool needs more iterations (increase max_cycles)";
   r
+
+(* ------------------------------------------------------------------ *)
+(* Incremental repartitioning (DESIGN.md §6.7).
+
+   Design-space exploration re-partitions after every small PPN edit.
+   Instead of a fresh V-cycle, project the previous labels through the
+   edit's node map, let the streaming objective place the holes
+   (added/evicted nodes), and run only the boundary-driven refiner —
+   the same machinery a V-cycle runs after projecting one un-coarsening
+   level, with the edit playing the role of the coarse solution.
+
+   Two gates protect quality: an edit touching more than
+   [config.repartition_gate] of the nodes skips straight to the full
+   pipeline (the seed would be mostly holes), and an incremental result
+   that is still infeasible after refinement + tabu rescue falls back
+   to the full pipeline, keeping whichever candidate compares better —
+   so the incremental path is never worse than from-scratch on
+   feasibility. Every incremental step is sequential and rng-free
+   given [config.seed]; the fallback is [run_partition], itself
+   bit-identical across [--jobs] — hence so is [repartition]. *)
+
+type repartition = {
+  rp_result : result;
+  rp_graph : Wgraph.t;
+  rp_node_map : int array;
+  rp_incremental : bool;  (** false = the full pipeline produced it *)
+  rp_seeded : int;
+  rp_edit : Graph_edit.stats;
+}
+
+let run_repartition ~(config : Config.t) ?workspace ~prev g c ops =
+  Config.validate config;
+  if Array.length prev <> Wgraph.n_nodes g then
+    invalid_arg "Gp.repartition: previous labelling has wrong length";
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= c.Types.k then
+        invalid_arg "Gp.repartition: previous label out of range")
+    prev;
+  Ppnpart_obs.Span.phase_result
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes g));
+        ("ops", Ppnpart_obs.Obs.Int (List.length ops)) ])
+    ~result:(fun r ->
+      [ ("incremental", Ppnpart_obs.Obs.Bool r.rp_incremental);
+        ("seeded", Ppnpart_obs.Obs.Int r.rp_seeded);
+        ("violation",
+         Ppnpart_obs.Obs.Int r.rp_result.goodness.Metrics.violation);
+        ("cut", Ppnpart_obs.Obs.Int r.rp_result.goodness.Metrics.cut_value)
+      ])
+    "gp.repartition"
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let g', node_map, edit = Graph_edit.apply g ops in
+  let n' = Wgraph.n_nodes g' in
+  let edit_ratio =
+    float_of_int edit.Graph_edit.touched /. float_of_int (max 1 n')
+  in
+  let mk ?(incremental = false) ?(seeded = 0) result =
+    Ppnpart_obs.Counters.incr
+      (if incremental then "gp.repartition.incremental"
+       else "gp.repartition.scratch");
+    {
+      rp_result = result;
+      rp_graph = g';
+      rp_node_map = node_map;
+      rp_incremental = incremental;
+      rp_seeded = seeded;
+      rp_edit = edit;
+    }
+  in
+  let scratch ?seeded () = mk ?seeded (run_partition ~config g' c) in
+  (* The degenerate classes route through [run_partition]'s canonical
+     dispatch — with no boundary to refine there is nothing incremental
+     to save. *)
+  let degenerate =
+    n' = 0 || c.Types.k = 1 || n' <= c.Types.k || Wgraph.n_edges g' = 0
+  in
+  if degenerate || edit_ratio > config.Config.repartition_gate then
+    scratch ()
+  else begin
+    let checking = Ppnpart_check.Check.enabled () in
+    let ws =
+      match workspace with Some w -> w | None -> Workspace.create ()
+    in
+    let labels =
+      Array.init n' (fun u ->
+          let o = node_map.(u) in
+          if o >= 0 then prev.(o) else -1)
+    in
+    let seeded = Stream.seed_partial ~workspace:ws g' c labels in
+    if checking then
+      Ppnpart_check.Check.partition ~site:"gp.repartition.seed" g' c labels;
+    let seed_goodness = Metrics.goodness g' c labels in
+    let rng = Random.State.make [| config.Config.seed; 0x6770; 0x7270 |] in
+    let st = Part_state.init ~workspace:ws g' c labels in
+    Refine_constrained.refine_state ~max_passes:config.Config.refine_passes
+      rng st;
+    if checking then
+      Ppnpart_check.Check.partition ~site:"gp.repartition.refined" g' c
+        st.Part_state.part;
+    let best_part = ref (Part_state.snapshot st) in
+    let best_goodness = ref (Metrics.goodness g' c !best_part) in
+    let history = ref [ seed_goodness ] in
+    if !best_goodness.Metrics.violation > 0 && n' <= tabu_rescue_limit
+    then begin
+      let rescued, gd =
+        Refine_tabu.refine ~iterations:(tabu_rescue_iterations n')
+          ~workspace:ws g' c !best_part
+      in
+      if Metrics.compare_goodness gd !best_goodness < 0 then begin
+        if checking then
+          Ppnpart_check.Check.partition ~site:"gp.repartition.rescue" g' c
+            rescued;
+        best_part := rescued;
+        best_goodness := gd;
+        history := gd :: !history
+      end
+    end;
+    if !best_goodness.Metrics.violation > 0 then begin
+      (* Feasibility agreement with the from-scratch oracle: whenever
+         the incremental path ends infeasible, the full pipeline gets
+         its say, and the better of the two answers — so an instance
+         the pipeline can solve is never reported infeasible just
+         because it arrived as an edit. *)
+      let full = run_partition ~config g' c in
+      if Metrics.compare_goodness full.goodness !best_goodness < 0 then
+        mk ~seeded full
+      else begin
+        let q = Metrics.quality g' c !best_part in
+        let runtime_s = Unix.gettimeofday () -. t0 in
+        mk ~incremental:true ~seeded
+          {
+            part = !best_part;
+            feasible = false;
+            goodness = !best_goodness;
+            report = Metrics.report_of_quality ~runtime_s q;
+            cycles_used = 0;
+            levels = 0;
+            runtime_s;
+            history = List.rev !history;
+          }
+      end
+    end
+    else begin
+      let q = Metrics.quality g' c !best_part in
+      let goodness = Metrics.goodness_of_quality c q in
+      let runtime_s = Unix.gettimeofday () -. t0 in
+      mk ~incremental:true ~seeded
+        {
+          part = !best_part;
+          feasible = true;
+          goodness;
+          report = Metrics.report_of_quality ~runtime_s q;
+          cycles_used = 0;
+          levels = 0;
+          runtime_s;
+          history = List.rev !history;
+        }
+    end
+  end
+
+let repartition ?(config = Config.default) ?workspace ~prev g c ops =
+  if config.Config.debug_checks then
+    Ppnpart_check.Check.with_checks (fun () ->
+        run_repartition ~config ?workspace ~prev g c ops)
+  else run_repartition ~config ?workspace ~prev g c ops

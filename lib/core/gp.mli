@@ -46,3 +46,51 @@ val partition_exn :
 (** Like {!partition} but
     @raise Failure when no feasible partition was found, with the paper's
     diagnostic message. *)
+
+(** {1 Incremental repartitioning}
+
+    Design-space exploration re-derives the PPN after every small
+    transformation; {!repartition} answers the re-partition request
+    without a fresh V-cycle. The previous labels are projected through
+    the edit's node map, {!Ppnpart_partition.Stream.seed_partial}
+    places the holes (nodes the edit added or evicted) by the streaming
+    objective, and only the boundary-driven refiner — plus the small-n
+    tabu rescue — runs on top. Two gates guard quality: an edit
+    touching more than [config.repartition_gate] of the nodes goes
+    straight to the full pipeline, and an incremental result that stays
+    infeasible is raced against a full from-scratch run with the better
+    goodness kept, so feasibility is never lost to the shortcut.
+    Sequential except for that fallback, hence — like {!partition} —
+    bit-identical across [config.jobs]. *)
+
+type repartition = {
+  rp_result : result;  (** labelling of the {e edited} graph *)
+  rp_graph : Wgraph.t;  (** the edited graph itself *)
+  rp_node_map : int array;
+      (** new id → original id, [-1] for nodes the edit added (from
+          {!Ppnpart_partition.Graph_edit.apply}) *)
+  rp_incremental : bool;
+      (** [false] when a gate sent the request through the full
+          pipeline *)
+  rp_seeded : int;  (** nodes placed by the streaming objective *)
+  rp_edit : Graph_edit.stats;
+}
+
+val repartition :
+  ?config:Config.t ->
+  ?workspace:Workspace.t ->
+  prev:int array ->
+  Wgraph.t ->
+  Types.constraints ->
+  Graph_edit.op list ->
+  repartition
+(** [repartition ~prev g c ops] edits [g] by [ops] and partitions the
+    result, seeded from [prev] (the labelling of [g], length
+    [Wgraph.n_nodes g], labels in [0 .. c.k - 1]). [workspace] backs
+    the seeding and refinement scratch — a daemon worker passes its
+    resident workspace so the steady state allocates nothing.
+    Deterministic for fixed [(config.seed, prev, g, ops)].
+    @raise Invalid_argument on a [prev] that is not a valid labelling
+    of [g].
+    @raise Ppnpart_partition.Graph_edit.Invalid_edit on a malformed
+    edit batch. *)

@@ -14,6 +14,16 @@ let to_metis g =
   done;
   Buffer.contents b
 
+(* Readers promise "@raise Failure" and nothing else, but the
+   constructors they finish with ([Edge_list.add], [Wgraph.build])
+   signal their own checks — negative weights, mostly — with
+   [Invalid_argument]. Daemon request handling catches the one
+   documented type and replies with an error frame; an undocumented
+   [Invalid_argument] leaking through would kill the connection
+   instead. Funnel them here. *)
+let failure_only ~reader f =
+  try f () with Invalid_argument msg -> failwith (reader ^ ": " ^ msg)
+
 (* Tokenize a line into ints, skipping extra whitespace. *)
 let ints_of_line line =
   String.split_on_char ' ' line
@@ -161,6 +171,7 @@ let of_metis text =
       (Printf.sprintf "Graph_io.of_metis: expected %d node lines, got %d" n
          (n + !extra))
   end;
+  failure_only ~reader:"Graph_io.of_metis" @@ fun () ->
   begin
     let el = Edge_list.create n in
     Hashtbl.iter
@@ -248,13 +259,14 @@ let of_adjacency_matrix text =
             failwith "Graph_io.of_adjacency_matrix: asymmetric matrix"
         done
       done;
-      let el = Edge_list.create n in
-      for u = 0 to n - 1 do
-        for v = u + 1 to n - 1 do
-          if mat.(u).(v) <> 0 then Edge_list.add el u v mat.(u).(v)
-        done
-      done;
-      Wgraph.build ~vwgt el
+      failure_only ~reader:"Graph_io.of_adjacency_matrix" (fun () ->
+          let el = Edge_list.create n in
+          for u = 0 to n - 1 do
+            for v = u + 1 to n - 1 do
+              if mat.(u).(v) <> 0 then Edge_list.add el u v mat.(u).(v)
+            done
+          done;
+          Wgraph.build ~vwgt el)
     | _ -> failwith "Graph_io.of_adjacency_matrix: bad size line")
   | _ -> failwith "Graph_io.of_adjacency_matrix: truncated input"
 

@@ -18,7 +18,11 @@ val of_metis : string -> Wgraph.t
 (** Parses the output of {!to_metis}; also accepts fmt codes [0], [1], [10],
     [11], [100], [110], [111] (vertex-size field is parsed and ignored).
     Comment lines starting with [%] are skipped.
-    @raise Failure on malformed input or asymmetric weights. *)
+    @raise Failure on malformed input or asymmetric weights — and {e
+    only} [Failure]: checks the underlying constructors signal with
+    [Invalid_argument] (negative node or edge weights, say) are
+    re-raised as [Failure] too, so parsing untrusted text needs exactly
+    one handler. *)
 
 val to_adjacency_matrix : Wgraph.t -> string
 (** Dense symmetric matrix of edge weights, one row per line, space
@@ -26,8 +30,9 @@ val to_adjacency_matrix : Wgraph.t -> string
 
 val of_adjacency_matrix : string -> Wgraph.t
 (** Parses {!to_adjacency_matrix} output.
-    @raise Failure if the matrix is not symmetric or has a nonzero
-    diagonal. *)
+    @raise Failure (and only [Failure], as {!of_metis}) if the matrix is
+    not symmetric, has a nonzero diagonal, or carries negative
+    weights. *)
 
 val to_dot :
   ?partition:int array ->

@@ -1,3 +1,10 @@
+exception Parse_error of string
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Parse_error ("Partition_io: " ^ msg)))
+    fmt
+
 let to_string ~k part =
   Types.check_partition ~n:(Array.length part) ~k part;
   let b = Buffer.create (16 + (2 * Array.length part)) in
@@ -5,7 +12,7 @@ let to_string ~k part =
   Array.iter (fun p -> Buffer.add_string b (Printf.sprintf "%d\n" p)) part;
   Buffer.contents b
 
-let of_string text =
+let of_string ?expect_n ?expect_k text =
   let lines =
     String.split_on_char '\n' text
     |> List.filter (fun l ->
@@ -13,33 +20,42 @@ let of_string text =
            l <> "" && l.[0] <> '%')
   in
   match lines with
-  | [] -> failwith "Partition_io.of_string: empty input"
+  | [] -> fail "empty input"
   | header :: rest -> (
     match String.split_on_char ' ' (String.trim header) with
     | [ n_s; k_s ] -> (
       match (int_of_string_opt n_s, int_of_string_opt k_s) with
       | Some n, Some k ->
+        (* Header sanity before anything derived from it: a saved file
+           is untrusted input (stale, hand-edited, or written by a
+           different tool), and the daemon feeds loaded labels straight
+           into Part_state as a warm seed. *)
+        if n < 0 then fail "header declares %d nodes" n;
+        if k < 1 then fail "header declares %d parts" k;
+        (match expect_n with
+        | Some en when en <> n ->
+          fail "file is for %d nodes, expected %d" n en
+        | _ -> ());
+        (match expect_k with
+        | Some ek when ek <> k ->
+          fail "file is for %d parts, expected %d" k ek
+        | _ -> ());
         if List.length rest <> n then
-          failwith
-            (Printf.sprintf
-               "Partition_io.of_string: header says %d nodes, found %d" n
-               (List.length rest));
+          fail "header says %d nodes, found %d" n (List.length rest);
         let part =
           Array.of_list
             (List.map
                (fun l ->
                  match int_of_string_opt (String.trim l) with
                  | Some p -> p
-                 | None ->
-                   failwith "Partition_io.of_string: not an integer label")
+                 | None -> fail "not an integer label: %S" (String.trim l))
                rest)
         in
         (try Types.check_partition ~n ~k part
-         with Invalid_argument msg ->
-           failwith ("Partition_io.of_string: " ^ msg));
+         with Invalid_argument msg -> fail "%s" msg);
         (part, k)
-      | _ -> failwith "Partition_io.of_string: bad header")
-    | _ -> failwith "Partition_io.of_string: bad header")
+      | _ -> fail "bad header %S" (String.trim header))
+    | _ -> fail "bad header %S" (String.trim header))
 
 let save path ~k part =
   let oc = open_out path in
@@ -47,11 +63,11 @@ let save path ~k part =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string ~k part))
 
-let load path =
+let load ?expect_n ?expect_k path =
   let ic = open_in path in
   let text =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  of_string text
+  of_string ?expect_n ?expect_k text

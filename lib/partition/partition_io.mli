@@ -3,17 +3,34 @@
     The format mirrors METIS's [.part] files: one part label per line, line
     [u] holding node [u]'s part — prefixed by a header line ["n k"] so
     files are self-describing and mismatches are caught on load. Lines
-    starting with [%] are comments. *)
+    starting with [%] are comments.
+
+    Loaded files are untrusted: every label is validated against the
+    header ([0 .. k-1], exactly [n] of them, [n ≥ 0], [k ≥ 1]) and every
+    malformed input raises the single structured {!Parse_error} — never a
+    bare [Failure] or a leaked [Invalid_argument] — so callers seeding
+    from a previous result (the CLI [eval] path, the daemon) can catch
+    one documented exception instead of trusting the file. *)
+
+exception Parse_error of string
+(** The only exception {!of_string} raises, and the only one {!load}
+    raises beyond the file system's [Sys_error]. The message starts with
+    ["Partition_io: "] and names the defect. *)
 
 val to_string : k:int -> int array -> string
-(** @raise Invalid_argument if a label is outside [0 .. k-1]. *)
+(** @raise Invalid_argument if a label is outside [0 .. k-1] (programmer
+    error — the array, unlike a file, comes from this process). *)
 
-val of_string : string -> int array * int
-(** [of_string text] is [(partition, k)].
-    @raise Failure on malformed input, a label out of range, or a node
-    count that disagrees with the header. *)
+val of_string : ?expect_n:int -> ?expect_k:int -> string -> int array * int
+(** [of_string text] is [(partition, k)]. [expect_n]/[expect_k] add a
+    check that the file describes that many nodes/parts — pass them when
+    the target graph and constraints are already known.
+    @raise Parse_error on malformed input, a label out of range, a node
+    count that disagrees with the header, or an [expect_*] mismatch. *)
 
 val save : string -> k:int -> int array -> unit
 (** [save path ~k part] writes the file. *)
 
-val load : string -> int array * int
+val load : ?expect_n:int -> ?expect_k:int -> string -> int array * int
+(** {!of_string} over the file's contents.
+    @raise Parse_error as {!of_string}; [Sys_error] if unreadable. *)

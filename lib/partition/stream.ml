@@ -244,3 +244,127 @@ let partition ?workspace ?(max_iterations = default_iterations) g
       converged = !converged;
       state_words;
     } )
+
+(* Partial seeding for incremental repartitioning: the label array
+   arrives mostly assigned (the projection of a previous result), and
+   only the [-1] holes — nodes the edit added or evicted — are placed,
+   by the same iteration-0 objective as [partition] against a state
+   initialized from the assigned labels. The scoring is duplicated
+   rather than shared with [visit]: [partition]'s output is pinned
+   bit-for-bit by the bench gates, and threading a "skip assigned /
+   no lift-out" flag through its hot loop for the sake of this cold
+   path would put that stability at risk for nothing. *)
+let seed_partial ?workspace g (c : Types.constraints) part =
+  let n = Wgraph.n_nodes g in
+  let k = c.Types.k in
+  if Array.length part <> n then
+    invalid_arg "Stream.seed_partial: label array has wrong length";
+  Array.iter
+    (fun p ->
+      if p < -1 || p >= k then
+        invalid_arg "Stream.seed_partial: label out of range")
+    part;
+  let bmax = c.Types.bmax and rmax = c.Types.rmax in
+  let ws = match workspace with Some w -> w | None -> Workspace.create () in
+  Ppnpart_obs.Span.with_result
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int n); ("k", Ppnpart_obs.Obs.Int k) ])
+    ~result:(fun seeded -> [ ("seeded", Ppnpart_obs.Obs.Int seeded) ])
+    "stream.seed_partial"
+  @@ fun () ->
+  Workspace.ensure_stream ws ~k;
+  let load = ws.Workspace.st_load in
+  let bw = ws.Workspace.st_bw in
+  let conn = ws.Workspace.st_conn in
+  let touched = ws.Workspace.st_touched in
+  Array.fill load 0 k 0;
+  Array.fill bw 0 (k * k) 0;
+  Array.fill conn 0 k 0;
+  for u = 0 to n - 1 do
+    let p = part.(u) in
+    if p >= 0 then load.(p) <- load.(p) + Wgraph.node_weight g u
+  done;
+  Wgraph.iter_edges g (fun u v w ->
+      let p = part.(u) and q = part.(v) in
+      if p >= 0 && q >= 0 && p <> q then begin
+        bw.((p * k) + q) <- bw.((p * k) + q) + w;
+        bw.((q * k) + p) <- bw.((q * k) + p) + w
+      end);
+  let total_vw = Wgraph.total_node_weight g in
+  let total_ew = Wgraph.total_edge_weight g in
+  let rscale =
+    float_of_int
+      (max 1
+         (if rmax = max_int then (total_vw + k - 1) / max 1 k else rmax))
+  in
+  let a0 =
+    sqrt 2.0 *. 2.0 *. float_of_int total_ew /. float_of_int (max 1 n)
+  in
+  let a0 = if a0 <= 0.0 then sqrt 2.0 else a0 in
+  let a_i = a0 and bw_w = a0 in
+  let seeded = ref 0 in
+  for u = 0 to n - 1 do
+    if part.(u) = -1 then begin
+      let w_u = Wgraph.node_weight g u in
+      let nt = ref 0 in
+      Wgraph.iter_neighbors g u (fun v w ->
+          let q = part.(v) in
+          if q >= 0 then begin
+            if conn.(q) = 0 then begin
+              touched.(!nt) <- q;
+              incr nt
+            end;
+            conn.(q) <- conn.(q) + w
+          end);
+      let score q =
+        let aff = conn.(q) in
+        let disc = ref 0 in
+        for i = 0 to !nt - 1 do
+          let r = touched.(i) in
+          if r <> q then begin
+            let cur = bw.((q * k) + r) in
+            disc :=
+              !disc + excess_over bmax (cur + conn.(r)) - excess_over bmax cur
+          end
+        done;
+        if rmax <> max_int then
+          disc :=
+            !disc
+            + excess_over rmax (load.(q) + w_u)
+            - excess_over rmax load.(q);
+        let ratio = float_of_int (load.(q) + w_u) /. rscale in
+        float_of_int aff
+        -. (bw_w *. float_of_int !disc)
+        -. (a_i *. (ratio ** gamma))
+      in
+      let light = ref 0 in
+      for q = 1 to k - 1 do
+        if load.(q) < load.(!light) then light := q
+      done;
+      let best = ref !light and best_s = ref (score !light) in
+      for i = 0 to !nt - 1 do
+        let q = touched.(i) in
+        if q <> !light then begin
+          let s = score q in
+          if s > !best_s || (s = !best_s && q < !best) then begin
+            best := q;
+            best_s := s
+          end
+        end
+      done;
+      let t = !best in
+      part.(u) <- t;
+      load.(t) <- load.(t) + w_u;
+      for i = 0 to !nt - 1 do
+        let r = touched.(i) in
+        if r <> t then begin
+          let b = bw.((t * k) + r) + conn.(r) in
+          bw.((t * k) + r) <- b;
+          bw.((r * k) + t) <- b
+        end;
+        conn.(r) <- 0
+      done;
+      incr seeded
+    end
+  done;
+  !seeded

@@ -52,3 +52,16 @@ val partition :
     result's {!Metrics.goodness} or polish it with
     {!Refine_constrained}.
     @raise Invalid_argument if [max_iterations < 1]. *)
+
+val seed_partial :
+  ?workspace:Workspace.t -> Wgraph.t -> Types.constraints -> int array -> int
+(** [seed_partial g c part] fills every [-1] entry of [part] in place —
+    in ascending node order, by the iteration-0 streaming objective
+    scored against a state initialized from the already-assigned labels
+    — and returns how many nodes it seeded. This is the label-projection
+    repair step of incremental repartitioning
+    ({!Ppnpart_core.Gp.repartition}): nodes surviving a graph edit keep
+    their old part, and only the added/evicted holes are placed.
+    Sequential and rng-free like {!partition}.
+    @raise Invalid_argument on a wrong-length array or an entry outside
+    [-1 .. k - 1]. *)

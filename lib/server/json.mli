@@ -1,0 +1,38 @@
+(** Minimal JSON for the daemon's newline-delimited protocol.
+
+    The container ships no JSON library (house rule: no new
+    dependencies), so — like the bench snapshot comparator — the daemon
+    carries its own reader/printer for the subset the protocol uses:
+    objects, arrays, strings with the common escapes, numbers, [true]/
+    [false]/[null]. Integers survive a round trip exactly (printed
+    without a decimal point up to 2^53). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-string parse; trailing non-whitespace is an error (one request
+    per line — framing is the caller's job). *)
+
+val to_string : t -> string
+(** Compact one-line rendering (no newlines — NDJSON-safe), valid input
+    to {!parse}. Object fields print in the order given. *)
+
+val int : int -> t
+(** [Num (float_of_int i)]. *)
+
+(** Accessors; [None] on a type or key mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing key or non-object. *)
+
+val to_int : t -> int option
+(** Numbers with an integral value only. *)
+
+val to_str : t -> string option
+val to_arr : t -> t list option

@@ -1,0 +1,200 @@
+open Ppnpart_graph
+open Ppnpart_partition
+module Gp = Ppnpart_core.Gp
+module Config = Ppnpart_core.Config
+module Run_report = Ppnpart_core.Run_report
+
+let src = Logs.Src.create "ppnpart.server" ~doc:"Partition daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type entry = {
+  elock : Mutex.t;  (** held across a whole request on this graph *)
+  mutable graph : Wgraph.t;
+  mutable labels : int array option;
+  mutable c : Types.constraints option;
+  mutable config : Config.t option;
+  mutable report : string option;
+}
+
+type t = {
+  lock : Mutex.t;  (** registry lookup/insert + counters only *)
+  graphs : (string, entry) Hashtbl.t;
+  mutable requests : int;
+  mutable errors : int;
+}
+
+let create () =
+  { lock = Mutex.create (); graphs = Hashtbl.create 16; requests = 0; errors = 0 }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let find t id = with_lock t.lock (fun () -> Hashtbl.find_opt t.graphs id)
+
+(* Submitting an id atomically installs a fresh entry (replacing any
+   old one, whose in-flight requests finish against the graph they
+   started with — entries are never mutated without their own lock). *)
+let install t id graph =
+  with_lock t.lock (fun () ->
+      let e =
+        {
+          elock = Mutex.create ();
+          graph;
+          labels = None;
+          c = None;
+          config = None;
+          report = None;
+        }
+      in
+      Hashtbl.replace t.graphs id e)
+
+let labels_json part = Json.Arr (Array.to_list (Array.map Json.int part))
+
+let result_fields (r : Gp.result) =
+  [ ("feasible", Json.Bool r.Gp.feasible);
+    ("violation", Json.int r.Gp.goodness.Metrics.violation);
+    ("cut", Json.int r.Gp.goodness.Metrics.cut_value);
+    ("cycles", Json.int r.Gp.cycles_used);
+    ("runtime_s", Json.Num r.Gp.runtime_s);
+    ("labels", labels_json r.Gp.part) ]
+
+let config_for ~mode ~seed ~jobs =
+  { Config.default with Config.mode; seed; jobs }
+
+let do_submit t ~id ~graph ~metis =
+  let g = Graph_io.of_metis metis in
+  install t graph g;
+  Protocol.ok ?id
+    [ ("graph", Json.Str graph);
+      ("nodes", Json.int (Wgraph.n_nodes g));
+      ("edges", Json.int (Wgraph.n_edges g)) ]
+
+let do_partition t ~id ~graph ~c ~mode ~seed ~jobs =
+  match find t graph with
+  | None -> Error (Printf.sprintf "unknown graph %S" graph)
+  | Some e ->
+    with_lock e.elock (fun () ->
+        let config = config_for ~mode ~seed ~jobs in
+        let r = Gp.partition ~config e.graph c in
+        e.labels <- Some r.Gp.part;
+        e.c <- Some c;
+        e.config <- Some config;
+        e.report <-
+          Some
+            (Run_report.of_result ~algo:("gp-" ^ Config.mode_name mode)
+               e.graph c r);
+        Ok
+          (Protocol.ok ?id
+             (("graph", Json.Str graph) :: result_fields r)))
+
+let do_repartition t ~id ~graph ~edits ~workspace =
+  match find t graph with
+  | None -> Error (Printf.sprintf "unknown graph %S" graph)
+  | Some e ->
+    with_lock e.elock (fun () ->
+        match (e.labels, e.c) with
+        | Some prev, Some c ->
+          let config = Option.value ~default:Config.default e.config in
+          (* The worker's resident workspace backs seeding/refinement —
+             the steady state of a stream of 1%-edit requests allocates
+             no scratch. Repartition itself is sequential, so the
+             pool's concurrency all comes from distinct graphs. *)
+          let rp =
+            Gp.repartition ~config ~workspace ~prev e.graph c edits
+          in
+          e.graph <- rp.Gp.rp_graph;
+          e.labels <- Some rp.Gp.rp_result.Gp.part;
+          e.report <-
+            Some
+              (Run_report.of_result
+                 ~algo:
+                   (if rp.Gp.rp_incremental then "gp-incremental"
+                    else "gp-scratch")
+                 rp.Gp.rp_graph c rp.Gp.rp_result);
+          Ok
+            (Protocol.ok ?id
+               (("graph", Json.Str graph)
+                :: ("nodes", Json.int (Wgraph.n_nodes rp.Gp.rp_graph))
+                :: ("edges", Json.int (Wgraph.n_edges rp.Gp.rp_graph))
+                :: ("incremental", Json.Bool rp.Gp.rp_incremental)
+                :: ("seeded", Json.int rp.Gp.rp_seeded)
+                :: result_fields rp.Gp.rp_result))
+        | _ ->
+          Error
+            (Printf.sprintf "graph %S has no labelling yet — partition first"
+               graph))
+
+let do_report t ~id ~graph =
+  match find t graph with
+  | None -> Error (Printf.sprintf "unknown graph %S" graph)
+  | Some e ->
+    with_lock e.elock (fun () ->
+        match e.report with
+        | None ->
+          Error
+            (Printf.sprintf "graph %S has no report yet — partition first"
+               graph)
+        | Some report ->
+          Ok
+            (Protocol.ok_with_raw ?id
+               [ ("graph", Json.Str graph) ]
+               ("report", report)))
+
+let stats t =
+  with_lock t.lock (fun () ->
+      [ ("graphs", Json.int (Hashtbl.length t.graphs));
+        ("requests", Json.int t.requests);
+        ("errors", Json.int t.errors) ])
+
+let op_label = function
+  | Protocol.Submit _ -> "submit"
+  | Protocol.Partition _ -> "partition"
+  | Protocol.Repartition _ -> "repartition"
+  | Protocol.Report _ -> "report"
+  | Protocol.Stats -> "stats"
+  | Protocol.Shutdown -> "shutdown"
+
+let handle t ~workspace (id, parsed) =
+  with_lock t.lock (fun () -> t.requests <- t.requests + 1);
+  Ppnpart_obs.Counters.incr "server.requests";
+  let fail msg =
+    with_lock t.lock (fun () -> t.errors <- t.errors + 1);
+    Ppnpart_obs.Counters.incr "server.errors";
+    (Protocol.error ?id msg, `Continue)
+  in
+  match parsed with
+  | Error msg -> fail msg
+  | Ok command -> (
+    Ppnpart_obs.Span.with_
+      ~args:(fun () ->
+        [ ("op", Ppnpart_obs.Obs.Str (op_label command)) ])
+      "server.request"
+    @@ fun () ->
+    match
+      match command with
+      | Protocol.Submit { graph; metis } ->
+        Ok (do_submit t ~id ~graph ~metis)
+      | Protocol.Partition { graph; c; mode; seed; jobs } ->
+        do_partition t ~id ~graph ~c ~mode ~seed ~jobs
+      | Protocol.Repartition { graph; edits } ->
+        do_repartition t ~id ~graph ~edits ~workspace
+      | Protocol.Report { graph } -> do_report t ~id ~graph
+      | Protocol.Stats -> Ok (Protocol.ok ?id (stats t))
+      | Protocol.Shutdown -> Ok (Protocol.ok ?id [ ("shutdown", Json.Bool true) ])
+    with
+    | Ok response ->
+      ( response,
+        match command with Protocol.Shutdown -> `Shutdown | _ -> `Continue )
+    | Error msg -> fail msg
+    | exception Failure msg -> fail msg
+    | exception Graph_edit.Invalid_edit msg -> fail msg
+    | exception Invalid_argument msg -> fail msg
+    | exception e ->
+      (* A server must answer, not die — but an exception that is none
+         of the documented ones is a bug worth a log line. *)
+      Log.err (fun m ->
+          m "unexpected exception serving %s: %s" (op_label command)
+            (Printexc.to_string e));
+      fail ("internal error: " ^ Printexc.to_string e))

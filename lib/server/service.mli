@@ -1,0 +1,37 @@
+(** The daemon's request handler: a registry of submitted graphs, their
+    retained labellings and run reports, and the dispatch from parsed
+    {!Protocol.command}s to the partitioning stack.
+
+    Thread-safety: the registry has one lock for id lookup/insertion,
+    and each entry has its own — held for the whole compute of a
+    request against that graph — so requests for {e different} graphs
+    run fully concurrently on the worker pool while requests for the
+    {e same} graph serialize (the retained labelling is the seed of the
+    next [repartition]; interleaving would race it).
+
+    Every failure mode of a request — unknown graph id, malformed METIS
+    text ([Failure] from the reader), malformed edit batch
+    ({!Ppnpart_partition.Graph_edit.Invalid_edit}), repartition before
+    partition — becomes an [{"ok":false}] frame; {!handle} never raises
+    and never kills a worker. *)
+
+open Ppnpart_partition
+
+type t
+
+val create : unit -> t
+
+val handle :
+  t ->
+  workspace:Workspace.t ->
+  Json.t option * (Protocol.command, string) result ->
+  string * [ `Continue | `Shutdown ]
+(** [handle t ~workspace parsed] is [(response_line, verdict)].
+    [workspace] is the calling worker's resident scratch — every
+    steady-state allocation of streaming, seeding and refinement comes
+    from it. [`Shutdown] accompanies the response to a [shutdown]
+    command; the caller owns actually stopping the server. *)
+
+val stats : t -> (string * Json.t) list
+(** The fields of the [stats] response: graphs resident, requests
+    served, error frames sent. *)

@@ -360,6 +360,141 @@ let test_stream_vs_multilevel_feasibility () =
     true
     (!agreements >= seeds * 7 / 10)
 
+(* --- incremental repartitioning vs the from-scratch oracle --- *)
+
+(* Random edit sequences chained through [Gp.repartition]: each round
+   edits the current graph (add/remove node/edge, weight bumps),
+   repartitions from the retained labelling, and checks the result
+   against a from-scratch run of the same edited graph. Asserted every
+   round:
+
+   - validity: the labelling fits the edited graph;
+   - determinism: [--jobs 1] and [--jobs 4] answers are bit-identical
+     (and so is a rerun with a reused workspace);
+   - never-worse: an incremental answer is at least as good as the
+     projected-and-seeded labelling it started from (its history head);
+   - feasibility agreement: if the repartition says infeasible, the
+     from-scratch oracle must agree — the fallback race inside
+     [Gp.repartition] guarantees an instance the pipeline can solve is
+     never reported infeasible just because it arrived as an edit. *)
+let random_edits rng g =
+  let module GE = Graph_edit in
+  let n = Wgraph.n_nodes g in
+  let pick () = Random.State.int rng n in
+  let n_ops = 1 + Random.State.int rng 5 in
+  let removed = Hashtbl.create 4 in
+  let added_edges = Hashtbl.create 4 in
+  let alive u = not (Hashtbl.mem removed u) in
+  let ops = ref [] in
+  for _ = 1 to n_ops do
+    match Random.State.int rng 6 with
+    | 0 ->
+      let deg = Random.State.int rng 3 in
+      let neighbors = ref [] in
+      for _ = 1 to deg do
+        let v = pick () in
+        if alive v && not (List.mem_assoc v !neighbors) then
+          neighbors := (v, 1 + Random.State.int rng 5) :: !neighbors
+      done;
+      ops :=
+        GE.Add_node
+          { weight = 1 + Random.State.int rng 6; neighbors = !neighbors }
+        :: !ops
+    | 1 ->
+      let u = pick () in
+      if alive u && n - Hashtbl.length removed > 4 then begin
+        Hashtbl.replace removed u ();
+        ops := GE.Remove_node u :: !ops
+      end
+    | 2 ->
+      let u = pick () and v = pick () in
+      if
+        u <> v && alive u && alive v
+        && (not (Wgraph.mem_edge g u v))
+        && not (Hashtbl.mem added_edges (min u v, max u v))
+      then begin
+        Hashtbl.replace added_edges (min u v, max u v) ();
+        ops := GE.Add_edge (u, v, 1 + Random.State.int rng 9) :: !ops
+      end
+    | 3 ->
+      let u = pick () and v = pick () in
+      if
+        alive u && alive v && Wgraph.mem_edge g u v
+        && not (Hashtbl.mem added_edges (min u v, max u v))
+      then begin
+        (* Mark it so a later Add/Set on the same pair is skipped. *)
+        Hashtbl.replace added_edges (min u v, max u v) ();
+        ops := GE.Remove_edge (u, v) :: !ops
+      end
+    | 4 ->
+      let u = pick () in
+      if alive u then
+        ops := GE.Set_node_weight (u, 1 + Random.State.int rng 9) :: !ops
+    | _ ->
+      let u = pick () and v = pick () in
+      if
+        alive u && alive v && Wgraph.mem_edge g u v
+        && not (Hashtbl.mem added_edges (min u v, max u v))
+      then begin
+        Hashtbl.replace added_edges (min u v, max u v) ();
+        ops := GE.Set_edge_weight (u, v, 1 + Random.State.int rng 9) :: !ops
+      end
+  done;
+  List.rev !ops
+
+let test_repartition_vs_scratch () =
+  let module Gp = Ppnpart_core.Gp in
+  let module Config = Ppnpart_core.Config in
+  let seeds = match mode with `Quick -> 4 | `Default -> 8 | `Full -> 20 in
+  let rounds = match mode with `Quick -> 4 | `Default -> 6 | `Full -> 10 in
+  let ws = Workspace.create () in
+  let incremental = ref 0 and total = ref 0 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xED17; seed |] in
+    let n = 50 + (73 * seed mod 200) in
+    let k = 2 + (seed mod 4) in
+    let g, c = Ppnpart_workloads.Rand_graph.random_partitionable rng ~n ~k in
+    let g = ref g and prev = ref (Gp.partition g c).Gp.part in
+    for round = 1 to rounds do
+      let name = Printf.sprintf "seed %d round %d" seed round in
+      let ops = random_edits rng !g in
+      let run ~jobs ~workspace () =
+        Gp.repartition
+          ~config:{ Config.default with Config.jobs }
+          ?workspace ~prev:!prev !g c ops
+      in
+      let rp = run ~jobs:1 ~workspace:(Some ws) () in
+      let rp4 = run ~jobs:4 ~workspace:None () in
+      let n' = Wgraph.n_nodes rp.Gp.rp_graph in
+      Types.check_partition ~n:n' ~k rp.Gp.rp_result.Gp.part;
+      check_bool (name ^ ": jobs 1 = jobs 4") true
+        (rp.Gp.rp_result.Gp.part = rp4.Gp.rp_result.Gp.part);
+      incr total;
+      if rp.Gp.rp_incremental then begin
+        incr incremental;
+        match rp.Gp.rp_result.Gp.history with
+        | seed_gd :: _ ->
+          check_bool (name ^ ": never worse than its seed") true
+            (Metrics.compare_goodness rp.Gp.rp_result.Gp.goodness seed_gd
+            <= 0)
+        | [] -> Alcotest.fail (name ^ ": incremental result lost its history")
+      end;
+      if not rp.Gp.rp_result.Gp.feasible then begin
+        let scratch = Gp.partition rp.Gp.rp_graph c in
+        check_bool
+          (name ^ ": infeasible repartition confirmed by the oracle")
+          false scratch.Gp.feasible
+      end;
+      g := rp.Gp.rp_graph;
+      prev := rp.Gp.rp_result.Gp.part
+    done
+  done;
+  check_bool
+    (Printf.sprintf "small edits mostly stay incremental (%d/%d)"
+       !incremental !total)
+    true
+    (!incremental > !total / 2)
+
 (* --- serialization round-trips --- *)
 
 let test_io_round_trips () =
@@ -394,7 +529,9 @@ let () =
           Alcotest.test_case "coarsen fast path vs legacy" `Quick
             test_contract_fast_vs_legacy;
           Alcotest.test_case "stream vs multilevel feasibility" `Quick
-            test_stream_vs_multilevel_feasibility ] );
+            test_stream_vs_multilevel_feasibility;
+          Alcotest.test_case "repartition vs scratch oracle" `Quick
+            test_repartition_vs_scratch ] );
       ( "structure",
         [ Alcotest.test_case "matching validity" `Quick
             test_matching_validity;

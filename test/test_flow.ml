@@ -26,7 +26,37 @@ let test_partition_io_rejects_count_mismatch () =
     (try
        ignore (Partition_io.of_string "3 2\n0\n1\n");
        false
-     with Failure _ -> true)
+     with Partition_io.Parse_error _ -> true)
+
+(* Loading is the untrusted direction: every defect must surface as the
+   one documented Parse_error, and the header itself is validated, not
+   just the labels against it. *)
+let test_partition_io_structured_errors () =
+  let rejects name text =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Partition_io.of_string text);
+         false
+       with Partition_io.Parse_error _ -> true)
+  in
+  rejects "label out of range" "2 2\n0\n2\n";
+  rejects "negative label" "2 2\n0\n-1\n";
+  rejects "k = 0 header" "1 0\n0\n";
+  rejects "negative n header" "-1 2\n";
+  rejects "non-integer label" "2 2\n0\nx\n";
+  Alcotest.(check bool) "expect_n mismatch" true
+    (try
+       ignore (Partition_io.of_string ~expect_n:3 "2 2\n0\n1\n");
+       false
+     with Partition_io.Parse_error _ -> true);
+  Alcotest.(check bool) "expect_k mismatch" true
+    (try
+       ignore (Partition_io.of_string ~expect_k:4 "2 2\n0\n1\n");
+       false
+     with Partition_io.Parse_error _ -> true);
+  let part, k = Partition_io.of_string ~expect_n:2 ~expect_k:2 "2 2\n0\n1\n" in
+  Alcotest.(check bool) "expect_* accepts a matching file" true
+    (part = [| 0; 1 |] && k = 2)
 
 let test_partition_io_comments () =
   let part, k = Partition_io.of_string "% a comment\n2 2\n0\n1\n" in
@@ -176,6 +206,8 @@ let () =
             test_partition_io_rejects_bad_label;
           Alcotest.test_case "count mismatch" `Quick
             test_partition_io_rejects_count_mismatch;
+          Alcotest.test_case "structured errors" `Quick
+            test_partition_io_structured_errors;
           Alcotest.test_case "comments" `Quick test_partition_io_comments;
           Alcotest.test_case "file roundtrip" `Quick
             test_partition_io_file_roundtrip;

@@ -23,11 +23,10 @@ let never_crashes name parse gen =
   QCheck2.Test.make ~name ~count:300 gen (fun text ->
       match parse text with
       | (_ : Wgraph.t) -> true
+      (* The one documented exception: even a negative weight in an
+         otherwise well-formed file, which the graph constructors flag
+         with Invalid_argument, must reach the caller as Failure. *)
       | exception Failure _ -> true
-      | exception Invalid_argument _ ->
-        (* e.g. a negative weight in an otherwise well-formed file: still a
-           clean, documented rejection *)
-        true
       | exception _ -> false)
 
 let fuzz_of_metis_printable =
@@ -73,13 +72,12 @@ let fuzz_lang_token_soup =
 (* --- fuzz: Partition_io --- *)
 
 let fuzz_partition_io =
-  QCheck2.Test.make ~name:"partition files: garbage -> Failure only"
+  QCheck2.Test.make ~name:"partition files: garbage -> Parse_error only"
     ~count:300 structured_garbage_gen
     (fun text ->
       match Ppnpart_partition.Partition_io.of_string text with
       | _ -> true
-      | exception Failure _ -> true
-      | exception Invalid_argument _ -> true)
+      | exception Ppnpart_partition.Partition_io.Parse_error _ -> true)
 
 (* --- scale: GP on a 10k-node planted instance (Slow) --- *)
 

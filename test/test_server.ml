@@ -1,0 +1,484 @@
+(* Tests for the daemon stack: Json, Protocol, Worker_pool, Service and
+   an in-process end-to-end Daemon round trip (DESIGN.md §6.7). *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+module Json = Ppnpart_server.Json
+module Protocol = Ppnpart_server.Protocol
+module Service = Ppnpart_server.Service
+module Daemon = Ppnpart_server.Daemon
+module Worker_pool = Ppnpart_exec.Worker_pool
+module Config = Ppnpart_core.Config
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [ "null"; "true"; "false"; "0"; "-17"; "3.5"; "\"\"";
+      "\"a b\\\"c\\\\d\""; "[]"; "[1,2,3]"; "{}";
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}" ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %S: %s" s e
+      | Ok v ->
+        let s' = Json.to_string v in
+        (match Json.parse s' with
+        | Error e -> Alcotest.failf "reparse %S: %s" s' e
+        | Ok v' -> check_bool (Printf.sprintf "roundtrip %S" s) true (v = v')))
+    cases
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "nul"; "{\"a\"}"; "{\"a\":1} trailing"; "'single'";
+      "{\"a\":01}" ]
+
+let test_json_numbers () =
+  (match Json.parse "1073741824" with
+  | Ok (Json.Num f) -> check_int "big int survives" 1073741824 (int_of_float f)
+  | _ -> Alcotest.fail "1073741824 did not parse as Num");
+  check_string "int prints without dot" "42" (Json.to_string (Json.int 42));
+  check_string "negative int" "-7" (Json.to_string (Json.int (-7)))
+
+let test_json_string_escapes () =
+  match Json.parse "\"tab\\tnl\\nu\\u0041\"" with
+  | Ok (Json.Str s) -> check_string "escapes decoded" "tab\tnl\nuA" s
+  | _ -> Alcotest.fail "escaped string did not parse"
+
+(* --- Protocol --- *)
+
+let test_protocol_parse_ok () =
+  (match Protocol.parse "{\"op\":\"stats\",\"id\":7}" with
+  | Some (Json.Num 7.0), Ok Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats with id");
+  (match Protocol.parse "{\"op\":\"shutdown\"}" with
+  | None, Ok Protocol.Shutdown -> ()
+  | _ -> Alcotest.fail "shutdown");
+  (match
+     Protocol.parse
+       "{\"op\":\"partition\",\"graph\":\"g\",\"k\":3,\"rmax\":9,\"seed\":5}"
+   with
+  | _, Ok (Protocol.Partition { graph = "g"; c; mode; seed = 5; jobs = 1 }) ->
+    check_int "k" 3 c.Types.k;
+    check_int "rmax" 9 c.Types.rmax;
+    check_int "bmax default" max_int c.Types.bmax;
+    check_bool "mode default" true (mode = Config.Multilevel)
+  | _ -> Alcotest.fail "partition defaults")
+
+let test_protocol_parse_edits () =
+  match
+    Protocol.parse
+      ("{\"op\":\"repartition\",\"graph\":\"g\",\"edits\":["
+      ^ "{\"op\":\"add_node\",\"weight\":2,\"neighbors\":[[0,1],[3,4]]},"
+      ^ "{\"op\":\"remove_node\",\"node\":1},"
+      ^ "{\"op\":\"add_edge\",\"u\":0,\"v\":2,\"w\":5},"
+      ^ "{\"op\":\"remove_edge\",\"u\":2,\"v\":3},"
+      ^ "{\"op\":\"set_node_weight\",\"node\":0,\"w\":9},"
+      ^ "{\"op\":\"set_edge_weight\",\"u\":0,\"v\":2,\"w\":1}]}")
+  with
+  | _, Ok (Protocol.Repartition { graph = "g"; edits }) ->
+    let names = List.map Graph_edit.op_name edits in
+    Alcotest.(check (list string))
+      "all six op kinds parse"
+      [ "add_node"; "remove_node"; "add_edge"; "remove_edge";
+        "set_node_weight"; "set_edge_weight" ]
+      names
+  | _ -> Alcotest.fail "edit batch did not parse"
+
+let test_protocol_parse_errors () =
+  let err line =
+    match Protocol.parse line with
+    | _, Error _ -> ()
+    | _, Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" line
+  in
+  err "not json";
+  err "{\"op\":\"frobnicate\"}";
+  err "{\"id\":1}";
+  err "{\"op\":\"partition\",\"graph\":\"g\"}";
+  (* no k *)
+  err "{\"op\":\"partition\",\"graph\":\"g\",\"k\":0}";
+  err "{\"op\":\"repartition\",\"graph\":\"g\",\"edits\":[{\"op\":\"bogus\"}]}";
+  (* id still recovered from a malformed request *)
+  match Protocol.parse "{\"id\":42,\"op\":\"frobnicate\"}" with
+  | Some (Json.Num 42.0), Error _ -> ()
+  | _ -> Alcotest.fail "id not recovered from bad request"
+
+let test_protocol_frames () =
+  check_string "ok frame" "{\"ok\":true,\"n\":3}"
+    (Protocol.ok [ ("n", Json.int 3) ]);
+  check_string "error frame with id"
+    "{\"ok\":false,\"id\":9,\"error\":\"boom\"}"
+    (Protocol.error ~id:(Json.int 9) "boom");
+  check_string "raw splice" "{\"ok\":true,\"a\":1,\"r\":{\"x\":2}}"
+    (Protocol.ok_with_raw [ ("a", Json.int 1) ] ("r", "{\"x\":2}"))
+
+(* --- Worker_pool --- *)
+
+let test_pool_per_client_order () =
+  let pool =
+    Worker_pool.create ~workers:4 ~queue_limit:64 ~state:(fun i -> i)
+  in
+  let lock = Mutex.create () in
+  let done_cond = Condition.create () in
+  let remaining = ref 0 in
+  let out = Hashtbl.create 4 in
+  let jobs_per_client = 25 in
+  for client = 0 to 3 do
+    Hashtbl.replace out client [];
+    for j = 0 to jobs_per_client - 1 do
+      Mutex.lock lock;
+      incr remaining;
+      Mutex.unlock lock;
+      match
+        Worker_pool.submit pool ~client
+          ~run:(fun _ -> j)
+          ~finish:(fun r ->
+            Mutex.lock lock;
+            (match r with
+            | Ok v -> Hashtbl.replace out client (v :: Hashtbl.find out client)
+            | Error _ -> ());
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast done_cond;
+            Mutex.unlock lock)
+      with
+      | `Accepted -> ()
+      | `Overloaded | `Stopped -> Alcotest.fail "submit refused"
+    done
+  done;
+  Mutex.lock lock;
+  while !remaining > 0 do
+    Condition.wait done_cond lock
+  done;
+  Mutex.unlock lock;
+  Worker_pool.stop pool;
+  for client = 0 to 3 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "client %d finishes in submission order" client)
+      (List.init jobs_per_client (fun j -> jobs_per_client - 1 - j))
+      (Hashtbl.find out client)
+  done
+
+let test_pool_overload_and_stop () =
+  let pool = Worker_pool.create ~workers:1 ~queue_limit:2 ~state:(fun _ -> ()) in
+  let gate = Mutex.create () in
+  let release = Condition.create () in
+  let go = ref false in
+  let started = ref false in
+  (* First job blocks the lone worker so the client queue fills up;
+     it signals once it is actually off the queue and running. *)
+  let blocker () =
+    Mutex.lock gate;
+    started := true;
+    Condition.broadcast release;
+    while not !go do
+      Condition.wait release gate
+    done;
+    Mutex.unlock gate
+  in
+  let submit run =
+    Worker_pool.submit pool ~client:1 ~run ~finish:(fun _ -> ())
+  in
+  check_bool "blocker accepted" true (submit blocker = `Accepted);
+  Mutex.lock gate;
+  while not !started do
+    Condition.wait release gate
+  done;
+  Mutex.unlock gate;
+  check_bool "q1 accepted" true (submit (fun _ -> ()) = `Accepted);
+  check_bool "q2 accepted" true (submit (fun _ -> ()) = `Accepted);
+  check_bool "q3 refused" true (submit (fun _ -> ()) = `Overloaded);
+  Mutex.lock gate;
+  go := true;
+  Condition.broadcast release;
+  Mutex.unlock gate;
+  Worker_pool.stop pool;
+  check_bool "post-stop refused" true (submit (fun _ -> ()) = `Stopped);
+  check_int "drained" 0 (Worker_pool.pending pool)
+
+let test_pool_exceptions_reach_finish () =
+  let pool = Worker_pool.create ~workers:2 ~queue_limit:8 ~state:(fun _ -> ()) in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let got = ref None in
+  (match
+     Worker_pool.submit pool ~client:0
+       ~run:(fun _ -> failwith "kaboom")
+       ~finish:(fun r ->
+         Mutex.lock lock;
+         got := Some r;
+         Condition.broadcast cond;
+         Mutex.unlock lock)
+   with
+  | `Accepted -> ()
+  | _ -> Alcotest.fail "submit refused");
+  Mutex.lock lock;
+  while !got = None do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  Worker_pool.stop pool;
+  match !got with
+  | Some (Error (Failure msg)) when msg = "kaboom" -> ()
+  | _ -> Alcotest.fail "exception did not reach finish as Error"
+
+(* --- Service --- *)
+
+let metis_text =
+  (* 4-cycle with unit weights, METIS text the same way the CLI writes
+     it. *)
+  Graph_io.to_metis
+    (Wgraph.of_edges 4 [ (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 0, 1) ])
+
+let ws = lazy (Workspace.create ())
+
+let handle svc line =
+  Service.handle svc ~workspace:(Lazy.force ws) (Protocol.parse line)
+
+let ok_json name (response, verdict) =
+  (match Json.parse response with
+  | Ok (Json.Obj (("ok", Json.Bool true) :: _) as v) -> (v, verdict)
+  | Ok (Json.Obj (("ok", Json.Bool false) :: _)) ->
+    Alcotest.failf "%s: error frame: %s" name response
+  | _ -> Alcotest.failf "%s: not a response object: %s" name response)
+
+let err_json name (response, verdict) =
+  check_bool (name ^ ": continues") true (verdict = `Continue);
+  match Json.parse response with
+  | Ok (Json.Obj (("ok", Json.Bool false) :: _) as v) -> (
+    match Json.member "error" v with
+    | Some (Json.Str msg) -> msg
+    | _ -> Alcotest.failf "%s: error frame without message: %s" name response)
+  | _ -> Alcotest.failf "%s: expected error frame, got %s" name response
+
+let field name v key =
+  match Json.member key v with
+  | Some x -> x
+  | None -> Alcotest.failf "%s: missing field %S" name key
+
+let test_service_flow () =
+  let svc = Service.create () in
+  let submit =
+    Printf.sprintf "{\"op\":\"submit\",\"graph\":\"g\",\"metis\":%s}"
+      (Json.to_string (Json.Str metis_text))
+  in
+  let v, verdict = ok_json "submit" (handle svc submit) in
+  check_bool "submit continues" true (verdict = `Continue);
+  check_bool "submit nodes" true (field "submit" v "nodes" = Json.int 4);
+  let v, _ =
+    ok_json "partition"
+      (handle svc "{\"op\":\"partition\",\"graph\":\"g\",\"k\":2}")
+  in
+  check_bool "partition feasible" true
+    (field "partition" v "feasible" = Json.Bool true);
+  (match field "partition" v "labels" with
+  | Json.Arr labels -> check_int "labels for every node" 4 (List.length labels)
+  | _ -> Alcotest.fail "labels not an array");
+  let v, _ =
+    ok_json "repartition"
+      (handle svc
+         ("{\"op\":\"repartition\",\"graph\":\"g\",\"edits\":"
+        ^ "[{\"op\":\"add_node\",\"weight\":1,\"neighbors\":[[0,1]]}]}"))
+  in
+  check_bool "repartition grew graph" true
+    (field "repartition" v "nodes" = Json.int 5);
+  check_bool "repartition feasible" true
+    (field "repartition" v "feasible" = Json.Bool true);
+  let v, _ = ok_json "report" (handle svc "{\"op\":\"report\",\"graph\":\"g\"}") in
+  (match field "report" v "report" with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "report not spliced as an object");
+  let v, _ = ok_json "stats" (handle svc "{\"op\":\"stats\"}") in
+  check_bool "stats counts graphs" true (field "stats" v "graphs" = Json.int 1);
+  let _, verdict = ok_json "shutdown" (handle svc "{\"op\":\"shutdown\"}") in
+  check_bool "shutdown verdict" true (verdict = `Shutdown)
+
+let test_service_errors () =
+  let svc = Service.create () in
+  let msg = err_json "parse" (handle svc "not json at all") in
+  check_bool "parse error mentions json" true (String.length msg > 0);
+  let msg =
+    err_json "unknown graph"
+      (handle svc "{\"op\":\"partition\",\"graph\":\"nope\",\"k\":2}")
+  in
+  check_bool "names the graph" true (contains msg "nope");
+  let submit =
+    Printf.sprintf "{\"op\":\"submit\",\"graph\":\"g\",\"metis\":%s}"
+      (Json.to_string (Json.Str metis_text))
+  in
+  ignore (ok_json "submit" (handle svc submit));
+  let msg =
+    err_json "repartition before partition"
+      (handle svc "{\"op\":\"repartition\",\"graph\":\"g\",\"edits\":[]}")
+  in
+  check_bool "says partition first" true (String.length msg > 0);
+  ignore (ok_json "partition" (handle svc "{\"op\":\"partition\",\"graph\":\"g\",\"k\":2}"));
+  let msg =
+    err_json "bad edit"
+      (handle svc
+         ("{\"op\":\"repartition\",\"graph\":\"g\",\"edits\":"
+        ^ "[{\"op\":\"remove_node\",\"node\":99}]}"))
+  in
+  check_bool "bad edit reported" true (String.length msg > 0);
+  let msg =
+    err_json "bad metis"
+      (handle svc "{\"op\":\"submit\",\"graph\":\"h\",\"metis\":\"garbage\"}")
+  in
+  check_bool "bad metis reported" true (String.length msg > 0);
+  let v, _ = ok_json "stats" (handle svc "{\"op\":\"stats\"}") in
+  match field "stats" v "errors" with
+  | Json.Num errors -> check_bool "errors counted" true (errors >= 4.0)
+  | _ -> Alcotest.fail "errors not a number"
+
+(* --- Daemon end to end --- *)
+
+let daemon_socket () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ppnpartd-test-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
+
+(* Run a daemon in a thread, connect, play a scripted list of request
+   lines (last one "shutdown"), return the response lines. *)
+let with_daemon ~workers lines =
+  let path = daemon_socket () in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let is_ready = ref false in
+  let daemon =
+    Thread.create
+      (fun () ->
+        Daemon.serve
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            is_ready := true;
+            Condition.broadcast ready_c;
+            Mutex.unlock ready_m)
+          { Daemon.socket_path = path; workers; queue_limit = 64 })
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !is_ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  let responses =
+    List.map
+      (fun _ -> try input_line ic with End_of_file -> "<eof>")
+      lines
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Thread.join daemon;
+  check_bool "socket removed on shutdown" true (not (Sys.file_exists path));
+  responses
+
+let script =
+  [ Printf.sprintf
+      "{\"id\":1,\"op\":\"submit\",\"graph\":\"g\",\"metis\":%s}"
+      (Json.to_string (Json.Str metis_text));
+    "{\"id\":2,\"op\":\"partition\",\"graph\":\"g\",\"k\":2,\"seed\":3}";
+    "{\"id\":3,\"op\":\"repartition\",\"graph\":\"g\",\"edits\":\
+     [{\"op\":\"add_edge\",\"u\":0,\"v\":2,\"w\":2}]}";
+    "{\"id\":4,\"op\":\"report\",\"graph\":\"g\"}";
+    "{\"id\":5,\"op\":\"bogus\"}";
+    "{\"id\":6,\"op\":\"shutdown\"}" ]
+
+let test_daemon_end_to_end () =
+  let responses = with_daemon ~workers:2 script in
+  check_int "one response per request" (List.length script)
+    (List.length responses);
+  List.iteri
+    (fun i line ->
+      match Json.parse line with
+      | Ok v ->
+        check_bool
+          (Printf.sprintf "response %d echoes id" i)
+          true
+          (Json.member "id" v = Some (Json.int (i + 1)));
+        let expect_ok = i <> 4 in
+        check_bool
+          (Printf.sprintf "response %d ok=%b" i expect_ok)
+          true
+          (Json.member "ok" v = Some (Json.Bool expect_ok))
+      | Error e -> Alcotest.failf "response %d not json (%s): %s" i e line)
+    responses
+
+let test_daemon_deterministic_across_workers_and_restarts () =
+  (* Same scripted session against a fresh daemon, 1 worker vs 4
+     workers: byte-identical responses (modulo the runtime_s field,
+     which is wall-clock by design). *)
+  let strip_runtime line =
+    (* runtime_s is wall-clock by design; blank its value out before
+       comparing responses byte for byte. *)
+    let marker = "\"runtime_s\":" in
+    match String.index_opt line 'r' with
+    | None -> line
+    | Some _ -> (
+      let nl = String.length line and nm = String.length marker in
+      let rec find i =
+        if i + nm > nl then None
+        else if String.sub line i nm = marker then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> line
+      | Some i ->
+        let j = ref (i + nm) in
+        while !j < nl && line.[!j] <> ',' && line.[!j] <> '}' do
+          incr j
+        done;
+        String.sub line 0 (i + nm) ^ "_" ^ String.sub line !j (nl - !j))
+  in
+  let run () = List.map strip_runtime (with_daemon ~workers:1 script) in
+  let a = run () in
+  let b = List.map strip_runtime (with_daemon ~workers:4 script) in
+  let c = run () in
+  Alcotest.(check (list string)) "restart-identical" a c;
+  Alcotest.(check (list string)) "worker-count-identical" a b
+
+let quick_tests =
+  [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "json string escapes" `Quick test_json_string_escapes;
+    Alcotest.test_case "protocol parse ok" `Quick test_protocol_parse_ok;
+    Alcotest.test_case "protocol parse edits" `Quick test_protocol_parse_edits;
+    Alcotest.test_case "protocol parse errors" `Quick test_protocol_parse_errors;
+    Alcotest.test_case "protocol frames" `Quick test_protocol_frames;
+    Alcotest.test_case "pool per-client order" `Quick test_pool_per_client_order;
+    Alcotest.test_case "pool overload and stop" `Quick
+      test_pool_overload_and_stop;
+    Alcotest.test_case "pool exceptions reach finish" `Quick
+      test_pool_exceptions_reach_finish;
+    Alcotest.test_case "service flow" `Quick test_service_flow;
+    Alcotest.test_case "service errors" `Quick test_service_errors;
+    Alcotest.test_case "daemon end to end" `Quick test_daemon_end_to_end ]
+
+let slow_tests =
+  [ Alcotest.test_case "daemon deterministic across workers/restarts" `Slow
+      test_daemon_deterministic_across_workers_and_restarts ]
+
+let () =
+  Alcotest.run "server"
+    [ ("server", quick_tests @ slow_tests) ]
