@@ -379,6 +379,11 @@ let smoke_rules =
     lower ~pct:5. ~abs:2. "refine_4k.cut";
     lower "refine_4k.violation";
     higher ~pct:60. ~abs:0.5 "refine_4k.speedup";
+    stay_true "refine_parallel_20k.deterministic_across_jobs";
+    stay_true "refine_parallel_20k.parallel_refine_never_slower_than_serial";
+    lower ~pct:5. ~abs:2. "refine_parallel_20k.cut";
+    lower "refine_parallel_20k.violation";
+    stay_true "report_2k.report_identical_across_jobs";
     stay_true "coarsen_4k.bit_identical";
     higher ~pct:50. "coarsen_4k.alloc_ratio";
     stay_true "obs_overhead.same_partition";
@@ -406,6 +411,10 @@ let partition_rules =
     lower ~pct:5. ~abs:2. "fm_5k.refine_cut";
     stay_true "refine_50k.same_goodness";
     higher ~pct:60. ~abs:0.5 "refine_50k.speedup";
+    stay_true "refine_1m.deterministic_across_jobs";
+    stay_true "refine_1m.parallel_refine_never_slower_than_serial";
+    lower ~pct:5. ~abs:2. "refine_1m.cut";
+    lower "refine_1m.violation";
     stay_true "coarsen_50k.bit_identical";
     higher ~pct:50. "coarsen_50k.alloc_ratio";
     stay_true "vcycles_20.deterministic_across_jobs";
@@ -432,9 +441,11 @@ let partition_rules =
   ]
 
 let rules_for_schema = function
-  | "ppnpart-bench-smoke/1" | "ppnpart-bench-smoke/2" -> Some smoke_rules
+  | "ppnpart-bench-smoke/1" | "ppnpart-bench-smoke/2"
+  | "ppnpart-bench-smoke/3" ->
+    Some smoke_rules
   | "ppnpart-bench-partition/5" | "ppnpart-bench-partition/6"
-  | "ppnpart-bench-partition/7" ->
+  | "ppnpart-bench-partition/7" | "ppnpart-bench-partition/8" ->
     Some partition_rules
   | _ -> None
 

@@ -12,6 +12,8 @@ module PG = Ppnpart_workloads.Paper_graphs
 module Gp = Ppnpart_core.Gp
 module Config = Ppnpart_core.Config
 module Report = Ppnpart_core.Report
+module Run_report = Ppnpart_core.Run_report
+module Team = Ppnpart_exec.Team
 module Metis_like = Ppnpart_baselines.Metis_like
 
 let out_dir = "bench_out"
@@ -630,6 +632,133 @@ let refine_bench ?(reps = 3) ~n ~k () =
   in
   (row, legacy_s, boundary_s)
 
+(* Deterministic parallel refinement (Refine_parallel) vs the serial
+   boundary refiner it reproduces. Bit-identity of partition and
+   goodness is asserted against the serial side at every width on every
+   benchmark run, so the timing spread is pure scheduling: speculative
+   proposal waves across a resident team vs the one-slot-at-a-time
+   serial sweep. Width 1 runs the full wave machinery inline and is
+   gated (compare.exe) to never cost more than 10% over the serial
+   refiner — the speculation bookkeeping must stay in the noise when it
+   cannot buy anything. On a single-core host the wider rows time-slice
+   one core, so their wall clock sits at ~1x and [speedup_4] only means
+   something on a >= 4-core machine; the structural fields (identity,
+   never-slower at width 1) are what CI keys on. *)
+let refine_parallel_bench ?(reps = 3) ~n ~k () =
+  let rng = Random.State.make [| n; k; 0x5250 |] in
+  let g, c = Ppnpart_workloads.Rand_graph.random_partitionable rng ~n ~k in
+  (* Same regime as refine_bench: the planted clustering with 2% of the
+     nodes kicked — the mostly-converged shape every un-coarsening
+     level hands the refiner. *)
+  let part0 = Array.init n (fun u -> u * k / n) in
+  for _ = 1 to n / 100 do
+    let u = Random.State.int rng n in
+    part0.(u) <- (part0.(u) + 1 + Random.State.int rng (k - 1)) mod k
+  done;
+  let mk_rng () = Random.State.make [| 7 |] in
+  let ws = Workspace.create () in
+  let run_serial () =
+    Refine_constrained.refine ~workspace:ws (mk_rng ()) g c
+      (Array.copy part0)
+  in
+  ignore (run_serial () (* warm the workspace *));
+  let (sp, sg), serial_s = compacted_min ~reps run_serial in
+  let time_width w =
+    let tm = if w = 1 then None else Some (Team.create ~width:w) in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Team.shutdown tm)
+      (fun () ->
+        let run () =
+          Refine_parallel.refine ~workspace:ws ?team:tm (mk_rng ()) g c
+            (Array.copy part0)
+        in
+        ignore (run () (* warm the wave scratch at this width *));
+        let (pp, pg), t = compacted_min ~reps run in
+        if
+          pp <> sp
+          || pg.Metrics.violation <> sg.Metrics.violation
+          || pg.Metrics.cut_value <> sg.Metrics.cut_value
+        then
+          failwith
+            (Printf.sprintf
+               "refine_parallel_bench n=%d width=%d: diverged from serial \
+                (violation %d vs %d, cut %d vs %d, partitions %s)"
+               n w pg.Metrics.violation sg.Metrics.violation
+               pg.Metrics.cut_value sg.Metrics.cut_value
+               (if pp = sp then "equal" else "differ"));
+        t)
+  in
+  let t1 = time_width 1 in
+  let t2 = time_width 2 in
+  let t4 = time_width 4 in
+  let t8 = time_width 8 in
+  (* One capture-instrumented width-4 rep records how much speculation
+     was wasted: conflicting slots and serial re-scores per run. *)
+  let waves, conflicts, rescored =
+    let tm = Team.create ~width:4 in
+    Fun.protect
+      ~finally:(fun () -> Team.shutdown tm)
+      (fun () ->
+        let _, cap =
+          Ppnpart_obs.Obs.with_capture (fun () ->
+              Refine_parallel.refine ~workspace:ws ~team:tm (mk_rng ()) g c
+                (Array.copy part0))
+        in
+        let totals = Ppnpart_obs.Trace_export.counter_totals cap in
+        let total name =
+          match List.assoc_opt name totals with Some v -> v | None -> 0
+        in
+        ( total "refine.wave.count",
+          total "refine.wave.conflicts",
+          total "refine.wave.rescored" ))
+  in
+  (* Divergence at any width failed hard above, so reaching the row
+     means every width reproduced the serial refiner bit-for-bit. The
+     1 ms absolute slack keeps the sub-10 ms smoke instance out of
+     timer-noise territory; at the 1M row it is negligible. *)
+  let never_slower = t1 <= (serial_s *. 1.10) +. 0.001 in
+  let row =
+    Printf.sprintf
+      {|{ "n": %d, "m": %d, "k": %d,
+      "serial_refine_s": %.4f, "par_refine_1_s": %.4f,
+      "par_refine_2_s": %.4f, "par_refine_4_s": %.4f,
+      "par_refine_8_s": %.4f, "speedup_4": %.2f,
+      "waves": %d, "wave_conflicts": %d, "wave_rescored": %d,
+      "violation": %d, "cut": %d,
+      "deterministic_across_jobs": true,
+      "parallel_refine_never_slower_than_serial": %b }|}
+      n (Wgraph.n_edges g) k serial_s t1 t2 t4 t8 (serial_s /. t4) waves
+      conflicts rescored sg.Metrics.violation sg.Metrics.cut_value
+      never_slower
+  in
+  (row, serial_s, t1, never_slower)
+
+(* The consolidated deterministic run report must be byte-identical
+   when only the execution width changes. Runs the full GP pipeline on
+   an instance past the serial-fallback gate twice — jobs/refine-jobs
+   1 vs 4, the second with a real width-4 refinement team even on a
+   single-core host, since an explicit --refine-jobs is honored
+   uncapped — and byte-compares the [~deterministic] reports. *)
+let report_determinism_row ~n ~k () =
+  let rng = Random.State.make [| n; k; 0x5253 |] in
+  let g, c = Ppnpart_workloads.Rand_graph.random_partitionable rng ~n ~k in
+  let run jobs refine_jobs =
+    Gp.partition
+      ~config:{ Config.default with Config.jobs; refine_jobs }
+      g c
+  in
+  let r1 = run 1 1 and r4 = run 4 4 in
+  let report r =
+    Run_report.of_result ~deterministic:true ~algo:"gp" g c r
+  in
+  let identical = report r1 = report r4 in
+  let row =
+    Printf.sprintf
+      {|{ "n": %d, "k": %d, "report_identical_across_jobs": %b }|} n k
+      identical
+  in
+  (row, identical)
+
 (* Hierarchy construction: the legacy Edge_list pipeline (boxed tuples,
    polymorphic sorts) vs the direct CSR kernel against a reusable
    workspace. Both consume identical rng draws and must produce
@@ -1242,8 +1371,8 @@ let bench_json () =
           r.Gp.feasible r.Gp.runtime_s r.Gp.cycles_used r.Gp.levels
           Config.default.Config.jobs (p "coarsen.level")
           (p "initial.greedy")
-          (p "refine.constrained" +. p "refine.tabu"
-          +. p "refine.state_init")
+          (p "refine.constrained" +. p "refine.parallel"
+          +. p "refine.tabu" +. p "refine.state_init")
           (p "gp.cycle"))
       PG.all
   in
@@ -1251,6 +1380,9 @@ let bench_json () =
      numbers remain comparable with earlier records. *)
   let _, _, fm_row = fm_bench ~n:5000 ~m:20000 ~k:8 in
   let refine_row, _, _ = refine_bench ~n:50_000 ~k:8 () in
+  let refine_1m_row, _, _, _ =
+    refine_parallel_bench ~n:1_000_000 ~k:16 ~reps:2 ()
+  in
   let coarsen_row = coarsen_bench ~n:50_000 ~m:200_000 in
   let vc_row = vcycle_bench () in
   let obs_row = obs_overhead () in
@@ -1269,13 +1401,14 @@ let bench_json () =
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-partition/7",
+  "schema": "ppnpart-bench-partition/8",
   "generated_unix": %.0f,
   "instances": [
 %s
   ],
   "fm_5k": %s,
   "refine_50k": %s,
+  "refine_1m": %s,
   "coarsen_50k": %s,
   "vcycles_20": %s,
   "obs_overhead": %s,
@@ -1289,8 +1422,9 @@ let bench_json () =
 |}
       (Unix.time ())
       (String.concat ",\n" instance_rows)
-      fm_row refine_row coarsen_row vc_row obs_row stream_1m_row stream_row
-      hybrid_row ingest_row repartition_row daemon_row
+      fm_row refine_row refine_1m_row coarsen_row vc_row obs_row
+      stream_1m_row stream_row hybrid_row ingest_row repartition_row
+      daemon_row
   in
   let path = Filename.concat out_dir "BENCH_partition.json" in
   Graph_io.write_file path json;
@@ -1321,6 +1455,28 @@ let smoke () =
       (Printf.sprintf
          "smoke: boundary refine slower than legacy (%.4fs > %.4fs)"
          boundary_s legacy_s);
+  (* Wave-parallel refinement at CI size: bit-identity against the
+     serial refiner is asserted inside the bench at widths 1/2/4/8, and
+     the width-1 wave machinery must stay within 10% of the serial
+     sweep — speculation that costs when it cannot pay is a
+     regression. *)
+  let rp_row, rp_serial_s, rp_par1_s, rp_never_slower =
+    refine_parallel_bench ~n:20_000 ~k:8 ~reps:3 ()
+  in
+  Printf.printf "  refine_parallel_20k: %s\n%!" rp_row;
+  if not rp_never_slower then
+    failwith
+      (Printf.sprintf
+         "smoke: width-1 wave refine slower than serial beyond tolerance \
+          (%.4fs > 1.10 * %.4fs)"
+         rp_par1_s rp_serial_s);
+  (* Jobs-determinism of the consolidated report: the deterministic
+     report must be byte-identical between jobs/refine-jobs 1 and 4. *)
+  let report_row, report_identical = report_determinism_row ~n:2_000 ~k:8 () in
+  Printf.printf "  report_2k: %s\n%!" report_row;
+  if not report_identical then
+    failwith
+      "smoke: deterministic run report differs between jobs 1 and jobs 4";
   let coarsen_row = coarsen_bench ~n:4_000 ~m:16_000 in
   Printf.printf "  coarsen_4k: %s\n%!" coarsen_row;
   let obs_row = obs_overhead ~reps:2 () in
@@ -1386,6 +1542,10 @@ let bench_json_smoke () =
   ensure_out_dir ();
   let _, _, fm_row = fm_bench ~n:600 ~m:2400 ~k:4 in
   let refine_row, _, _ = refine_bench ~n:4_000 ~k:8 () in
+  let refine_parallel_row, _, _, _ =
+    refine_parallel_bench ~n:20_000 ~k:8 ~reps:3 ()
+  in
+  let report_row, _ = report_determinism_row ~n:2_000 ~k:8 () in
   let coarsen_row = coarsen_bench ~n:4_000 ~m:16_000 in
   let obs_row = obs_overhead ~reps:3 () in
   let g, c = vcycle_instance ~layers:20 ~width:10 in
@@ -1407,10 +1567,12 @@ let bench_json_smoke () =
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-smoke/2",
+  "schema": "ppnpart-bench-smoke/3",
   "generated_unix": %.0f,
   "fm_600": %s,
   "refine_4k": %s,
+  "refine_parallel_20k": %s,
+  "report_2k": %s,
   "coarsen_4k": %s,
   "obs_overhead": %s,
   "vcycles_5": %s,
@@ -1420,8 +1582,8 @@ let bench_json_smoke () =
   "repartition_4k": %s
 }
 |}
-      (Unix.time ()) fm_row refine_row coarsen_row obs_row vc_row stream_row
-      hybrid_row ingest_row repart_row
+      (Unix.time ()) fm_row refine_row refine_parallel_row report_row
+      coarsen_row obs_row vc_row stream_row hybrid_row ingest_row repart_row
   in
   let path = Filename.concat out_dir "BENCH_smoke.json" in
   Graph_io.write_file path json;

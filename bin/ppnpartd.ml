@@ -43,12 +43,15 @@ let socket_arg =
 
 let workers_arg =
   Arg.(
-    value & opt int 1
+    value & opt int 0
     & info [ "w"; "workers" ] ~docv:"N"
         ~doc:
           "Resident worker domains. Each owns one workspace for its whole \
            lifetime; requests for different graphs run concurrently on up \
-           to $(docv) domains.")
+           to $(docv) domains. 0 (the default) means auto: the recommended \
+           domain count of the host. An explicit value above the core \
+           count is honored but warned about — compute-bound workers \
+           beyond the hardware only add scheduler churn.")
 
 let queue_limit_arg =
   Arg.(
@@ -70,8 +73,8 @@ let metrics_out_arg =
            shutdown ($(b,-) for stdout).")
 
 let run () socket workers queue_limit metrics_out =
-  if workers < 1 then begin
-    Printf.eprintf "error: --workers must be >= 1\n";
+  if workers < 0 then begin
+    Printf.eprintf "error: --workers must be >= 0 (0 = auto)\n";
     2
   end
   else if queue_limit < 1 then begin
@@ -79,6 +82,14 @@ let run () socket workers queue_limit metrics_out =
     2
   end
   else begin
+    let recommended = Ppnpart_exec.Domains.recommended () in
+    let workers = if workers = 0 then recommended else workers in
+    if workers > recommended then
+      Logs.warn (fun m ->
+          m
+            "--workers %d exceeds the recommended domain count (%d); \
+             compute-bound workers past the core count reduce throughput"
+            workers recommended);
     let metrics = metrics_out <> None in
     if metrics then Ppnpart_obs.Metrics_registry.install ();
     match

@@ -14,6 +14,7 @@ type t = {
   tabu_iterations : int;
   seed : int;
   jobs : int;
+  refine_jobs : int;
   debug_checks : bool;
   mode : mode;
   stream_iterations : int;
@@ -30,6 +31,7 @@ let default =
     tabu_iterations = 0;
     seed = 0;
     jobs = 1;
+    refine_jobs = 0;
     debug_checks = Ppnpart_check.Check.env_enabled ();
     mode = Multilevel;
     stream_iterations = Ppnpart_partition.Stream.default_iterations;
@@ -43,6 +45,7 @@ let validate t =
   if t.refine_passes < 1 then invalid_arg "Config: refine_passes < 1";
   if t.tabu_iterations < 0 then invalid_arg "Config: tabu_iterations < 0";
   if t.jobs < 0 then invalid_arg "Config: jobs < 0";
+  if t.refine_jobs < 0 then invalid_arg "Config: refine_jobs < 0";
   if t.stream_iterations < 1 then invalid_arg "Config: stream_iterations < 1";
   (* Negated comparison so NaN is rejected too. *)
   if not (t.repartition_gate >= 0.0) then

@@ -44,6 +44,13 @@ type t = {
           means auto ([PPNPART_JOBS] or
           [Domain.recommended_domain_count ()]). The partition returned
           is identical for every job count (default 1). *)
+  refine_jobs : int;
+      (** team width for deterministic parallel refinement
+          ({!Ppnpart_partition.Refine_parallel}) inside a single run.
+          [0] (the default) follows [jobs], clamped to the hardware
+          parallelism budget; an explicit positive value is honored
+          exactly. Width never affects results — the refinement waves
+          are bit-identical at every width by construction. *)
   debug_checks : bool;
       (** when true, [Gp.partition] installs the [Ppnpart_check]
           validators for the duration of the run: every phase boundary

@@ -1,6 +1,8 @@
 open Ppnpart_graph
 open Ppnpart_partition
 module Pool = Ppnpart_exec.Pool
+module Team = Ppnpart_exec.Team
+module Domains = Ppnpart_exec.Domains
 
 type result = {
   part : int array;
@@ -24,7 +26,29 @@ module Log = (val Logs.src_log src : Logs.LOG)
    resource-bounded growth (Section IV.B) and — the "partitioning phase
    (randomly)" of the cyclic scheme (Section IV.C) — a uniformly random
    assignment; the refined candidate of better goodness descends. *)
-let descend (cfg : Config.t) ?workspace ~jobs rng hierarchy c =
+(* Width of the refinement team for an [n]-node instance. Below the
+   parallel gate the serial refiner wins outright. On a pooled worker
+   domain (a speculative V-cycle task, a daemon request) the hardware
+   budget is already spent on the pool — refine at width 1 rather than
+   spawn a second domain set. An explicit [--refine-jobs] is honored
+   exactly (no hardware clamp): the determinism tests rely on running
+   real multi-domain teams regardless of the host's core count; only
+   the jobs-derived default is clamped. Width never affects results. *)
+let refine_width (cfg : Config.t) n =
+  if n <= Refine_constrained.exact_fallback_limit || Domains.in_worker ()
+  then 1
+  else if cfg.Config.refine_jobs > 0 then cfg.Config.refine_jobs
+  else min (Pool.resolve cfg.Config.jobs) (Domains.recommended ())
+
+let with_refine_team (cfg : Config.t) n f =
+  let width = refine_width cfg n in
+  if width <= 1 then f None
+  else begin
+    let tm = Team.create ~width in
+    Fun.protect ~finally:(fun () -> Team.shutdown tm) (fun () -> f (Some tm))
+  end
+
+let descend (cfg : Config.t) ?workspace ?team ~jobs rng hierarchy c =
   Ppnpart_obs.Span.phase
     ~args:(fun () ->
       let coarsest = Coarsen.coarsest hierarchy in
@@ -39,7 +63,7 @@ let descend (cfg : Config.t) ?workspace ~jobs rng hierarchy c =
   in
   let coarsest = Coarsen.coarsest hierarchy in
   let refine_initial initial =
-    Refine_constrained.refine ~workspace:ws
+    Refine_parallel.refine ~workspace:ws ?team
       ~max_passes:cfg.Config.refine_passes rng coarsest c initial
   in
   let greedy =
@@ -88,8 +112,8 @@ let descend (cfg : Config.t) ?workspace ~jobs rng hierarchy c =
           Ppnpart_check.Check.part_state ~site:"gp.uncoarsen.project"
             fine_st
         end;
-        Refine_constrained.refine_state ~max_passes:cfg.Config.refine_passes
-          rng fine_st;
+        Refine_parallel.refine_state ?team
+          ~max_passes:cfg.Config.refine_passes rng fine_st;
         if checking then
           Ppnpart_check.Check.partition ~site:"gp.uncoarsen.refined"
             (Coarsen.graph_at hierarchy level)
@@ -289,8 +313,10 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
            refiner only ever commits strict improvements, so the result
            is never worse than the streaming seed; its goodness is kept
            as the single [history] entry so callers can see what
-           refinement bought. Sequential and pool-free, hence
-           bit-identical across [--jobs] like the stream itself. *)
+           refinement bought. Pool-free; refinement runs wave-parallel
+           on a team whose width never affects results, so the hybrid
+           stays bit-identical across [--jobs] like the stream
+           itself. *)
         let checking = Ppnpart_check.Check.enabled () in
         let ws = Workspace.create () in
         let seed_part, _stats =
@@ -301,8 +327,9 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
           Ppnpart_check.Check.partition ~site:"gp.stream" g c seed_part;
         let seed_goodness = Metrics.goodness g c seed_part in
         let st = Part_state.init ~workspace:ws g c seed_part in
-        Refine_constrained.refine_state
-          ~max_passes:config.Config.refine_passes rng st;
+        with_refine_team config n (fun team ->
+            Refine_parallel.refine_state ?team
+              ~max_passes:config.Config.refine_passes rng st);
         if checking then begin
           Ppnpart_check.Check.part_state ~site:"gp.hybrid.refined" st;
           Ppnpart_check.Check.partition ~site:"gp.hybrid.refined" g c
@@ -339,8 +366,7 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
        extra domains. The fold already reproduces the sequential
        schedule, so the wave width never changes results. *)
     let cycle_jobs =
-      if n >= parallel_cycle_threshold then
-        min jobs (Domain.recommended_domain_count ())
+      if n >= parallel_cycle_threshold then min jobs (Domains.recommended ())
       else 1
     in
     (* One workspace per concurrent cycle slot. Waves are joined before
@@ -356,7 +382,10 @@ let run_partition ~(config : Config.t) g (c : Types.constraints) =
         ~strategies:config.Config.strategies ~jobs rng g
     in
     let best_part =
-      ref (descend config ~workspace:workspaces.(0) ~jobs rng hierarchy c)
+      ref
+        (with_refine_team config n (fun team ->
+             descend config ~workspace:workspaces.(0) ?team ~jobs rng
+               hierarchy c))
     in
     let best_goodness = ref (Metrics.goodness g c !best_part) in
     let history = ref [ !best_goodness ] in
@@ -523,8 +552,9 @@ let run_repartition ~(config : Config.t) ?workspace ~prev g c ops =
     let seed_goodness = Metrics.goodness g' c labels in
     let rng = Random.State.make [| config.Config.seed; 0x6770; 0x7270 |] in
     let st = Part_state.init ~workspace:ws g' c labels in
-    Refine_constrained.refine_state ~max_passes:config.Config.refine_passes
-      rng st;
+    with_refine_team config n' (fun team ->
+        Refine_parallel.refine_state ?team
+          ~max_passes:config.Config.refine_passes rng st);
     if checking then
       Ppnpart_check.Check.partition ~site:"gp.repartition.refined" g' c
         st.Part_state.part;

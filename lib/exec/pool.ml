@@ -7,8 +7,8 @@ let default_jobs () =
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some j when j >= 1 -> j
-    | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+    | Some _ | None -> Domains.recommended ())
+  | None -> Domains.recommended ()
 
 let resolve jobs = if jobs > 0 then jobs else default_jobs ()
 
@@ -25,7 +25,7 @@ let run_deferred ?(jobs = 0) tasks =
      and GC coordination — on a single-core host a requested [jobs = 4]
      used to run 3x *slower* than sequential. Results are unaffected:
      task outputs are deterministic in the task index by construction. *)
-  let jobs = min (resolve jobs) (Domain.recommended_domain_count ()) in
+  let jobs = min (resolve jobs) (Domains.recommended ()) in
   let n = Array.length tasks in
   (* The trace group is created before the sequential/parallel split so
      the buffer tree — and hence the exported trace — has the same shape
@@ -37,6 +37,11 @@ let run_deferred ?(jobs = 0) tasks =
     | Some g ->
       Array.mapi (fun i f () -> Ppnpart_obs.Obs.in_task g i f) tasks
   in
+  (* Every task runs under the nested flag — including the sequential
+     branch and the share executed inline on the main domain — so that
+     code inside a task (e.g. parallel refinement) sees a uniform
+     "already pooled" signal and never spawns a second domain set. *)
+  let tasks = Array.map (fun f () -> Domains.as_worker f) tasks in
   let results =
     if jobs <= 1 || n <= 1 then Array.map (fun f -> f ()) tasks
     else begin
@@ -59,10 +64,10 @@ let run_deferred ?(jobs = 0) tasks =
         done
       in
       let spawned =
-        Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+        Domains.spawn_workers (min (jobs - 1) (n - 1)) (fun _ -> worker ())
       in
       worker ();
-      Array.iter Domain.join spawned;
+      Domains.join_all spawned;
       Array.map
         (function
           | Done v -> v

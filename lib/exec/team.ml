@@ -1,0 +1,131 @@
+(* A resident mini-pool for repeated fork/join waves.
+
+   [Pool.run_deferred] spawns fresh domains per call, which is fine
+   for coarse tasks (whole V-cycles) but far too heavy for the
+   thousands of short proposal waves a single refinement pass issues.
+   A [Team] parks [width - 1] domains on a condition variable and
+   wakes them per wave with a generation counter; the main domain
+   participates as member 0, so [run t f] executes [f wi] for every
+   [wi] in [0 .. width - 1].
+
+   All hand-offs go through [m], so everything the main domain wrote
+   before [run] happens-before the workers' reads, and everything the
+   workers wrote happens-before the main domain observes completion —
+   plain (non-atomic) stores to disjoint slots are race-free.
+
+   The requested width is honored exactly (no clamp to the core
+   count): callers pick the width, and the determinism tests exercise
+   real 2/4/8-domain teams even on a 1-core host. Results never
+   depend on the width by construction of the callers. *)
+
+type phase =
+  | Idle
+  | Work of (int -> unit)
+  | Quit
+
+type t = {
+  width : int;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable phase : phase;
+  mutable generation : int; (* bumped per wave; workers wait for a change *)
+  mutable remaining : int; (* workers yet to finish the current wave *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable domains : unit Domain.t array;
+}
+
+let width t = t.width
+
+let worker_loop t wi =
+  let gen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    while t.generation = !gen && t.phase <> Quit do
+      Condition.wait t.cv t.m
+    done;
+    if t.phase = Quit then begin
+      continue := false;
+      Mutex.unlock t.m
+    end
+    else begin
+      gen := t.generation;
+      let f = match t.phase with Work f -> f | Idle | Quit -> assert false in
+      Mutex.unlock t.m;
+      (match f wi with
+      | () -> ()
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.m;
+        if t.failure = None then t.failure <- Some (e, bt);
+        Mutex.unlock t.m);
+      Mutex.lock t.m;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.cv;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ~width =
+  if width < 1 then invalid_arg "Team.create: width < 1";
+  let t =
+    {
+      width;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      phase = Idle;
+      generation = 0;
+      remaining = 0;
+      failure = None;
+      domains = [||];
+    }
+  in
+  t.domains <- Domains.spawn_workers (width - 1) (fun i -> worker_loop t (i + 1));
+  t
+
+let run t f =
+  if t.width = 1 then f 0
+  else begin
+    Mutex.lock t.m;
+    if t.phase = Quit then begin
+      Mutex.unlock t.m;
+      invalid_arg "Team.run: team is shut down"
+    end;
+    t.failure <- None;
+    t.phase <- Work f;
+    t.remaining <- t.width - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    (* Member 0 runs inline on the calling domain. Its exception, if
+       any, still waits for the workers so the team stays reusable. *)
+    let own =
+      match f 0 with
+      | () -> None
+      | exception e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.m;
+    while t.remaining > 0 do
+      Condition.wait t.cv t.m
+    done;
+    t.phase <- Idle;
+    let worker_failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.m;
+    match (own, worker_failure) with
+    | Some (e, bt), _ | None, Some (e, bt) ->
+      Printexc.raise_with_backtrace e bt
+    | None, None -> ()
+  end
+
+let shutdown t =
+  if t.width > 1 then begin
+    Mutex.lock t.m;
+    let doms = t.domains in
+    t.domains <- [||];
+    let already = t.phase = Quit in
+    t.phase <- Quit;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    if not already then Domains.join_all doms
+  end

@@ -1,0 +1,35 @@
+(** Resident fork/join mini-pool for short, repeated waves.
+
+    Refinement issues thousands of proposal waves per pass —
+    spawning domains per wave ([Pool.run_deferred]) would dominate
+    the work. A team spawns [width - 1] worker domains once and
+    parks them on a condition variable; each [run] wakes them for
+    one wave and barriers on completion. The calling domain
+    participates as member 0.
+
+    The requested width is honored exactly — unlike [Pool], there is
+    no clamp to [Domains.recommended] — because callers (and the
+    determinism tests) need real multi-domain execution regardless
+    of the host's core count. Width must never influence results;
+    the refinement waves guarantee that by construction. *)
+
+type t
+
+val create : width:int -> t
+(** Spawn a team of [width] members ([width - 1] new domains).
+    @raise Invalid_argument if [width < 1]. *)
+
+val width : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f wi] for every member index
+    [wi] in [0 .. width - 1] (member 0 inline on the caller) and
+    returns when all have finished. Mutex hand-offs order all writes
+    before the wave with the workers' reads, and the workers' writes
+    with the caller's reads after the wave. If any member raises, the
+    barrier still completes and one of the exceptions is re-raised
+    (the caller's own first). Not reentrant. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. [run] after
+    [shutdown] raises [Invalid_argument]. *)

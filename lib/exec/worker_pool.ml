@@ -78,8 +78,7 @@ let create ~workers ~queue_limit ~state =
     }
   in
   t.domains <-
-    Array.init workers (fun i ->
-        Domain.spawn (fun () -> worker_loop t (state i)));
+    Domains.spawn_workers workers (fun i -> worker_loop t (state i));
   t
 
 let submit t ~client ~run ~finish =
@@ -124,4 +123,4 @@ let stop t =
   let doms = t.domains in
   t.domains <- [||];
   Mutex.unlock t.m;
-  Array.iter Domain.join doms
+  Domains.join_all doms

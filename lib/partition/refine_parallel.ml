@@ -1,0 +1,313 @@
+open Ppnpart_graph
+module Team = Ppnpart_exec.Team
+
+(* Deterministic parallel refinement: the serial greedy sweep of
+   [Refine_constrained], executed as speculative proposal waves on a
+   resident domain [Team] — bit-identical to the serial refiner at
+   every width, including width 1.
+
+   The serial sweep visits nodes in a shuffled order and applies each
+   strictly-improving move immediately, so later visits see earlier
+   moves. That dependency chain is what we parallelize around: the
+   sweep is cut into fixed-size waves of consecutive visit slots; all
+   slots of a wave are *evaluated* concurrently against the frozen
+   wave-start state (read-only — [Part_state.best_target_row] needs no
+   scratch), then *committed* strictly in slot order on the main
+   domain. A committed move invalidates exactly the later slots whose
+   evaluation could have read state it changed; those are re-scored
+   serially with the exact sequential code, so the committed move
+   sequence — and hence the partition, goodness and rng consumption —
+   is the serial one by construction.
+
+   Validity of a speculative slot for node [u] against the commits so
+   far in its wave (each commit moved [x] from [p1] to [q1]):
+
+   - [mask u] = bit of [part u] ∪ bits of the parts [u] connects to;
+     the commit's dirty mask accumulates [p1], [q1] and the parts [x]
+     connects to. The evaluation's bandwidth-pair and members reads
+     all have an endpoint in [mask u]; every pair/members entry a
+     commit changes has an endpoint in its dirty set — disjoint masks
+     mean disjoint reads and writes.
+   - [nmark u ≠ epoch]: [u] is not a graph neighbour of any committed
+     mover, so its connectivity row, external degree and activity are
+     untouched.
+   - [wave_dirty] is clear. A commit sets it when the global excess
+     bases moved ([Metrics.normalized_violation] is non-linear, so
+     violation comparisons only cancel when both bases are unchanged),
+     when a load left the safety margin [rmax - max node weight]
+     (best_target reads *every* part's load; within the margin all
+     load-excess terms are identically zero for any prospective
+     mover), or when [k] exceeds the bitmask width. The margin rule
+     also subsumes Rmax-crossing activity changes.
+
+   Cut comparisons need no protection: both sides of every comparison
+   shift by the same committed cut delta.
+
+   At width 1 speculation cannot pay, so propose-and-commit are fused:
+   each slot is evaluated against the *current* state, which for a
+   clean slot is exactly its frozen evaluation (cleanliness is decided
+   before evaluating, and a clean read-set is untouched by the commits
+   so far), and an unclean slot goes straight to the serial re-score
+   without the wasted frozen scoring. Commits, counters and rng
+   consumption stay bit-identical to the wave path.
+
+   Wave size is a constant, independent of team width, so counters,
+   spans and reports are width-independent too. *)
+
+let wave_size = 1024
+let parallel_gate = Refine_constrained.exact_fallback_limit
+
+let wave_greedy max_passes rng (st : Part_state.t) team =
+  Ppnpart_obs.Span.with_ "refine.wave_greedy" @@ fun () ->
+  let g = st.Part_state.g in
+  let n = Wgraph.n_nodes g in
+  let k = st.Part_state.c.Types.k in
+  let ws = st.Part_state.ws in
+  let rmax = st.Part_state.c.Types.rmax in
+  let w_cap = Workspace.weight_cap ws g in
+  let wide = k > Sys.int_size in
+  Workspace.ensure_wave ws ~n ~slots:wave_size;
+  let verdict = ws.Workspace.rp_verdict in
+  let mask = ws.Workspace.rp_mask in
+  let nmark = ws.Workspace.rp_nmark in
+  let conn = ws.Workspace.rf_conn in
+  let order = ws.Workspace.rf_order in
+  for i = 0 to n - 1 do
+    order.(i) <- i
+  done;
+  let shuffle () =
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done
+  in
+  let width = match team with None -> 1 | Some tm -> Team.width tm in
+  (* [u]'s read-set as a part bitmask: its own part plus every part it
+     connects to (0 when [k] outgrows the mask — [wave_dirty] is then
+     permanently set and the mask never consulted). *)
+  let row_mask u =
+    if wide then 0
+    else begin
+      let row = u * k in
+      let m = ref (1 lsl st.Part_state.part.(u)) in
+      for q = 0 to k - 1 do
+        if st.Part_state.conn.(row + q) <> 0 then m := !m lor (1 lsl q)
+      done;
+      !m
+    end
+  in
+  (* Wave window, mutated between [Team.run] calls only (ordered by the
+     team's mutex hand-offs); the proposal closure is allocated once. *)
+  let wave_base = ref 0 and wave_len = ref 0 in
+  let propose wi =
+    let len = !wave_len and base = !wave_base in
+    let chunk = (len + width - 1) / width in
+    let lo = wi * chunk in
+    let hi = min len (lo + chunk) in
+    for j = lo to hi - 1 do
+      let u = order.(base + j) in
+      if st.Part_state.apos.(u) < 0 then begin
+        verdict.(j) <- -2;
+        mask.(j) <- 0
+      end
+      else begin
+        mask.(j) <- row_mask u;
+        let cur_violation = Part_state.violation st in
+        let v, cut', t = Part_state.best_target_row st u in
+        verdict.(j) <-
+          (if
+             t >= 0
+             && (v < cur_violation
+                || (v = cur_violation && cut' < st.Part_state.cut))
+           then t
+           else -1)
+      end
+    done
+  in
+  (* Hot loop: accumulate locally, emit one counter delta per call. *)
+  let applied = ref 0 in
+  let waves = ref 0 and proposals = ref 0 in
+  let conflicts = ref 0 and rescored = ref 0 and rollbacks = ref 0 in
+  let moved = ref true in
+  let passes = ref 0 in
+  while !moved && !passes < max_passes do
+    moved := false;
+    incr passes;
+    shuffle ();
+    let base = ref 0 in
+    while !base < n do
+      let len = min wave_size (n - !base) in
+      ws.Workspace.rp_epoch <- ws.Workspace.rp_epoch + 1;
+      let epoch = ws.Workspace.rp_epoch in
+      incr waves;
+      proposals := !proposals + len;
+      (* In-order commit. [dirty_mask]/[nmark]/[wave_dirty] track what
+         the commits so far could have changed; a clean slot's verdict
+         is exactly what the serial sweep would decide here. *)
+      let dirty_mask = ref 0 in
+      let wave_dirty = ref wide in
+      let wave_commits = ref 0 in
+      let commit u t =
+        incr wave_commits;
+        let p = st.Part_state.part.(u) in
+        let load_p_before = st.Part_state.load.(p) in
+        let load_t_after =
+          st.Part_state.load.(t) + Wgraph.node_weight g u
+        in
+        let bw_e = st.Part_state.bw_excess in
+        let res_e = st.Part_state.res_excess in
+        Part_state.connectivity st conn u;
+        Part_state.apply_move st u t conn;
+        incr applied;
+        moved := true;
+        if not wide then begin
+          let m = ref ((1 lsl p) lor (1 lsl t)) in
+          for q = 0 to k - 1 do
+            if conn.(q) <> 0 then m := !m lor (1 lsl q)
+          done;
+          dirty_mask := !dirty_mask lor !m
+        end;
+        Wgraph.iter_neighbors g u (fun v _w -> nmark.(v) <- epoch);
+        if
+          st.Part_state.bw_excess <> bw_e
+          || st.Part_state.res_excess <> res_e
+          || load_p_before > rmax - w_cap
+          || load_t_after > rmax - w_cap
+        then wave_dirty := true
+      in
+      (* Re-score a conflicted slot with the exact serial visit. *)
+      let revisit u =
+        incr conflicts;
+        let committed = ref false in
+        if st.Part_state.apos.(u) >= 0 then begin
+          Part_state.connectivity st conn u;
+          let cur_violation = Part_state.violation st in
+          let v, cut', t = Part_state.best_target st conn u in
+          if
+            t >= 0
+            && (v < cur_violation
+               || (v = cur_violation && cut' < st.Part_state.cut))
+          then begin
+            commit u t;
+            committed := true;
+            incr rescored
+          end
+        end;
+        if not !committed then incr rollbacks
+      in
+      if width = 1 then begin
+        (* Fused propose-and-commit (see the header comment): evaluate
+           against the current state, which equals the frozen state for
+           every clean slot, and skip the frozen scoring an earlier
+           commit would only have invalidated. The taint checks
+           short-circuit on a pristine wave (no commits yet: nothing is
+           nmark'd and the dirty mask is empty), so the common
+           no-commit wave costs exactly the serial sweep's one [apos]
+           probe per slot. *)
+        let eval u =
+          if st.Part_state.apos.(u) >= 0 then begin
+            let cur_violation = Part_state.violation st in
+            let v, cut', t = Part_state.best_target_row st u in
+            if
+              t >= 0
+              && (v < cur_violation
+                 || (v = cur_violation && cut' < st.Part_state.cut))
+            then commit u t
+          end
+        in
+        for j = 0 to len - 1 do
+          let u = order.(!base + j) in
+          if !wave_dirty then revisit u
+          else if !wave_commits = 0 then eval u
+          else if nmark.(u) = epoch then revisit u
+          else if st.Part_state.apos.(u) < 0 then ()
+          else if !dirty_mask = 0 || row_mask u land !dirty_mask = 0 then
+            eval u
+          else revisit u
+        done
+      end
+      else begin
+        wave_base := !base;
+        wave_len := len;
+        (match team with
+        | None -> propose 0
+        | Some tm -> Team.run tm propose);
+        for j = 0 to len - 1 do
+          let u = order.(!base + j) in
+          let clean =
+            (not !wave_dirty)
+            && (!wave_commits = 0
+               || (nmark.(u) <> epoch && mask.(j) land !dirty_mask = 0))
+          in
+          if clean then begin
+            let t = verdict.(j) in
+            if t >= 0 then commit u t
+          end
+          else revisit u
+        done
+      end;
+      Debug_hooks.validate ~site:"refine_parallel.wave" st;
+      base := !base + len
+    done
+  done;
+  Ppnpart_obs.Counters.add "refine.greedy.moves" !applied;
+  Ppnpart_obs.Counters.add "refine.wave.count" !waves;
+  Ppnpart_obs.Counters.add "refine.wave.proposals" !proposals;
+  Ppnpart_obs.Counters.add "refine.wave.commits" !applied;
+  Ppnpart_obs.Counters.add "refine.wave.conflicts" !conflicts;
+  Ppnpart_obs.Counters.add "refine.wave.rescored" !rescored;
+  Ppnpart_obs.Counters.add "refine.wave.rollbacks" !rollbacks
+
+let run_rounds max_passes rng (st : Part_state.t) team =
+  let n = Wgraph.n_nodes st.Part_state.g in
+  if (not st.Part_state.cache) || n <= parallel_gate then
+    (* Below the gate (or on the cache-less legacy state) the serial
+       refiner — including its exact-pass rescue — is already
+       sub-millisecond; waves would only add overhead. *)
+    Refine_constrained.run_rounds max_passes rng st
+  else begin
+    Refine_constrained.observe_active st n;
+    let rounds = ref 0 in
+    let improving = ref true in
+    while !improving && !rounds < max_passes do
+      incr rounds;
+      wave_greedy max_passes rng st team;
+      improving := Refine_constrained.fm_pass st;
+      Refine_constrained.observe_active st n
+    done;
+    Debug_hooks.validate ~site:"refine.parallel" st
+  end
+
+let refine_state ?(max_passes = 16) ?team rng (st : Part_state.t) =
+  Ppnpart_obs.Span.phase_result
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int (Wgraph.n_nodes st.Part_state.g));
+        ("k", Ppnpart_obs.Obs.Int st.Part_state.c.Types.k) ])
+    ~result:(fun () ->
+      let gd = Part_state.goodness st in
+      [ ("violation", Ppnpart_obs.Obs.Int gd.Metrics.violation);
+        ("cut", Ppnpart_obs.Obs.Int gd.Metrics.cut_value) ])
+    "refine.parallel"
+  @@ fun () -> run_rounds max_passes rng st team
+
+let refine ?(max_passes = 16) ?workspace ?team ?(legacy = false) rng g
+    (c : Types.constraints) part0 =
+  let n = Wgraph.n_nodes g in
+  let k = c.Types.k in
+  Ppnpart_obs.Span.phase_result
+    ~args:(fun () ->
+      [ ("nodes", Ppnpart_obs.Obs.Int n); ("k", Ppnpart_obs.Obs.Int k) ])
+    ~result:(fun (_, (gd : Metrics.goodness)) ->
+      [ ("violation", Ppnpart_obs.Obs.Int gd.violation);
+        ("cut", Ppnpart_obs.Obs.Int gd.cut_value) ])
+    "refine.parallel"
+  @@ fun () ->
+  Types.check_partition ~n ~k part0;
+  let st =
+    if legacy then Part_state.init ~cache:false g c part0
+    else Part_state.init ?workspace g c part0
+  in
+  run_rounds max_passes rng st team;
+  (Part_state.snapshot st, Part_state.goodness st)

@@ -1,0 +1,56 @@
+(** Deterministic parallel refinement (DESIGN.md §6.8).
+
+    The serial boundary-driven refiner of {!Refine_constrained},
+    executed as speculative proposal waves on a resident
+    {!Ppnpart_exec.Team}: consecutive visit slots of the shuffled
+    greedy sweep are evaluated concurrently against the frozen
+    wave-start state, then committed strictly in slot order, with any
+    slot a prior commit could have invalidated re-scored serially by
+    the exact sequential code. The committed move sequence — and hence
+    the partition, goodness and rng consumption — is the serial
+    refiner's by construction, at every team width including 1.
+
+    Below {!Refine_constrained.exact_fallback_limit} nodes (or on a
+    cache-less [legacy] state) the call degrades to
+    {!Refine_constrained.run_rounds} verbatim.
+
+    Observability: runs under the [refine.parallel] phase span; each
+    call of the wave sweep emits [refine.wave.count] / [.proposals] /
+    [.commits] / [.conflicts] / [.rescored] / [.rollbacks] counters in
+    addition to the refiner's usual ones — all width-independent,
+    because the wave size is a constant and the commit order is the
+    slot order. *)
+
+open Ppnpart_graph
+
+val run_rounds :
+  int -> Random.State.t -> Part_state.t -> Ppnpart_exec.Team.t option -> unit
+(** [run_rounds max_passes rng st team] refines [st] in place:
+    wave-parallel greedy sweeps alternating with the serial
+    {!Refine_constrained.fm_pass}, identical results to
+    {!Refine_constrained.run_rounds}. [team = None] runs the wave
+    machinery inline at width 1. *)
+
+val refine_state :
+  ?max_passes:int ->
+  ?team:Ppnpart_exec.Team.t ->
+  Random.State.t ->
+  Part_state.t ->
+  unit
+(** Parallel counterpart of {!Refine_constrained.refine_state}; same
+    rounds, same results, under the [refine.parallel] span. *)
+
+val refine :
+  ?max_passes:int ->
+  ?workspace:Workspace.t ->
+  ?team:Ppnpart_exec.Team.t ->
+  ?legacy:bool ->
+  Random.State.t ->
+  Wgraph.t ->
+  Types.constraints ->
+  int array ->
+  int array * Metrics.goodness
+(** Parallel counterpart of {!Refine_constrained.refine}. [legacy]
+    runs the cache-less serial oracle path (necessarily without
+    waves); the fuzz harness asserts bit-identity of the three ways
+    in: parallel, serial, legacy. *)

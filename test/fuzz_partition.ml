@@ -192,6 +192,69 @@ let test_boundary_vs_legacy_refine () =
       (Random.State.int r_fast 1_000_000)
   done
 
+(* --- parallel wave refinement vs the serial refiners --- *)
+
+(* Refine_parallel promises bit-identity with the serial refiner at any
+   team width: same partitions, same goodness, same rng consumption.
+   Sizes straddle the 512-node serial-fallback gate so both the
+   delegation path and the real wave path are swept; every fifth seed
+   runs under installed invariant checks, which revalidates the whole
+   state after every wave commit/rollback boundary
+   (Debug_hooks site [refine_parallel.wave]). One width-4 team and one
+   workspace serve the whole sweep — the steady state of the wave
+   scratch is reuse, not growth. *)
+let test_parallel_vs_serial_refine () =
+  let seeds = match mode with `Quick -> 10 | `Default -> 24 | `Full -> 48 in
+  let ws = Workspace.create () in
+  let tm = Ppnpart_exec.Team.create ~width:4 in
+  Fun.protect ~finally:(fun () -> Ppnpart_exec.Team.shutdown tm)
+  @@ fun () ->
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| 0xFA; seed |] in
+    let n = 2 + (157 * seed mod 1999) in
+    let k = 2 + (seed mod 15) in
+    let g, c, part0 = random_instance ~n ~k rng in
+    let name = Printf.sprintf "n=%d k=%d seed=%d" n k seed in
+    let guard f = if seed mod 5 = 0 then Check.with_checks f else f () in
+    let r_par = Random.State.make [| 0xFB; seed |] in
+    let r_serial = Random.State.copy r_par in
+    let r_legacy = Random.State.copy r_par in
+    let part_par, gd_par =
+      guard (fun () ->
+          Refine_parallel.refine ~workspace:ws ~team:tm r_par g c
+            (Array.copy part0))
+    in
+    let part_serial, gd_serial =
+      Refine_constrained.refine r_serial g c (Array.copy part0)
+    in
+    let part_legacy, gd_legacy =
+      guard (fun () ->
+          Refine_parallel.refine ~legacy:true r_legacy g c
+            (Array.copy part0))
+    in
+    check_bool (name ^ ": parallel = serial partitions") true
+      (part_par = part_serial);
+    check_bool (name ^ ": parallel = legacy partitions") true
+      (part_par = part_legacy);
+    check_int
+      (name ^ ": violation identical")
+      gd_serial.Metrics.violation gd_par.Metrics.violation;
+    check_int (name ^ ": cut identical") gd_serial.Metrics.cut_value
+      gd_par.Metrics.cut_value;
+    check_int
+      (name ^ ": legacy goodness identical")
+      gd_legacy.Metrics.violation gd_par.Metrics.violation;
+    let d_par = Random.State.int r_par 1_000_000 in
+    check_int
+      (name ^ ": same rng draws consumed (serial)")
+      (Random.State.int r_serial 1_000_000)
+      d_par;
+    check_int
+      (name ^ ": same rng draws consumed (legacy)")
+      (Random.State.int r_legacy 1_000_000)
+      d_par
+  done
+
 (* --- allocation-free coarsening kernels vs the boxed-tuple oracle --- *)
 
 (* The CSR fast paths promise *bit*-identity, not just isomorphism:
@@ -526,6 +589,8 @@ let () =
             test_bucket_vs_exact_pass;
           Alcotest.test_case "boundary refine vs legacy oracle" `Quick
             test_boundary_vs_legacy_refine;
+          Alcotest.test_case "parallel refine vs serial oracle" `Quick
+            test_parallel_vs_serial_refine;
           Alcotest.test_case "coarsen fast path vs legacy" `Quick
             test_contract_fast_vs_legacy;
           Alcotest.test_case "stream vs multilevel feasibility" `Quick

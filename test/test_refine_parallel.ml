@@ -1,0 +1,191 @@
+(* Edge cases of deterministic parallel refinement (Refine_parallel):
+   the wave machinery must reproduce the serial refiner bit-for-bit on
+   the degenerate shapes where speculation buys nothing — a single
+   part-pair, an all-active instance, an empty active set, a wave in
+   which every speculative accept is rolled back — at every team
+   width. *)
+
+open Ppnpart_graph
+open Ppnpart_partition
+module Team = Ppnpart_exec.Team
+module Obs = Ppnpart_obs.Obs
+module Trace_export = Ppnpart_obs.Trace_export
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Past the serial-fallback gate, so the wave path really runs. *)
+let n_large = 700
+
+let with_team width f =
+  let tm = Team.create ~width in
+  Fun.protect ~finally:(fun () -> Team.shutdown tm) (fun () -> f tm)
+
+(* Run parallel (given width) and serial refinement from identical
+   inputs and assert bit-identical partitions, goodness and rng
+   consumption. Returns the common partition. *)
+let assert_matches_serial ?(width = 4) name g c part0 =
+  let r_par = Random.State.make [| 0xA1; 7 |] in
+  let r_ser = Random.State.copy r_par in
+  let part_par, gd_par =
+    with_team width (fun tm ->
+        Refine_parallel.refine ~team:tm r_par g c (Array.copy part0))
+  in
+  let part_ser, gd_ser =
+    Refine_constrained.refine r_ser g c (Array.copy part0)
+  in
+  check_bool (name ^ ": partitions bit-identical") true (part_par = part_ser);
+  check_int (name ^ ": violation") gd_ser.Metrics.violation
+    gd_par.Metrics.violation;
+  check_int (name ^ ": cut") gd_ser.Metrics.cut_value gd_par.Metrics.cut_value;
+  check_int
+    (name ^ ": same rng draws consumed")
+    (Random.State.int r_ser 1_000_000)
+    (Random.State.int r_par 1_000_000);
+  part_par
+
+(* k = 2: one part pair only — every proposal touches both parts, so
+   the mask discipline degenerates and almost everything re-scores.
+   Correctness must not depend on conflict rarity. *)
+let test_k2_single_pair () =
+  let rng = Random.State.make [| 21 |] in
+  let g, c =
+    Ppnpart_workloads.Rand_graph.random_partitionable rng ~n:n_large ~k:2
+  in
+  let part0 = Array.init n_large (fun u -> u * 2 / n_large) in
+  for _ = 1 to n_large / 50 do
+    let u = Random.State.int rng n_large in
+    part0.(u) <- 1 - part0.(u)
+  done;
+  ignore (assert_matches_serial "k2" g c part0)
+
+(* Alternating labels on a connected graph: every node is boundary, so
+   every wave is fully populated with evaluations. *)
+let test_all_nodes_active () =
+  let rng = Random.State.make [| 22 |] in
+  let g, c =
+    Ppnpart_workloads.Rand_graph.random_partitionable rng ~n:n_large ~k:4
+  in
+  let part0 = Array.init n_large (fun u -> u mod 4) in
+  let st = Part_state.init g c (Array.copy part0) in
+  check_int "everything starts active" n_large st.Part_state.n_active;
+  ignore (assert_matches_serial "all-active" g c part0)
+
+(* Disjoint rings, each wholly inside one part, loads within Rmax: the
+   active set is empty, every wave slot is a skip, and the partition
+   must come back untouched. *)
+let test_empty_active_set () =
+  let k = 4 in
+  let per = n_large / k in
+  let n = per * k in
+  let edges = ref [] in
+  for comp = 0 to k - 1 do
+    let base = comp * per in
+    for i = 0 to per - 1 do
+      edges := (base + i, base + ((i + 1) mod per), 2) :: !edges
+    done
+  done;
+  let g = Wgraph.of_edges ~vwgt:(Array.make n 1) n !edges in
+  let c = Types.constraints ~k ~bmax:1 ~rmax:(per + 10) in
+  let part0 = Array.init n (fun u -> u / per) in
+  let st = Part_state.init g c (Array.copy part0) in
+  check_int "active set empty" 0 st.Part_state.n_active;
+  let refined = assert_matches_serial "empty-active" g c part0 in
+  check_bool "partition untouched" true (refined = part0)
+
+(* An edgeless instance with part 0 one unit over Rmax: every node of
+   part 0 is active and speculatively proposes the same repair
+   (move to part 1). The first commit zeroes the excess and taints the
+   wave, so every later accept re-scores to a rejection — the full
+   rollback path — and the result is still exactly the serial one. *)
+let test_full_conflict_rollback () =
+  let n = 600 in
+  let k = 2 in
+  let g = Wgraph.of_edges ~vwgt:(Array.make n 1) n [] in
+  let over = (n / 2) + 1 in
+  let c = Types.constraints ~k ~bmax:1 ~rmax:(over - 1) in
+  let part0 = Array.init n (fun u -> if u < over then 0 else 1) in
+  let (), cap =
+    Obs.with_capture (fun () ->
+        ignore (assert_matches_serial "full-conflict" g c part0))
+  in
+  let totals = Trace_export.counter_totals cap in
+  let total name =
+    match List.assoc_opt name totals with Some v -> v | None -> 0 in
+  check_bool "waves ran" true (total "refine.wave.count" > 0);
+  check_bool "conflicts detected" true (total "refine.wave.conflicts" > 0);
+  check_bool "speculative accepts rolled back" true
+    (total "refine.wave.rollbacks" > 0);
+  (* Exactly one move fixes the overload; all other accepts rolled
+     back. *)
+  check_int "one committed move" 1 (total "refine.wave.commits")
+
+(* Widths 1/2/4/8 and a repeated run must agree bit-for-bit; width 1
+   runs the fused propose-and-commit path and the wider widths the
+   speculative wave path, so this pins their equivalence — partition,
+   goodness, rng consumption AND the wave counters, which feed the
+   deterministic run report and must not depend on the width — with
+   the per-wave state validated when checks are on. *)
+let wave_counters = [
+  "refine.wave.count"; "refine.wave.proposals"; "refine.wave.commits";
+  "refine.wave.conflicts"; "refine.wave.rescored"; "refine.wave.rollbacks";
+  "refine.greedy.moves" ]
+
+let test_width_determinism () =
+  let rng = Random.State.make [| 23 |] in
+  let g, c =
+    Ppnpart_workloads.Rand_graph.random_partitionable rng ~n:1200 ~k:6
+  in
+  let part0 = Array.init 1200 (fun u -> u * 6 / 1200) in
+  for _ = 1 to 24 do
+    let u = Random.State.int rng 1200 in
+    part0.(u) <- (part0.(u) + 1) mod 6
+  done;
+  let run width =
+    let r = Random.State.make [| 0xA2; 5 |] in
+    let (part, gd), cap =
+      Obs.with_capture (fun () ->
+          Ppnpart_check.Check.with_checks (fun () ->
+              with_team width (fun tm ->
+                  Refine_parallel.refine ~team:tm r g c (Array.copy part0))))
+    in
+    let totals = Trace_export.counter_totals cap in
+    let counters =
+      List.map
+        (fun name ->
+          match List.assoc_opt name totals with Some v -> v | None -> 0)
+        wave_counters
+    in
+    (part, gd, Random.State.int r 1_000_000, counters)
+  in
+  let bpart, bgd, bdraw, bcounters = run 1 in
+  check_bool "width=1 produced waves" true (List.hd bcounters > 0);
+  List.iter
+    (fun width ->
+      let part, gd, draw, counters = run width in
+      let name = Printf.sprintf "width=%d" width in
+      check_bool (name ^ ": partition") true (part = bpart);
+      check_int (name ^ ": violation") bgd.Metrics.violation
+        gd.Metrics.violation;
+      check_int (name ^ ": cut") bgd.Metrics.cut_value gd.Metrics.cut_value;
+      check_int (name ^ ": rng draws") bdraw draw;
+      List.iter2
+        (fun cname (b, v) -> check_int (name ^ ": " ^ cname) b v)
+        wave_counters
+        (List.combine bcounters counters))
+    [ 2; 4; 8; 4 ]
+
+let () =
+  Alcotest.run "refine_parallel"
+    [
+      ( "edge-cases",
+        [ Alcotest.test_case "k=2 single part-pair" `Quick
+            test_k2_single_pair;
+          Alcotest.test_case "all nodes active" `Quick test_all_nodes_active;
+          Alcotest.test_case "empty active set" `Quick test_empty_active_set;
+          Alcotest.test_case "full-conflict wave rolls back" `Quick
+            test_full_conflict_rollback;
+          Alcotest.test_case "bit-identical across widths" `Quick
+            test_width_determinism
+        ] )
+    ]
