@@ -16,7 +16,13 @@
    - [Must_stay_true]: a structural boolean (bit-identity, determinism
      across jobs, feasibility) that regresses the moment it is false —
      unless the baseline already had it false, which is recorded but
-     not charged to the change under test.
+     not charged to the change under test;
+   - [Never_worse_ratio tol]: an absolute gate on a same-run ratio
+     field (new implementation time / reference implementation time,
+     measured in the same process): the current value must stay at or
+     below 1 + tol regardless of what the baseline recorded. The
+     baseline only supplies the row's existence; the bound does not
+     drift as baselines are refreshed.
 
    A path missing on either side is skipped, not failed: rows are
    added to the records over time and an old baseline must not brick
@@ -211,6 +217,7 @@ type direction =
   | Higher_better of { pct : float; abs : float }
   | Max_abs of float
   | Must_stay_true
+  | Never_worse_ratio of { tol : float }
 
 type rule = { path : string; dir : direction }
 
@@ -310,6 +317,13 @@ let check_numeric rule base cur =
       (Regression, fmt "|%.6g - %.6g| > %.6g" cur base tol)
     else (Pass, fmt "%.6g vs baseline %.6g" cur base)
   | Must_stay_true -> (Skipped, "boolean rule on numeric value")
+  | Never_worse_ratio { tol } ->
+    let limit = 1. +. tol in
+    if cur > limit then
+      (Regression,
+       fmt "ratio %.6g > allowed %.6g (absolute bound; baseline %.6g)" cur
+         limit base)
+    else (Pass, fmt "ratio %.6g <= %.6g" cur limit)
 
 let check_rule rule ~baseline ~current =
   let targets = expand rule.path baseline in
@@ -370,6 +384,8 @@ let higher ?(pct = 0.) ?(abs = 0.) path =
 
 let stay_true path = { path; dir = Must_stay_true }
 
+let never_worse ?(tol = 0.) path = { path; dir = Never_worse_ratio { tol } }
+
 let smoke_rules =
   [
     lower ~pct:5. ~abs:2. "fm_600.refine_cut";
@@ -400,6 +416,12 @@ let smoke_rules =
     stay_true "repartition_4k.never_worse";
     stay_true "repartition_4k.deterministic_across_jobs";
     higher ~pct:60. ~abs:0.5 "repartition_4k.speedup";
+    stay_true "stream_parallel_20k.deterministic_across_jobs";
+    stay_true "stream_parallel_20k.restart_identical";
+    never_worse ~tol:0.10 "stream_parallel_20k.par1_vs_seq_ratio";
+    lower ~pct:20. ~abs:5. "stream_parallel_20k.quality_ratio_pct";
+    stay_true "ingest_pipeline_8k.labels_match";
+    never_worse ~tol:(-0.25) "ingest_pipeline_8k.fused_vs_parse_ratio";
   ]
 
 let partition_rules =
@@ -438,14 +460,29 @@ let partition_rules =
     lower ~pct:150. ~abs:5. "daemon.p99_ms_1";
     lower ~pct:150. ~abs:5. "daemon.p99_ms_4";
     higher ~pct:50. ~abs:1. "daemon.incremental_vs_scratch_speedup";
+    stay_true "stream_parallel_1m.deterministic_across_jobs";
+    (* At 1M nodes the chunked pass is memory-bound: the cur->next
+       pre-blit, the commit scan and the visibility branch add real
+       traffic a cache-resident instance never pays, so the measured
+       width-1 ratio sits at ~1.10-1.15 here. The tight 10% never-worse
+       bound lives on the low-variance 20k smoke row; this one bounds
+       the memory-traffic overhead instead. *)
+    never_worse ~tol:0.25 "stream_parallel_1m.par1_vs_seq_ratio";
+    stay_true "ingest_pipeline_131k.labels_match";
+    (* "Faster than parse-then-stream", not merely "never worse":
+       measured ~0.17-0.22, bounded at 0.75 (negative tol = the fused
+       path must beat the batch path by at least a third). *)
+    never_worse ~tol:(-0.25) "ingest_pipeline_131k.fused_vs_parse_ratio";
+    never_worse ~tol:(-0.10) "stream_1m.e2e_vs_parse_ratio";
   ]
 
 let rules_for_schema = function
   | "ppnpart-bench-smoke/1" | "ppnpart-bench-smoke/2"
-  | "ppnpart-bench-smoke/3" ->
+  | "ppnpart-bench-smoke/3" | "ppnpart-bench-smoke/4" ->
     Some smoke_rules
   | "ppnpart-bench-partition/5" | "ppnpart-bench-partition/6"
-  | "ppnpart-bench-partition/7" | "ppnpart-bench-partition/8" ->
+  | "ppnpart-bench-partition/7" | "ppnpart-bench-partition/8"
+  | "ppnpart-bench-partition/9" ->
     Some partition_rules
   | _ -> None
 

@@ -32,6 +32,14 @@ type direction =
   | Must_stay_true
       (** boolean row; regression the moment a baseline-true value is
           no longer true *)
+  | Never_worse_ratio of { tol : float }
+      (** same-run ratio row (new time / reference time, measured in
+          one process): current must stay at or below [1 + tol],
+          independent of the baseline's value — the baseline only
+          establishes that the row exists, so the bound cannot drift
+          as baselines are refreshed. A negative [tol] demands the new
+          path beat the reference by a margin ("faster than", not
+          "never worse than"). *)
 
 type rule = { path : string; dir : direction }
 (** [path] is dot-separated; a [*] segment fans out over every array
@@ -55,6 +63,7 @@ val has_regression : row list -> bool
 val lower : ?pct:float -> ?abs:float -> string -> rule
 val higher : ?pct:float -> ?abs:float -> string -> rule
 val stay_true : string -> rule
+val never_worse : ?tol:float -> string -> rule
 
 val smoke_rules : rule list
 val partition_rules : rule list

@@ -1060,6 +1060,23 @@ let stream_1m_bench ?(scale = 20) ?(m = 4_200_000) ?(ref_scale = 14) ~reps ()
     compacted_min ~reps (fun () -> Stream.partition ~workspace:ws g c)
   in
   let gd = Metrics.goodness g c part in
+  (* End-to-end from METIS text, once each way (the instance is big
+     enough that one run is past noise): the fused ingest pipeline
+     against the parse-then-stream round trip it replaces. *)
+  let text =
+    let b = Buffer.create (1 lsl 24) in
+    Graph_io.to_metis_chunks g (Buffer.add_string b);
+    Buffer.contents b
+  in
+  let _, e2e_parse_s =
+    time (fun () ->
+        let g2 = Graph_io.of_metis text in
+        Stream_parallel.partition ~workspace:ws g2 c)
+  in
+  let _, e2e_fused_s =
+    time (fun () -> Stream_parallel.ingest_text ~workspace:ws c text)
+  in
+  let e2e_bytes = String.length text in
   let ref_rng = Random.State.make [| 0x5354; ref_scale |] in
   let ref_m = 4 * (1 lsl ref_scale) in
   let g_ref =
@@ -1081,6 +1098,8 @@ let stream_1m_bench ?(scale = 20) ?(m = 4_200_000) ?(ref_scale = 14) ~reps ()
       "passes": %d, "converged": %b,
       "workspace_words": %d, "state_words": %d,
       "violation": %d, "cut": %d,
+      "e2e_bytes": %d, "e2e_parse_then_stream_s": %.4f,
+      "e2e_fused_s": %.4f, "e2e_vs_parse_ratio": %.3f,
       "multilevel_ref": { "scale": %d, "n": %d, "m": %d,
         "multilevel_s": %.4f, "multilevel_cut": %d, "stream_cut": %d,
         "cut_ratio": %.2f,
@@ -1089,6 +1108,8 @@ let stream_1m_bench ?(scale = 20) ?(m = 4_200_000) ?(ref_scale = 14) ~reps ()
     (float_of_int n /. stream_s)
     stats.Stream.iterations stats.Stream.converged (Workspace.words ws)
     stats.Stream.state_words gd.Metrics.violation gd.Metrics.cut_value
+    e2e_bytes e2e_parse_s e2e_fused_s
+    (e2e_fused_s /. e2e_parse_s)
     ref_scale
     (Wgraph.n_nodes g_ref)
     (Wgraph.n_edges g_ref)
@@ -1123,6 +1144,125 @@ let ingest_bench ~scale ~reps =
     (Wgraph.n_nodes g) (Wgraph.n_edges g) bytes to_s of_s
     (float_of_int bytes /. of_s /. 1e6)
     (float_of_int (Wgraph.n_edges g) /. of_s)
+
+(* Chunked restreaming vs the sequential streamer (DESIGN.md §6.9) on
+   one instance: pass 0 of the chunked path *is* the sequential
+   streamer, so the comparison isolates the frozen-state restream
+   passes. Three properties are recorded machine-checkably: width-1
+   wall-clock within 10% of sequential ([par1_vs_seq_ratio], an
+   absolute same-run bound — no baseline drift), labels bit-identical
+   across team widths 1/2/4 and across a restart, and the quality
+   price of frozen-state scoring ([quality_ratio_pct], seeded and
+   therefore exact). *)
+let stream_parallel_bench ~n ~reps () =
+  let rng = Random.State.make [| 0x5350; n |] in
+  let g =
+    Ppnpart_workloads.Rand_graph.gnm ~vw_range:(1, 7) ~ew_range:(1, 9) rng
+      ~n ~m:(3 * n)
+  in
+  let k = 8 in
+  let c =
+    Types.constraints ~k
+      ~rmax:((Wgraph.total_node_weight g / k * 4 / 3) + 1)
+      ~bmax:((Wgraph.total_edge_weight g / (2 * k)) + 1)
+  in
+  let ws = Workspace.create () in
+  ignore (Stream.partition ~workspace:ws g c);
+  ignore (Stream_parallel.partition ~workspace:ws g c);
+  let (seq_part, _), seq_s =
+    compacted_min ~reps (fun () -> Stream.partition ~workspace:ws g c)
+  in
+  let (par_part, par_stats), par1_s =
+    compacted_min ~reps (fun () ->
+        Stream_parallel.partition ~workspace:ws g c)
+  in
+  let at_width w =
+    let team = Team.create ~width:w in
+    Fun.protect
+      ~finally:(fun () -> Team.shutdown team)
+      (fun () -> fst (Stream_parallel.partition ~workspace:ws ~team g c))
+  in
+  let deterministic = par_part = at_width 2 && par_part = at_width 4 in
+  let restart_identical =
+    par_part = fst (Stream_parallel.partition ~workspace:ws g c)
+  in
+  let seq_cut = (Metrics.goodness g c seq_part).Metrics.cut_value in
+  let gd = Metrics.goodness g c par_part in
+  let quality_delta_pct =
+    100.
+    *. float_of_int (gd.Metrics.cut_value - seq_cut)
+    /. float_of_int (max 1 seq_cut)
+  in
+  let row =
+    Printf.sprintf
+      {|{ "n": %d, "m": %d, "k": %d, "chunk": %d,
+      "seq_s": %.4f, "par1_s": %.4f, "par1_vs_seq_ratio": %.3f,
+      "deterministic_across_jobs": %b, "restart_identical": %b,
+      "passes": %d, "converged": %b,
+      "seq_cut": %d, "chunked_cut": %d, "quality_ratio_pct": %.2f,
+      "violation": %d }|}
+      n (Wgraph.n_edges g) k Stream_parallel.default_chunk seq_s par1_s
+      (par1_s /. seq_s) deterministic restart_identical
+      par_stats.Stream.iterations par_stats.Stream.converged seq_cut
+      gd.Metrics.cut_value quality_delta_pct gd.Metrics.violation
+  in
+  (row, seq_s, par1_s, deterministic && restart_identical)
+
+(* Pipelined ingest (fused parse + first streaming pass) vs the
+   parse-then-stream round trip it replaces, on a unit-edge-weight
+   instance with finite rmax — the regime where the header-estimated
+   normalizing constants are exact and the fused labels must match the
+   unfused ones bit for bit. The METIS text is produced through
+   [to_metis_chunks], so the chunked emitter is exercised on the same
+   row. *)
+let ingest_pipeline_bench ~scale ~reps =
+  let m = 4 * (1 lsl scale) in
+  let rng = Random.State.make [| 0x4950; scale |] in
+  let g =
+    Ppnpart_workloads.Rand_graph.rmat ~vw_range:(1, 8) ~ew_range:(1, 1) rng
+      ~scale ~m
+  in
+  let k = 16 in
+  let c =
+    Types.constraints ~k
+      ~rmax:((Wgraph.total_node_weight g / k * 4 / 3) + 1)
+      ~bmax:((Wgraph.total_edge_weight g / (2 * k)) + 1)
+  in
+  let text =
+    let b = Buffer.create (1 lsl 20) in
+    Graph_io.to_metis_chunks g (Buffer.add_string b);
+    Buffer.contents b
+  in
+  let ws = Workspace.create () in
+  ignore (Stream_parallel.ingest_text ~workspace:ws c text);
+  ignore (Stream_parallel.ingest_text ~workspace:ws c text);
+  let (unfused_part, _), parse_stream_s =
+    compacted_min ~reps (fun () ->
+        let g2 = Graph_io.of_metis text in
+        Stream_parallel.partition ~workspace:ws g2 c)
+  in
+  let (g3, fused_part, _), fused_s =
+    compacted_min ~reps (fun () ->
+        Stream_parallel.ingest_text ~workspace:ws c text)
+  in
+  if
+    Wgraph.n_nodes g3 <> Wgraph.n_nodes g
+    || Wgraph.n_edges g3 <> Wgraph.n_edges g
+  then
+    failwith "ingest_pipeline_bench: fused ingest changed the graph shape";
+  let labels_match = fused_part = unfused_part in
+  let bytes = String.length text in
+  let row =
+    Printf.sprintf
+      {|{ "n": %d, "m": %d, "k": %d, "bytes": %d,
+      "parse_then_stream_s": %.4f, "fused_s": %.4f,
+      "fused_vs_parse_ratio": %.3f, "labels_match": %b,
+      "fused_mb_per_s": %.1f }|}
+      (Wgraph.n_nodes g) (Wgraph.n_edges g) k bytes parse_stream_s fused_s
+      (fused_s /. parse_stream_s) labels_match
+      (float_of_int bytes /. fused_s /. 1e6)
+  in
+  (row, parse_stream_s, fused_s, labels_match)
 
 (* Incremental repartitioning vs from-scratch on a planted instance
    with a small edit (DESIGN.md §6.7): the daemon's steady-state
@@ -1391,6 +1531,8 @@ let bench_json () =
   in
   let stream_1m_row = stream_1m_bench ~reps:3 () in
   let ingest_row = ingest_bench ~scale:17 ~reps:3 in
+  let sp_row, _, _, _ = stream_parallel_bench ~n:1_000_000 ~reps:3 () in
+  let ip_row, _, _, _ = ingest_pipeline_bench ~scale:17 ~reps:3 in
   let repartition_row, scratch_s, incr_s, _ =
     repartition_bench ~n:50_000 ~k:8 ~edit_pct:1 ~reps:3 ()
   in
@@ -1401,7 +1543,7 @@ let bench_json () =
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-partition/8",
+  "schema": "ppnpart-bench-partition/9",
   "generated_unix": %.0f,
   "instances": [
 %s
@@ -1416,6 +1558,8 @@ let bench_json () =
   "stream_200k": %s,
   "hybrid_200k": %s,
   "ingest_131k": %s,
+  "stream_parallel_1m": %s,
+  "ingest_pipeline_131k": %s,
   "repartition_50k": %s,
   "daemon": %s
 }
@@ -1423,8 +1567,8 @@ let bench_json () =
       (Unix.time ())
       (String.concat ",\n" instance_rows)
       fm_row refine_row refine_1m_row coarsen_row vc_row obs_row
-      stream_1m_row stream_row hybrid_row ingest_row repartition_row
-      daemon_row
+      stream_1m_row stream_row hybrid_row ingest_row sp_row ip_row
+      repartition_row daemon_row
   in
   let path = Filename.concat out_dir "BENCH_partition.json" in
   Graph_io.write_file path json;
@@ -1514,6 +1658,41 @@ let smoke () =
          stream_cut ml_cut);
   let ingest_row = ingest_bench ~scale:13 ~reps:2 in
   Printf.printf "  ingest_8k: %s\n%!" ingest_row;
+  (* Chunked restreaming at CI scale: width determinism and restart
+     identity are hard structural properties, and the width-1 chunked
+     machinery must stay within 10% of the sequential streamer it
+     wraps — chunking that costs when it cannot pay is a regression. *)
+  let sp_row, sp_seq_s, sp_par1_s, sp_identical =
+    (* min over 5 reps: at ~20 ms a pass, 2 reps is not enough to shake
+       off a transient background load spike, and this row gates. *)
+    stream_parallel_bench ~n:20_000 ~reps:5 ()
+  in
+  Printf.printf "  stream_parallel_20k: %s\n%!" sp_row;
+  if not sp_identical then
+    failwith
+      "smoke: chunked restreaming not bit-identical across widths/restart";
+  if sp_par1_s > 1.10 *. sp_seq_s then
+    failwith
+      (Printf.sprintf
+         "smoke: width-1 chunked restream slower than sequential beyond \
+          tolerance (%.4fs > 1.10 * %.4fs)"
+         sp_par1_s sp_seq_s);
+  (* Fused ingest at CI scale: on unit edge weights with finite rmax
+     the header-estimated constants are exact, so fused labels must
+     equal parse-then-stream labels bit for bit — and skipping the
+     intermediate round trip must actually be faster. *)
+  let ip_row, ip_parse_s, ip_fused_s, ip_match =
+    ingest_pipeline_bench ~scale:13 ~reps:2
+  in
+  Printf.printf "  ingest_pipeline_8k: %s\n%!" ip_row;
+  if not ip_match then
+    failwith "smoke: fused ingest labels differ from parse-then-stream";
+  if ip_fused_s > 1.10 *. ip_parse_s then
+    failwith
+      (Printf.sprintf
+         "smoke: fused ingest slower than parse-then-stream (%.4fs > 1.10 \
+          * %.4fs)"
+         ip_fused_s ip_parse_s);
   (* Incremental repartitioning at CI scale: same measurement code as
      the 50k JSON row. The whole point of the daemon's steady state is
      that a small-edit request is cheaper than a scratch run, so the
@@ -1561,13 +1740,15 @@ let bench_json_smoke () =
     mode_bench ~n_target:20_000 ~reps:2
   in
   let ingest_row = ingest_bench ~scale:13 ~reps:2 in
+  let sp_row, _, _, _ = stream_parallel_bench ~n:20_000 ~reps:5 () in
+  let ip_row, _, _, _ = ingest_pipeline_bench ~scale:13 ~reps:2 in
   let repart_row, _, _, _ =
     repartition_bench ~n:4_000 ~k:8 ~edit_pct:1 ~reps:2 ()
   in
   let json =
     Printf.sprintf
       {|{
-  "schema": "ppnpart-bench-smoke/3",
+  "schema": "ppnpart-bench-smoke/4",
   "generated_unix": %.0f,
   "fm_600": %s,
   "refine_4k": %s,
@@ -1579,11 +1760,14 @@ let bench_json_smoke () =
   "stream_20k": %s,
   "hybrid_20k": %s,
   "ingest_8k": %s,
+  "stream_parallel_20k": %s,
+  "ingest_pipeline_8k": %s,
   "repartition_4k": %s
 }
 |}
       (Unix.time ()) fm_row refine_row refine_parallel_row report_row
-      coarsen_row obs_row vc_row stream_row hybrid_row ingest_row repart_row
+      coarsen_row obs_row vc_row stream_row hybrid_row ingest_row sp_row
+      ip_row repart_row
   in
   let path = Filename.concat out_dir "BENCH_smoke.json" in
   Graph_io.write_file path json;

@@ -82,6 +82,30 @@ let refine_jobs_arg =
            recommended domain count; an explicit value is honored \
            exactly. The partition found is identical at every width.")
 
+let stream_jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "stream-jobs" ] ~docv:"N"
+        ~doc:
+          "Team width for chunked parallel restreaming in $(b,--mode \
+           stream)/$(b,hybrid) (GP only). 0 means follow $(b,--jobs) \
+           capped at the recommended domain count; an explicit value is \
+           honored exactly. Chunk boundaries and commit order are fixed \
+           by node index, so the partition found is identical at every \
+           width.")
+
+let stream_ingest_arg =
+  Arg.(
+    value & flag
+    & info [ "stream-ingest" ]
+        ~doc:
+          "Fuse METIS parsing with the first streaming pass \
+           ($(b,--mode stream)/$(b,hybrid) with $(b,--input), GP only): \
+           each adjacency row is placed as soon as it is tokenized, so \
+           no parse-then-stream round trip over the input happens. \
+           Validation is unchanged (deferred whole-graph checks run at \
+           end of input).")
+
 let k_arg =
   Arg.(
     value & opt int 4
@@ -278,14 +302,26 @@ let resolve_input input paper seed =
 (* --- partition command --- *)
 
 let partition_cmd =
-  let run () input paper seed jobs refine_jobs k bmax rmax algo mode
-      stream_iterations dot save trace_out trace_jsonl metrics_out
-      report_json det_report stats check =
-    match resolve_input input paper seed with
+  let run () input paper seed jobs refine_jobs stream_jobs stream_ingest k
+      bmax rmax algo mode stream_iterations dot save trace_out trace_jsonl
+      metrics_out report_json det_report stats check =
+    (* With --stream-ingest the file's text goes to the fused
+       parse+stream path unparsed; everything else resolves to a graph
+       up front as before. *)
+    let source =
+      match (input, paper, algo, mode) with
+      | ( Some path, None, `Gp,
+          (Ppnpart_core.Config.Stream | Ppnpart_core.Config.Hybrid) )
+        when stream_ingest ->
+        Ok (`Metis_text (Graph_io.read_file path))
+      | _ ->
+        Result.map (fun g -> `Graph g) (resolve_input input paper seed)
+    in
+    match source with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
-    | Ok g ->
+    | Ok source ->
       let c = Types.constraints ~k ~bmax ~rmax in
       (* Deterministic reports need span durations measured on the
          logical event clock, which lives in the trace buffers — so the
@@ -304,51 +340,70 @@ let partition_cmd =
       (* The report is computed exactly once per run: GP already returns
          one, the other algorithms build theirs from their own timing. *)
       let gp_result = ref None in
-      let name, part, report =
+      let g, (name, part, report) =
         let t0 = Unix.gettimeofday () in
         let rng = Random.State.make [| seed |] in
-        let timed_report p = Metrics.report ~runtime_s:(Unix.gettimeofday () -. t0) g c p in
         match algo with
         | `Gp ->
           let config =
             { Ppnpart_core.Config.default with seed; jobs; refine_jobs;
-              mode; stream_iterations;
+              stream_jobs; stream_ingest; mode; stream_iterations;
               debug_checks = Ppnpart_core.Config.default.debug_checks || check
             }
           in
-          let r = Ppnpart_core.Gp.partition ~config g c in
+          let g, r =
+            match source with
+            | `Graph g -> (g, Ppnpart_core.Gp.partition ~config g c)
+            | `Metis_text text ->
+              Ppnpart_core.Gp.partition_metis ~config text c
+          in
           gp_result := Some r;
           let name =
             match mode with
             | Ppnpart_core.Config.Multilevel -> "GP"
             | m -> "GP/" ^ Ppnpart_core.Config.mode_name m
           in
-          (name, r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.report)
-        | `Metis ->
-          let s = Ppnpart_baselines.Metis_like.partition ~seed g ~k in
-          ( "METIS-like",
-            s.Ppnpart_baselines.Metis_like.part,
-            Metrics.report ~runtime_s:s.Ppnpart_baselines.Metis_like.runtime_s
-              g c s.Ppnpart_baselines.Metis_like.part )
-        | `Spectral ->
-          let p = Ppnpart_baselines.Spectral.kway rng g ~k in
-          ("spectral", p, timed_report p)
-        | `Fm ->
-          let p = Ppnpart_baselines.Fm.kway rng g ~k in
-          ("FM", p, timed_report p)
-        | `Kl ->
-          let p =
-            Ppnpart_baselines.Recursive_bisection.kway
-              (fun rng g -> Ppnpart_baselines.Kl.bisect rng g)
-              rng g ~k
+          (g, (name, r.Ppnpart_core.Gp.part, r.Ppnpart_core.Gp.report))
+        | (`Metis | `Spectral | `Fm | `Kl | `Exact) as algo ->
+          (* The ingest source is GP-gated above; unreachable here. *)
+          let g =
+            match source with
+            | `Graph g -> g
+            | `Metis_text text -> Graph_io.of_metis text
           in
-          ("KL", p, timed_report p)
-        | `Exact -> (
-          match Ppnpart_baselines.Exact.partition g c with
-          | Some (p, _) -> ("exact", p, timed_report p)
-          | None ->
-            Printf.printf "exact: no feasible partition exists\n";
-            exit 3)
+          let timed_report p =
+            Metrics.report ~runtime_s:(Unix.gettimeofday () -. t0) g c p
+          in
+          let res =
+            match algo with
+            | `Metis ->
+              let s = Ppnpart_baselines.Metis_like.partition ~seed g ~k in
+              ( "METIS-like",
+                s.Ppnpart_baselines.Metis_like.part,
+                Metrics.report
+                  ~runtime_s:s.Ppnpart_baselines.Metis_like.runtime_s g c
+                  s.Ppnpart_baselines.Metis_like.part )
+            | `Spectral ->
+              let p = Ppnpart_baselines.Spectral.kway rng g ~k in
+              ("spectral", p, timed_report p)
+            | `Fm ->
+              let p = Ppnpart_baselines.Fm.kway rng g ~k in
+              ("FM", p, timed_report p)
+            | `Kl ->
+              let p =
+                Ppnpart_baselines.Recursive_bisection.kway
+                  (fun rng g -> Ppnpart_baselines.Kl.bisect rng g)
+                  rng g ~k
+              in
+              ("KL", p, timed_report p)
+            | `Exact -> (
+              match Ppnpart_baselines.Exact.partition g c with
+              | Some (p, _) -> ("exact", p, timed_report p)
+              | None ->
+                Printf.printf "exact: no feasible partition exists\n";
+                exit 3)
+          in
+          (g, res)
       in
       let capture = if tracing then Ppnpart_obs.Obs.finish () else None in
       let snapshot =
@@ -420,7 +475,8 @@ let partition_cmd =
   let term =
     Term.(
       const run $ setup_logs_term $ input_arg $ paper_arg $ seed_arg
-      $ jobs_arg $ refine_jobs_arg $ k_arg $ bmax_arg $ rmax_arg
+      $ jobs_arg $ refine_jobs_arg $ stream_jobs_arg $ stream_ingest_arg
+      $ k_arg $ bmax_arg $ rmax_arg
       $ algo_arg $ mode_arg
       $ stream_iterations_arg $ dot_arg $ save_arg $ trace_out_arg
       $ trace_jsonl_arg $ metrics_out_arg $ report_json_arg

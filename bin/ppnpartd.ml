@@ -3,9 +3,12 @@
    Serves partition / edit-and-repartition requests over a unix socket
    speaking newline-delimited JSON (see Ppnpart_server.Protocol for the
    frames, or the README "Daemon" section for an example session).
-   Compute runs on a pool of resident worker domains, each owning one
-   reusable Workspace for its lifetime, so steady-state requests
-   allocate no scratch. *)
+   Graphs arrive either whole (submit) or as chunked submit-begin /
+   submit-rows / submit-end frames fed to the incremental METIS
+   reader, so a large netlist never has to fit one frame. Compute runs
+   on a pool of resident worker domains, each owning one reusable
+   Workspace for its lifetime, so steady-state requests allocate no
+   scratch. *)
 
 open Cmdliner
 module Daemon = Ppnpart_server.Daemon

@@ -18,6 +18,9 @@ type t = {
   debug_checks : bool;
   mode : mode;
   stream_iterations : int;
+  stream_jobs : int;
+  stream_chunk : int;
+  stream_ingest : bool;
   repartition_gate : float;
 }
 
@@ -35,6 +38,9 @@ let default =
     debug_checks = Ppnpart_check.Check.env_enabled ();
     mode = Multilevel;
     stream_iterations = Ppnpart_partition.Stream.default_iterations;
+    stream_jobs = 0;
+    stream_chunk = Ppnpart_partition.Stream_parallel.default_chunk;
+    stream_ingest = false;
     repartition_gate = 0.25;
   }
 
@@ -47,6 +53,8 @@ let validate t =
   if t.jobs < 0 then invalid_arg "Config: jobs < 0";
   if t.refine_jobs < 0 then invalid_arg "Config: refine_jobs < 0";
   if t.stream_iterations < 1 then invalid_arg "Config: stream_iterations < 1";
+  if t.stream_jobs < 0 then invalid_arg "Config: stream_jobs < 0";
+  if t.stream_chunk < 1 then invalid_arg "Config: stream_chunk < 1";
   (* Negated comparison so NaN is rejected too. *)
   if not (t.repartition_gate >= 0.0) then
     invalid_arg "Config: repartition_gate < 0";

@@ -205,6 +205,436 @@ let of_metis text =
     g
   end
 
+(* ------------------------------------------------------------------ *)
+(* Incremental row-based construction (DESIGN.md §6.9).                *)
+(* ------------------------------------------------------------------ *)
+
+(* [Builder]: the CSR accumulator behind the incremental METIS reader.
+   Rows arrive in node order, each mention is range/self-loop checked on
+   arrival, and the whole-graph checks [of_metis] performs through its
+   per-pair hash table — duplicates, adjacency and weight symmetry, the
+   declared edge count — run once at [finish] over the sorted adjacency
+   slices instead: O(m log d) with no per-pair heap cells, which is what
+   lets a first streaming pass overlap parsing without paying the
+   table.
+
+   Error messages are kept byte-identical to [of_metis] (including its
+   [failure_only] constructor funnels), so the two paths are
+   differentially testable on the same malformed corpus. *)
+module Builder = struct
+  type t = {
+    n : int;
+    m_decl : int option;
+    vwgt : int array;
+    xadj : int array;
+    mutable adjncy : int array;
+    mutable adjwgt : int array;
+    mutable m2 : int;  (* directed mentions recorded so far *)
+    mutable next_u : int;  (* rows completed *)
+  }
+
+  let fail_f fmt = Printf.ksprintf failwith fmt
+
+  let create ?m_decl n =
+    if n < 0 then failwith "Graph_io.of_metis: bad header";
+    let cap =
+      (* Start from the declared size when it is sane, but never trust a
+         hostile header with a huge allocation: growth is amortized. *)
+      match m_decl with
+      | Some m when m > 0 -> max 64 (min (2 * m) (1 lsl 22))
+      | _ -> 64
+    in
+    {
+      n;
+      m_decl;
+      vwgt = Array.make n 1;
+      xadj = Array.make (n + 1) 0;
+      adjncy = Array.make cap 0;
+      adjwgt = Array.make cap 0;
+      m2 = 0;
+      next_u = 0;
+    }
+
+  let rows_done t = t.next_u
+
+  let push t v w =
+    if t.m2 >= Array.length t.adjncy then begin
+      let cap = max 64 (2 * Array.length t.adjncy) in
+      let a = Array.make cap 0 and b = Array.make cap 0 in
+      Array.blit t.adjncy 0 a 0 t.m2;
+      Array.blit t.adjwgt 0 b 0 t.m2;
+      t.adjncy <- a;
+      t.adjwgt <- b
+    end;
+    t.adjncy.(t.m2) <- v;
+    t.adjwgt.(t.m2) <- w;
+    t.m2 <- t.m2 + 1
+
+  (* One mention [v] (0-based) of weight [w] in the current row; checks
+     and messages match [of_metis]'s [record]. *)
+  let mention t v w =
+    let u = t.next_u in
+    if v < 0 || v >= t.n then
+      fail_f "Graph_io.of_metis: neighbour %d of node %d out of range"
+        (v + 1) (u + 1);
+    if v = u then fail_f "Graph_io.of_metis: self loop on node %d" (u + 1);
+    push t v w
+
+  let set_vwgt t w = t.vwgt.(t.next_u) <- w
+
+  let end_row t =
+    if t.next_u >= t.n then
+      invalid_arg "Graph_io.Builder.end_row: all rows already added";
+    t.next_u <- t.next_u + 1;
+    t.xadj.(t.next_u) <- t.m2
+
+  (* Convenience for programmatic producers (generators, tests): one
+     whole row from parallel arrays. *)
+  let add_row t ~vwgt ~deg ~adj ~adjw =
+    set_vwgt t vwgt;
+    for i = 0 to deg - 1 do
+      mention t adj.(i) adjw.(i)
+    done;
+    end_row t
+
+  let pair_name u v =
+    let a = min u v and b = max u v in
+    Printf.sprintf "%d-%d" (a + 1) (b + 1)
+
+  let finish t =
+    if t.next_u < t.n then
+      fail_f "Graph_io.of_metis: expected %d node lines, got %d" t.n
+        t.next_u;
+    let n = t.n in
+    let xadj = t.xadj in
+    let adjncy =
+      if Array.length t.adjncy = t.m2 then t.adjncy
+      else Array.sub t.adjncy 0 t.m2
+    in
+    let adjwgt =
+      if Array.length t.adjwgt = t.m2 then t.adjwgt
+      else Array.sub t.adjwgt 0 t.m2
+    in
+    (* Sort each slice by neighbour id. Rows emitted by [to_metis] (and
+       by every generator in this repo) are already ascending, so the
+       common case is a pure scan. *)
+    for u = 0 to n - 1 do
+      let lo = xadj.(u) and hi = xadj.(u + 1) in
+      let sorted = ref true in
+      for i = lo + 1 to hi - 1 do
+        if adjncy.(i) <= adjncy.(i - 1) then sorted := false
+      done;
+      if not !sorted then begin
+        let len = hi - lo in
+        let pairs = Array.init len (fun i -> (adjncy.(lo + i), adjwgt.(lo + i))) in
+        Array.sort (fun (a, _) (b, _) -> compare (a : int) b) pairs;
+        for i = 0 to len - 1 do
+          let v, w = pairs.(i) in
+          adjncy.(lo + i) <- v;
+          adjwgt.(lo + i) <- w
+        done
+      end
+    done;
+    (* The per-pair checks of [of_metis], in a deterministic order:
+       duplicates within a row, then both-endpoint presence and weight
+       agreement via binary search in the mirror row. *)
+    for u = 0 to n - 1 do
+      for i = xadj.(u) + 1 to xadj.(u + 1) - 1 do
+        if adjncy.(i) = adjncy.(i - 1) then
+          fail_f "Graph_io.of_metis: duplicate adjacency entry for edge %s"
+            (pair_name u adjncy.(i))
+      done
+    done;
+    let mirror_index u v =
+      (* Position of [u] in [v]'s (sorted, duplicate-free) slice. *)
+      let lo = ref xadj.(v) and hi = ref (xadj.(v + 1) - 1) in
+      let found = ref (-1) in
+      while !found < 0 && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = adjncy.(mid) in
+        if x = u then found := mid
+        else if x < u then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !found
+    in
+    for u = 0 to n - 1 do
+      for i = xadj.(u) to xadj.(u + 1) - 1 do
+        let v = adjncy.(i) in
+        let j = mirror_index u v in
+        if j < 0 then
+          fail_f
+            "Graph_io.of_metis: asymmetric adjacency: edge %s is listed on \
+             one endpoint only"
+            (pair_name u v);
+        if u < v && adjwgt.(i) <> adjwgt.(j) then
+          fail_f "Graph_io.of_metis: asymmetric weight on edge %s (%d vs %d)"
+            (pair_name u v)
+            adjwgt.(i) adjwgt.(j)
+      done
+    done;
+    (* Constructor checks, message-compatible with the legacy
+       [Edge_list.add] / [Wgraph.build] funnels. *)
+    for i = 0 to t.m2 - 1 do
+      if adjwgt.(i) < 0 then
+        failwith "Graph_io.of_metis: Edge_list.add: negative weight"
+    done;
+    for u = 0 to n - 1 do
+      if t.vwgt.(u) < 0 then
+        failwith "Graph_io.of_metis: Wgraph.build: negative vwgt"
+    done;
+    (match t.m_decl with
+    | Some m_decl when t.m2 / 2 <> m_decl ->
+      fail_f "Graph_io.of_metis: declared %d edges, found %d" m_decl
+        (t.m2 / 2)
+    | _ -> ());
+    failure_only ~reader:"Graph_io.of_metis" @@ fun () ->
+    Wgraph.of_csr ~vwgt:t.vwgt ~n ~xadj ~adjncy ~adjwgt ()
+end
+
+(* [Rows]: a resumable cursor over METIS text fed in arbitrary pieces.
+   Complete lines are tokenized with the same cursor/token logic as
+   [of_metis] (incomplete trailing lines wait in a carry buffer for the
+   next [feed]), each finished adjacency row is pushed into a {!Builder}
+   and handed to [on_row] immediately — this is the hook the pipelined
+   streaming ingest hangs its first placement pass on — and [finish]
+   runs the deferred whole-graph validation. *)
+module Rows = struct
+  type phase =
+    | Header
+    | Fields  (* header seen, waiting for node rows *)
+    | Done of int  (* all rows seen; counts surplus non-blank lines *)
+
+  type t = {
+    mutable phase : phase;
+    mutable n : int;
+    mutable m_decl : int;
+    mutable has_vsize : bool;
+    mutable has_vwgt : bool;
+    mutable has_ewgt : bool;
+    mutable builder : Builder.t option;
+    pending : Buffer.t;
+    mutable finished : bool;
+    on_header : (n:int -> m_decl:int -> unit) option;
+    on_row :
+      (u:int -> vwgt:int -> off:int -> deg:int -> adj:int array ->
+       adjw:int array -> unit)
+        option;
+  }
+
+  let create ?on_header ?on_row () =
+    {
+      phase = Header;
+      n = 0;
+      m_decl = 0;
+      has_vsize = false;
+      has_vwgt = false;
+      has_ewgt = false;
+      builder = None;
+      pending = Buffer.create 256;
+      finished = false;
+      on_header;
+      on_row;
+    }
+
+  let header t =
+    match t.phase with Header -> None | _ -> Some (t.n, t.m_decl)
+
+  let rows_done t =
+    match t.builder with None -> 0 | Some b -> Builder.rows_done b
+
+  (* Tokenize every complete line in [text.[lo .. hi - 1]], advancing
+     the parse state. Mirrors [of_metis]'s cursor exactly, including the
+     blank/comment-line skipping and the all-decimal fast path. *)
+  let process t text lo hi =
+    let pos = ref lo in
+    let is_hspace c = c = ' ' || c = '\t' || c = '\r' in
+    let skip_hspace () =
+      while !pos < hi && is_hspace text.[!pos] do
+        incr pos
+      done
+    in
+    let rec next_line () =
+      skip_hspace ();
+      if !pos >= hi then false
+      else
+        match text.[!pos] with
+        | '\n' ->
+          incr pos;
+          next_line ()
+        | '%' ->
+          while !pos < hi && text.[!pos] <> '\n' do
+            incr pos
+          done;
+          next_line ()
+        | _ -> true
+    in
+    let at_eol () =
+      skip_hspace ();
+      !pos >= hi || text.[!pos] = '\n'
+    in
+    let token_int () =
+      let start = !pos in
+      let v = ref 0 and digits = ref 0 and plain = ref true in
+      while
+        !pos < hi && (not (is_hspace text.[!pos])) && text.[!pos] <> '\n'
+      do
+        let c = text.[!pos] in
+        if c >= '0' && c <= '9' then begin
+          v := (!v * 10) + (Char.code c - Char.code '0');
+          incr digits
+        end
+        else plain := false;
+        incr pos
+      done;
+      if !plain && !digits > 0 && !digits <= 18 then !v
+      else begin
+        let s = String.sub text start (!pos - start) in
+        match int_of_string_opt s with
+        | Some i -> i
+        | None -> failwith ("Graph_io: not an integer: " ^ s)
+      end
+    in
+    while next_line () do
+      match t.phase with
+      | Header ->
+        let h1 = token_int () in
+        if at_eol () then failwith "Graph_io.of_metis: bad header";
+        let h2 = token_int () in
+        if not (at_eol ()) then begin
+          let fmt = token_int () in
+          if not (at_eol ()) then failwith "Graph_io.of_metis: bad header";
+          t.has_vsize <- fmt / 100 mod 10 = 1;
+          t.has_vwgt <- fmt / 10 mod 10 = 1;
+          t.has_ewgt <- fmt mod 10 = 1
+        end;
+        if h1 < 0 then failwith "Graph_io.of_metis: bad header";
+        t.n <- h1;
+        t.m_decl <- h2;
+        t.builder <- Some (Builder.create ~m_decl:h2 h1);
+        t.phase <- (if h1 = 0 then Done 0 else Fields);
+        Option.iter (fun f -> f ~n:h1 ~m_decl:h2) t.on_header
+      | Fields ->
+        let b = Option.get t.builder in
+        let u = Builder.rows_done b in
+        let row_off = b.Builder.m2 in
+        if t.has_vsize then begin
+          if at_eol () then
+            failwith "Graph_io.of_metis: missing vertex size";
+          ignore (token_int ())
+        end;
+        if t.has_vwgt then begin
+          if at_eol () then
+            failwith "Graph_io.of_metis: missing vertex weight";
+          Builder.set_vwgt b (token_int ())
+        end;
+        while not (at_eol ()) do
+          let v = token_int () in
+          if t.has_ewgt then begin
+            if at_eol () then
+              failwith
+                (Printf.sprintf
+                   "Graph_io.of_metis: neighbour of node %d without a weight"
+                   (u + 1));
+            Builder.mention b (v - 1) (token_int ())
+          end
+          else Builder.mention b (v - 1) 1
+        done;
+        Builder.end_row b;
+        if Builder.rows_done b = t.n then t.phase <- Done 0;
+        Option.iter
+          (fun f ->
+            f ~u ~vwgt:b.Builder.vwgt.(u) ~off:row_off
+              ~deg:(b.Builder.m2 - row_off) ~adj:b.Builder.adjncy
+              ~adjw:b.Builder.adjwgt)
+          t.on_row
+      | Done extra ->
+        (* Surplus line: count it (for the message parity with
+           [of_metis]) and skip to its end. *)
+        t.phase <- Done (extra + 1);
+        while !pos < hi && text.[!pos] <> '\n' do
+          incr pos
+        done
+    done
+
+  let feed t s =
+    if t.finished then invalid_arg "Graph_io.Rows.feed: already finished";
+    let slen = String.length s in
+    if slen > 0 then begin
+      let lo =
+        if Buffer.length t.pending = 0 then 0
+        else
+          match String.index_opt s '\n' with
+          | None ->
+            Buffer.add_string t.pending s;
+            slen
+          | Some i ->
+            Buffer.add_substring t.pending s 0 (i + 1);
+            let line = Buffer.contents t.pending in
+            Buffer.clear t.pending;
+            process t line 0 (String.length line);
+            i + 1
+      in
+      if lo < slen then
+        match String.rindex_from_opt s (slen - 1) '\n' with
+        | Some j when j >= lo ->
+          process t s lo (j + 1);
+          if j + 1 < slen then
+            Buffer.add_substring t.pending s (j + 1) (slen - j - 1)
+        | _ -> Buffer.add_substring t.pending s lo (slen - lo)
+    end
+
+  let finish t =
+    if t.finished then
+      invalid_arg "Graph_io.Rows.finish: already finished";
+    if Buffer.length t.pending > 0 then begin
+      let line = Buffer.contents t.pending in
+      Buffer.clear t.pending;
+      process t line 0 (String.length line)
+    end;
+    t.finished <- true;
+    match t.phase with
+    | Header -> failwith "Graph_io.of_metis: empty input"
+    | Fields ->
+      failwith
+        (Printf.sprintf "Graph_io.of_metis: expected %d node lines, got %d"
+           t.n
+           (Builder.rows_done (Option.get t.builder)))
+    | Done extra ->
+      if extra > 0 then
+        failwith
+          (Printf.sprintf
+             "Graph_io.of_metis: expected %d node lines, got %d" t.n
+             (t.n + extra))
+      else Builder.finish (Option.get t.builder)
+end
+
+let of_metis_rows text =
+  let r = Rows.create () in
+  Rows.feed r text;
+  Rows.finish r
+
+(* Row-aligned chunked serialization: the feeding side of the
+   incremental reader. Emits the same bytes as {!to_metis}, cut at node
+   row boundaries, without ever holding the whole text. *)
+let to_metis_chunks ?(rows_per_chunk = 4096) g emit =
+  if rows_per_chunk < 1 then
+    invalid_arg "Graph_io.to_metis_chunks: rows_per_chunk < 1";
+  let b = Buffer.create 65536 in
+  Buffer.add_string b
+    (Printf.sprintf "%d %d 011\n" (Wgraph.n_nodes g) (Wgraph.n_edges g));
+  for u = 0 to Wgraph.n_nodes g - 1 do
+    Buffer.add_string b (string_of_int (Wgraph.node_weight g u));
+    Wgraph.iter_neighbors g u (fun v w ->
+        Buffer.add_string b (Printf.sprintf " %d %d" (v + 1) w));
+    Buffer.add_char b '\n';
+    if (u + 1) mod rows_per_chunk = 0 then begin
+      emit (Buffer.contents b);
+      Buffer.clear b
+    end
+  done;
+  if Buffer.length b > 0 then emit (Buffer.contents b)
+
 let to_adjacency_matrix g =
   let n = Wgraph.n_nodes g in
   let b = Buffer.create 1024 in

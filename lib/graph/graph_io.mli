@@ -24,6 +24,104 @@ val of_metis : string -> Wgraph.t
     re-raised as [Failure] too, so parsing untrusted text needs exactly
     one handler. *)
 
+module Builder : sig
+  (** Incremental CSR construction from adjacency rows supplied in node
+      order. Per-mention checks (neighbour range, self loops) run on
+      arrival; whole-graph checks ({!of_metis}'s duplicate, symmetry and
+      edge-count validation) run once at {!finish} over the sorted
+      slices. All error messages are byte-identical to {!of_metis}, so
+      both paths are interchangeable for callers and differentially
+      testable on the same corpus. *)
+
+  type t
+
+  val create : ?m_decl:int -> int -> t
+  (** [create ?m_decl n]: builder for an [n]-node graph. When [m_decl]
+      is given, {!finish} checks the undirected edge count against it
+      ("declared %d edges, found %d").
+      @raise Failure if [n < 0] (the {!of_metis} bad-header message). *)
+
+  val rows_done : t -> int
+  (** Number of completed rows, i.e. the id of the next row expected. *)
+
+  val set_vwgt : t -> int -> unit
+  (** Weight of the current (in-progress) row's node; default [1]. *)
+
+  val mention : t -> int -> int -> unit
+  (** [mention t v w]: one 0-based neighbour mention of weight [w] in
+      the current row.
+      @raise Failure on out-of-range or self-loop, with the
+      {!of_metis} message. *)
+
+  val end_row : t -> unit
+  (** Seal the current row and move to the next node. *)
+
+  val add_row :
+    t -> vwgt:int -> deg:int -> adj:int array -> adjw:int array -> unit
+  (** Whole row at once from parallel arrays (first [deg] entries). *)
+
+  val finish : t -> Wgraph.t
+  (** Run the deferred whole-graph validation and build.
+      @raise Failure (and only [Failure], as {!of_metis}) on missing
+      rows, duplicate or asymmetric adjacency, asymmetric or negative
+      weights, or an edge-count mismatch. *)
+end
+
+module Rows : sig
+  (** Resumable cursor over METIS [.graph] text fed in arbitrary
+      pieces. Complete lines are tokenized exactly as {!of_metis} does
+      (an incomplete trailing line is carried to the next {!feed});
+      each finished adjacency row is pushed into a {!Builder} and
+      reported to [on_row] immediately, which is what lets a first
+      streaming-partition pass overlap parsing. *)
+
+  type t
+
+  val create :
+    ?on_header:(n:int -> m_decl:int -> unit) ->
+    ?on_row:
+      (u:int ->
+      vwgt:int ->
+      off:int ->
+      deg:int ->
+      adj:int array ->
+      adjw:int array ->
+      unit) ->
+    unit ->
+    t
+  (** [on_row] receives row [u]'s mentions as [adj.(off .. off+deg-1)]
+      / [adjw.(off .. off+deg-1)] (0-based neighbours, already
+      range/self-loop checked). The arrays are the builder's live
+      backing store: valid during the callback, but they may be
+      replaced by growth afterwards — consume or copy, don't retain. *)
+
+  val header : t -> (int * int) option
+  (** [(n, m_decl)] once the header line has been parsed. *)
+
+  val rows_done : t -> int
+
+  val feed : t -> string -> unit
+  (** Append a piece of text; chunk boundaries may fall anywhere.
+      @raise Failure as {!of_metis} on malformed complete lines. *)
+
+  val finish : t -> Wgraph.t
+  (** End of input: parse any carried partial line, then run the
+      deferred validation.
+      @raise Failure (and only [Failure]) with {!of_metis}'s messages,
+      including "empty input" and the truncated / surplus node-line
+      counts. *)
+end
+
+val of_metis_rows : string -> Wgraph.t
+(** {!of_metis} semantics via the incremental {!Rows} reader — same
+    graphs, same [Failure] messages. The differential twin used by
+    tests and fuzzing. *)
+
+val to_metis_chunks : ?rows_per_chunk:int -> Wgraph.t -> (string -> unit) -> unit
+(** [to_metis_chunks g emit]: {!to_metis} output delivered through
+    [emit] in pieces cut at node-row boundaries ([rows_per_chunk] rows
+    per piece, default 4096), without materializing the whole text. *)
+
 val to_adjacency_matrix : Wgraph.t -> string
 (** Dense symmetric matrix of edge weights, one row per line, space
     separated; first line is [n], second line the node weights. *)

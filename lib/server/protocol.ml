@@ -3,12 +3,16 @@ module Config = Ppnpart_core.Config
 
 type command =
   | Submit of { graph : string; metis : string }
+  | Submit_begin of { graph : string }
+  | Submit_rows of { graph : string; metis : string }
+  | Submit_end of { graph : string }
   | Partition of {
       graph : string;
       c : Types.constraints;
       mode : Config.mode;
       seed : int;
       jobs : int;
+      stream_jobs : int;
     }
   | Repartition of { graph : string; edits : Graph_edit.op list }
   | Report of { graph : string }
@@ -123,6 +127,16 @@ let parse_command obj =
     let* graph = field_str obj "graph" in
     let* metis = field_str obj "metis" in
     Ok (Submit { graph; metis })
+  | "submit-begin" ->
+    let* graph = field_str obj "graph" in
+    Ok (Submit_begin { graph })
+  | "submit-rows" ->
+    let* graph = field_str obj "graph" in
+    let* metis = field_str obj "metis" in
+    Ok (Submit_rows { graph; metis })
+  | "submit-end" ->
+    let* graph = field_str obj "graph" in
+    Ok (Submit_end { graph })
   | "partition" ->
     let* graph = field_str obj "graph" in
     let* k = field_int obj "k" in
@@ -131,12 +145,14 @@ let parse_command obj =
     let* mode = parse_mode obj in
     let* seed = field_int_opt obj "seed" ~default:0 in
     let* jobs = field_int_opt obj "jobs" ~default:1 in
+    let* stream_jobs = field_int_opt obj "stream_jobs" ~default:0 in
     let* c =
       try Ok (Types.constraints ~k ~bmax ~rmax)
       with Invalid_argument msg -> Error msg
     in
     if jobs < 0 then Error "field \"jobs\" must be >= 0"
-    else Ok (Partition { graph; c; mode; seed; jobs })
+    else if stream_jobs < 0 then Error "field \"stream_jobs\" must be >= 0"
+    else Ok (Partition { graph; c; mode; seed; jobs; stream_jobs })
   | "repartition" ->
     let* graph = field_str obj "graph" in
     let* edits = parse_edits obj in

@@ -10,10 +10,21 @@
     - [{"op":"submit","graph":ID,"metis":TEXT}] — register a graph
       under a client-chosen string id (METIS text, the CLI's format);
       re-submitting an id replaces the graph and drops its labelling.
+    - [{"op":"submit-begin","graph":ID}], then any number of
+      [{"op":"submit-rows","graph":ID,"metis":PIECE}], then
+      [{"op":"submit-end","graph":ID}] — the same submission delivered
+      in pieces, fed to the incremental METIS reader
+      ({!Ppnpart_graph.Graph_io.Rows}) as frames arrive; pieces may cut
+      lines anywhere. Only [submit-end] installs the graph (replacing
+      any previous holder of the id, exactly as [submit]); a malformed
+      piece drops the upload with an error frame and leaves the
+      connection and any previously installed graph untouched.
     - [{"op":"partition","graph":ID,"k":K,"bmax":B,"rmax":R,"mode":M,
-       "seed":S,"jobs":J}] — partition a submitted graph. [bmax]/
-      [rmax] default to unconstrained, [mode] to ["multilevel"],
-      [seed] to 0, [jobs] to 1. The labelling is retained for
+       "seed":S,"jobs":J,"stream_jobs":SJ}] — partition a submitted
+      graph. [bmax]/[rmax] default to unconstrained, [mode] to
+      ["multilevel"], [seed] to 0, [jobs] to 1, [stream_jobs] (chunked
+      restreaming team width for stream/hybrid modes; width never
+      affects results) to 0 = auto. The labelling is retained for
       subsequent [repartition] calls.
     - [{"op":"repartition","graph":ID,"edits":[...]}] — apply an edit
       batch and incrementally repartition from the retained labelling
@@ -36,12 +47,16 @@ module Config = Ppnpart_core.Config
 
 type command =
   | Submit of { graph : string; metis : string }
+  | Submit_begin of { graph : string }
+  | Submit_rows of { graph : string; metis : string }
+  | Submit_end of { graph : string }
   | Partition of {
       graph : string;
       c : Types.constraints;
       mode : Config.mode;
       seed : int;
       jobs : int;
+      stream_jobs : int;
     }
   | Repartition of { graph : string; edits : Graph_edit.op list }
   | Report of { graph : string }

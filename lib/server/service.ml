@@ -17,15 +17,29 @@ type entry = {
   mutable report : string option;
 }
 
+(* An in-progress chunked submission ([submit-begin] .. [submit-end]):
+   the incremental reader accumulates rows as frames arrive. Its own
+   lock serializes frames racing in from different connections; the
+   registry lock covers only lookup/insert/remove, so feeding a large
+   piece never blocks requests for other graphs. *)
+type upload = { ulock : Mutex.t; rows : Ppnpart_graph.Graph_io.Rows.t }
+
 type t = {
   lock : Mutex.t;  (** registry lookup/insert + counters only *)
   graphs : (string, entry) Hashtbl.t;
+  pending : (string, upload) Hashtbl.t;
   mutable requests : int;
   mutable errors : int;
 }
 
 let create () =
-  { lock = Mutex.create (); graphs = Hashtbl.create 16; requests = 0; errors = 0 }
+  {
+    lock = Mutex.create ();
+    graphs = Hashtbl.create 16;
+    pending = Hashtbl.create 16;
+    requests = 0;
+    errors = 0;
+  }
 
 let with_lock m f =
   Mutex.lock m;
@@ -60,23 +74,74 @@ let result_fields (r : Gp.result) =
     ("runtime_s", Json.Num r.Gp.runtime_s);
     ("labels", labels_json r.Gp.part) ]
 
-let config_for ~mode ~seed ~jobs =
-  { Config.default with Config.mode; seed; jobs }
+let config_for ~mode ~seed ~jobs ~stream_jobs =
+  { Config.default with Config.mode; seed; jobs; stream_jobs }
 
-let do_submit t ~id ~graph ~metis =
-  let g = Graph_io.of_metis metis in
-  install t graph g;
+let installed_reply ~id ~graph g =
   Protocol.ok ?id
     [ ("graph", Json.Str graph);
       ("nodes", Json.int (Wgraph.n_nodes g));
       ("edges", Json.int (Wgraph.n_edges g)) ]
 
-let do_partition t ~id ~graph ~c ~mode ~seed ~jobs =
+let do_submit t ~id ~graph ~metis =
+  let g = Graph_io.of_metis metis in
+  install t graph g;
+  installed_reply ~id ~graph g
+
+let drop_upload t graph =
+  with_lock t.lock (fun () -> Hashtbl.remove t.pending graph)
+
+let do_submit_begin t ~id ~graph =
+  let up = { ulock = Mutex.create (); rows = Graph_io.Rows.create () } in
+  (* [replace]: a new begin for an id abandons any half-done upload,
+     mirroring how [submit] replaces an installed graph. *)
+  with_lock t.lock (fun () -> Hashtbl.replace t.pending graph up);
+  Protocol.ok ?id [ ("graph", Json.Str graph); ("upload", Json.Bool true) ]
+
+let do_submit_rows t ~id ~graph ~metis =
+  match with_lock t.lock (fun () -> Hashtbl.find_opt t.pending graph) with
+  | None ->
+    Error
+      (Printf.sprintf "no upload in progress for graph %S — submit-begin first"
+         graph)
+  | Some up ->
+    with_lock up.ulock (fun () ->
+        match Graph_io.Rows.feed up.rows metis with
+        | () ->
+          Ok
+            (Protocol.ok ?id
+               [ ("graph", Json.Str graph);
+                 ("rows", Json.int (Graph_io.Rows.rows_done up.rows)) ])
+        | exception Failure msg ->
+          (* The reader is stuck mid-error; the upload cannot continue.
+             Drop it so a retry starts clean — the connection and any
+             installed graph under this id are untouched. *)
+          drop_upload t graph;
+          Error msg)
+
+let do_submit_end t ~id ~graph =
+  match
+    with_lock t.lock (fun () ->
+        let up = Hashtbl.find_opt t.pending graph in
+        Hashtbl.remove t.pending graph;
+        up)
+  with
+  | None ->
+    Error
+      (Printf.sprintf "no upload in progress for graph %S — submit-begin first"
+         graph)
+  | Some up ->
+    with_lock up.ulock (fun () ->
+        let g = Graph_io.Rows.finish up.rows in
+        install t graph g;
+        Ok (installed_reply ~id ~graph g))
+
+let do_partition t ~id ~graph ~c ~mode ~seed ~jobs ~stream_jobs =
   match find t graph with
   | None -> Error (Printf.sprintf "unknown graph %S" graph)
   | Some e ->
     with_lock e.elock (fun () ->
-        let config = config_for ~mode ~seed ~jobs in
+        let config = config_for ~mode ~seed ~jobs ~stream_jobs in
         let r = Gp.partition ~config e.graph c in
         e.labels <- Some r.Gp.part;
         e.c <- Some c;
@@ -145,11 +210,15 @@ let do_report t ~id ~graph =
 let stats t =
   with_lock t.lock (fun () ->
       [ ("graphs", Json.int (Hashtbl.length t.graphs));
+        ("uploads", Json.int (Hashtbl.length t.pending));
         ("requests", Json.int t.requests);
         ("errors", Json.int t.errors) ])
 
 let op_label = function
   | Protocol.Submit _ -> "submit"
+  | Protocol.Submit_begin _ -> "submit-begin"
+  | Protocol.Submit_rows _ -> "submit-rows"
+  | Protocol.Submit_end _ -> "submit-end"
   | Protocol.Partition _ -> "partition"
   | Protocol.Repartition _ -> "repartition"
   | Protocol.Report _ -> "report"
@@ -176,8 +245,13 @@ let handle t ~workspace (id, parsed) =
       match command with
       | Protocol.Submit { graph; metis } ->
         Ok (do_submit t ~id ~graph ~metis)
-      | Protocol.Partition { graph; c; mode; seed; jobs } ->
-        do_partition t ~id ~graph ~c ~mode ~seed ~jobs
+      | Protocol.Submit_begin { graph } ->
+        Ok (do_submit_begin t ~id ~graph)
+      | Protocol.Submit_rows { graph; metis } ->
+        do_submit_rows t ~id ~graph ~metis
+      | Protocol.Submit_end { graph } -> do_submit_end t ~id ~graph
+      | Protocol.Partition { graph; c; mode; seed; jobs; stream_jobs } ->
+        do_partition t ~id ~graph ~c ~mode ~seed ~jobs ~stream_jobs
       | Protocol.Repartition { graph; edits } ->
         do_repartition t ~id ~graph ~edits ~workspace
       | Protocol.Report { graph } -> do_report t ~id ~graph

@@ -33,5 +33,5 @@ val handle :
     command; the caller owns actually stopping the server. *)
 
 val stats : t -> (string * Json.t) list
-(** The fields of the [stats] response: graphs resident, requests
-    served, error frames sent. *)
+(** The fields of the [stats] response: graphs resident, chunked
+    uploads in progress, requests served, error frames sent. *)

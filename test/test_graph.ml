@@ -352,6 +352,110 @@ let test_dot_contains_clusters () =
   check_bool "cluster 1" true (contains dot "cluster_1");
   check_bool "edge label" true (contains dot "label=\"5\"")
 
+(* --- Graph_io.Rows: the incremental reader (DESIGN.md §6.9) --- *)
+
+(* The cursor-based reader must be indistinguishable from of_metis:
+   same graphs on valid input, byte-identical Failure messages on the
+   malformed corpus. Each entry below trips a different validation
+   (header, tokenizer, per-mention, end-of-stream). *)
+let malformed_corpus =
+  [
+    ("empty input", "");
+    ("blank lines only", "% comment\n\n");
+    ("bad header: no m", "2\n");
+    ("bad header: negative n", "-1 0\n");
+    ("header not an integer", "two 1\n2\n1\n");
+    ("truncated node lines", "3 2\n2\n1 3\n");
+    ("surplus node lines", "2 1\n2\n1\n1 2\n");
+    ("wrong edge count", "2 5 000\n2\n1\n");
+    ("asymmetric adjacency", "3 2 000\n2 3\n1\n2\n");
+    ("asymmetric weight", "2 1 001\n2 5\n1 7\n");
+    ("duplicate adjacency", "2 2 000\n2 2\n1 1\n");
+    ("neighbour out of range", "2 1 000\n3\n1\n");
+    ("self loop", "2 1 000\n1\n1\n");
+    ("missing edge weight", "2 1 001\n2\n1 5\n");
+    ("negative vertex weight", "2 1 010\n-1 2\n1 2\n");
+    ("body not an integer", "2 1\n2x\n1\n");
+  ]
+
+let test_rows_malformed_parity () =
+  List.iter
+    (fun (name, text) ->
+      let expected =
+        match Graph_io.of_metis text with
+        | _ -> Alcotest.failf "%s: of_metis accepted %S" name text
+        | exception Failure msg -> msg
+      in
+      let got =
+        match Graph_io.of_metis_rows text with
+        | _ -> Alcotest.failf "%s: of_metis_rows accepted %S" name text
+        | exception Failure msg -> msg
+      in
+      Alcotest.(check string) name expected got)
+    malformed_corpus
+
+let test_rows_split_feed () =
+  (* Chunk boundaries may fall anywhere — middle of a token, middle of
+     a line, between lines. Every piece size must yield the same graph
+     as the one-shot parse. *)
+  let g = sample () in
+  let text = Graph_io.to_metis g in
+  List.iter
+    (fun piece ->
+      let r = Graph_io.Rows.create () in
+      let len = String.length text in
+      let pos = ref 0 in
+      while !pos < len do
+        let l = min piece (len - !pos) in
+        Graph_io.Rows.feed r (String.sub text !pos l);
+        pos := !pos + l
+      done;
+      let g' = Graph_io.Rows.finish r in
+      check_bool (Printf.sprintf "piece size %d" piece) true
+        (Wgraph.equal g g'))
+    [ 1; 2; 3; 7; 64; max 1 (String.length text) ]
+
+let test_rows_callbacks () =
+  (* on_header fires once with the declared sizes; on_row fires once
+     per node, in node order, with range-checked 0-based mentions. *)
+  let text = "3 2 011\n4 2 6\n5 1 6 3 2\n6 2 2\n" in
+  let headers = ref [] and rows = ref [] in
+  let r =
+    Graph_io.Rows.create
+      ~on_header:(fun ~n ~m_decl -> headers := (n, m_decl) :: !headers)
+      ~on_row:(fun ~u ~vwgt ~off ~deg ~adj ~adjw ->
+        let ns = Array.to_list (Array.sub adj off deg) in
+        let ws = Array.to_list (Array.sub adjw off deg) in
+        rows := (u, vwgt, ns, ws) :: !rows)
+      ()
+  in
+  Graph_io.Rows.feed r text;
+  let g = Graph_io.Rows.finish r in
+  Alcotest.(check (list (pair int int))) "header once" [ (3, 2) ] !headers;
+  Alcotest.(check int) "three rows" 3 (List.length !rows);
+  (match List.rev !rows with
+  | [ (0, 4, [ 1 ], [ 6 ]); (1, 5, [ 0; 2 ], [ 6; 2 ]); (2, 6, [ 1 ], [ 2 ]) ]
+    ->
+      ()
+  | _ -> Alcotest.fail "row callback order or payload wrong");
+  check_bool "same graph as of_metis" true
+    (Wgraph.equal g (Graph_io.of_metis text))
+
+let test_to_metis_chunks_bytes () =
+  (* Chunked emission is a pure re-plumbing of to_metis: concatenating
+     the chunks must reproduce its output byte for byte, at any
+     rows_per_chunk. *)
+  let g = sample () in
+  let whole = Graph_io.to_metis g in
+  List.iter
+    (fun rows_per_chunk ->
+      let b = Buffer.create 256 in
+      Graph_io.to_metis_chunks ~rows_per_chunk g (Buffer.add_string b);
+      Alcotest.(check string)
+        (Printf.sprintf "rows_per_chunk %d" rows_per_chunk)
+        whole (Buffer.contents b))
+    [ 1; 2; 1000 ]
+
 (* --- qcheck properties --- *)
 
 let arbitrary_edges n max_w =
@@ -392,6 +496,16 @@ let prop_metis_roundtrip =
       List.iter (fun (u, v, w) -> Edge_list.add el u v (w + 1)) edges;
       let g = Wgraph.build el in
       Wgraph.equal g (Graph_io.of_metis (Graph_io.to_metis g)))
+
+let prop_rows_reader_matches_of_metis =
+  QCheck2.Test.make ~name:"incremental reader = of_metis" ~count:100
+    (arbitrary_edges 8 9)
+    (fun edges ->
+      let el = Edge_list.create 8 in
+      List.iter (fun (u, v, w) -> Edge_list.add el u v (w + 1)) edges;
+      let g = Wgraph.build el in
+      let text = Graph_io.to_metis g in
+      Wgraph.equal (Graph_io.of_metis text) (Graph_io.of_metis_rows text))
 
 let prop_normalized_sorted =
   QCheck2.Test.make
@@ -455,6 +569,7 @@ let qcheck_cases =
       prop_normalized_sorted;
       prop_of_soa_edges_matches_edge_list;
       prop_metis_roundtrip;
+      prop_rows_reader_matches_of_metis;
       prop_relabel_preserves_structure;
     ]
 
@@ -528,6 +643,15 @@ let () =
           Alcotest.test_case "adjacency asymmetric" `Quick
             test_adjacency_rejects_asymmetric;
           Alcotest.test_case "dot clusters" `Quick test_dot_contains_clusters;
+        ] );
+      ( "rows_reader",
+        [
+          Alcotest.test_case "malformed parity with of_metis" `Quick
+            test_rows_malformed_parity;
+          Alcotest.test_case "split feed" `Quick test_rows_split_feed;
+          Alcotest.test_case "callbacks" `Quick test_rows_callbacks;
+          Alcotest.test_case "to_metis_chunks bytes" `Quick
+            test_to_metis_chunks_bytes;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -72,7 +72,10 @@ let test_protocol_parse_ok () =
      Protocol.parse
        "{\"op\":\"partition\",\"graph\":\"g\",\"k\":3,\"rmax\":9,\"seed\":5}"
    with
-  | _, Ok (Protocol.Partition { graph = "g"; c; mode; seed = 5; jobs = 1 }) ->
+  | ( _,
+      Ok
+        (Protocol.Partition
+           { graph = "g"; c; mode; seed = 5; jobs = 1; stream_jobs = 0 }) ) ->
     check_int "k" 3 c.Types.k;
     check_int "rmax" 9 c.Types.rmax;
     check_int "bmax default" max_int c.Types.bmax;
@@ -343,6 +346,98 @@ let test_service_errors () =
   | Json.Num errors -> check_bool "errors counted" true (errors >= 4.0)
   | _ -> Alcotest.fail "errors not a number"
 
+let test_service_chunked_submit () =
+  (* A graph delivered as submit-begin / submit-rows* / submit-end must
+     be indistinguishable from a single-frame submit: same installed
+     reply fields, and a subsequent partition answers byte-identically.
+     Pieces cut adjacency lines mid-token on purpose. *)
+  let svc = Service.create () in
+  let submit =
+    Printf.sprintf "{\"op\":\"submit\",\"graph\":\"whole\",\"metis\":%s}"
+      (Json.to_string (Json.Str metis_text))
+  in
+  let v, _ = ok_json "whole submit" (handle svc submit) in
+  let whole_nodes = field "whole" v "nodes" in
+  ignore (ok_json "begin" (handle svc "{\"op\":\"submit-begin\",\"graph\":\"c\"}"));
+  let len = String.length metis_text in
+  let pos = ref 0 and last_rows = ref (-1) in
+  while !pos < len do
+    let l = min 7 (len - !pos) in
+    let piece = String.sub metis_text !pos l in
+    pos := !pos + l;
+    let v, _ =
+      ok_json "rows"
+        (handle svc
+           (Printf.sprintf "{\"op\":\"submit-rows\",\"graph\":\"c\",\"metis\":%s}"
+              (Json.to_string (Json.Str piece))))
+    in
+    match field "rows" v "rows" with
+    | Json.Num r ->
+      let r = int_of_float r in
+      check_bool "rows_done monotone" true (r >= !last_rows);
+      last_rows := r
+    | _ -> Alcotest.fail "rows not a number"
+  done;
+  let v, _ = ok_json "end" (handle svc "{\"op\":\"submit-end\",\"graph\":\"c\"}") in
+  check_bool "chunked nodes = whole nodes" true
+    (field "end" v "nodes" = whole_nodes);
+  let part g =
+    let v, _ =
+      ok_json ("partition " ^ g)
+        (handle svc
+           (Printf.sprintf "{\"op\":\"partition\",\"graph\":%S,\"k\":2}" g))
+    in
+    field "partition" v "labels"
+  in
+  check_bool "chunked partition = whole partition" true
+    (part "c" = part "whole")
+
+let test_service_chunked_submit_errors () =
+  let svc = Service.create () in
+  (* rows without begin *)
+  let msg =
+    err_json "rows without begin"
+      (handle svc "{\"op\":\"submit-rows\",\"graph\":\"x\",\"metis\":\"1 0\"}")
+  in
+  check_bool "says begin first" true (contains msg "submit-begin");
+  let msg =
+    err_json "end without begin"
+      (handle svc "{\"op\":\"submit-end\",\"graph\":\"x\"}")
+  in
+  check_bool "end says begin first" true (contains msg "submit-begin");
+  (* A malformed piece kills the upload but not the connection or any
+     installed graph under the same id. *)
+  let submit =
+    Printf.sprintf "{\"op\":\"submit\",\"graph\":\"g\",\"metis\":%s}"
+      (Json.to_string (Json.Str metis_text))
+  in
+  ignore (ok_json "install g" (handle svc submit));
+  ignore (ok_json "begin g" (handle svc "{\"op\":\"submit-begin\",\"graph\":\"g\"}"));
+  let uploads () =
+    let v, _ = ok_json "stats" (handle svc "{\"op\":\"stats\"}") in
+    field "stats" v "uploads"
+  in
+  check_bool "upload pending" true (uploads () = Json.int 1);
+  let msg =
+    err_json "malformed piece"
+      (handle svc
+         "{\"op\":\"submit-rows\",\"graph\":\"g\",\"metis\":\"2 1\\n1\\n\"}")
+  in
+  check_bool "of_metis voice" true (contains msg "Graph_io.of_metis");
+  check_bool "upload dropped" true (uploads () = Json.int 0);
+  let msg =
+    err_json "rows after failure"
+      (handle svc "{\"op\":\"submit-rows\",\"graph\":\"g\",\"metis\":\"1\\n\"}")
+  in
+  check_bool "retry needs fresh begin" true (contains msg "submit-begin");
+  (* the previously installed graph still answers *)
+  let v, _ =
+    ok_json "old graph intact"
+      (handle svc "{\"op\":\"partition\",\"graph\":\"g\",\"k\":2}")
+  in
+  check_bool "old graph feasible" true
+    (field "partition" v "feasible" = Json.Bool true)
+
 (* --- Daemon end to end --- *)
 
 let daemon_socket () =
@@ -473,6 +568,10 @@ let quick_tests =
       test_pool_exceptions_reach_finish;
     Alcotest.test_case "service flow" `Quick test_service_flow;
     Alcotest.test_case "service errors" `Quick test_service_errors;
+    Alcotest.test_case "service chunked submit" `Quick
+      test_service_chunked_submit;
+    Alcotest.test_case "service chunked submit errors" `Quick
+      test_service_chunked_submit_errors;
     Alcotest.test_case "daemon end to end" `Quick test_daemon_end_to_end ]
 
 let slow_tests =

@@ -206,6 +206,184 @@ let test_gp_stream_iterations_validation () =
              { (config_of Config.Stream) with Config.stream_iterations = 0 }
            g c))
 
+(* --- Stream_parallel: chunked restreaming (DESIGN.md §6.9) --- *)
+
+module Team = Ppnpart_exec.Team
+
+let with_team w f =
+  let team = Team.create ~width:w in
+  Fun.protect ~finally:(fun () -> Team.shutdown team) (fun () -> f team)
+
+(* Big enough that the default chunk size (4096) yields several chunks,
+   so the frozen-state merge path actually runs. *)
+let chunked_instance seed =
+  let r = rng seed in
+  let n = 9_000 + Random.State.int r 3_000 in
+  let g = Rand_graph.gnm ~vw_range:(1, 7) ~ew_range:(1, 9) r ~n ~m:(3 * n) in
+  let k = 8 in
+  let c =
+    {
+      Types.k;
+      rmax = (Wgraph.total_node_weight g / k * 4 / 3) + 1;
+      bmax = (Wgraph.total_edge_weight g / (2 * k)) + 1;
+    }
+  in
+  (g, c)
+
+let test_chunked_width_determinism () =
+  (* The house contract: chunk boundaries and commit order depend on
+     node index alone, so the labelling is bit-identical across team
+     widths (including no team at all) and across restarts on a warm
+     workspace. *)
+  let ws = Workspace.create () in
+  let g, c = chunked_instance 21 in
+  let base, st_base = Stream_parallel.partition ~workspace:ws g c in
+  let base = Array.copy base in
+  List.iter
+    (fun w ->
+      let p, st =
+        with_team w (fun team ->
+            let p, st = Stream_parallel.partition ~workspace:ws ~team g c in
+            (Array.copy p, st))
+      in
+      check_parts (Printf.sprintf "width %d = no team" w) base p;
+      check_bool
+        (Printf.sprintf "width %d: same stats" w)
+        true
+        (st.Stream.moved = st_base.Stream.moved
+        && st.Stream.converged = st_base.Stream.converged
+        && st.Stream.iterations = st_base.Stream.iterations))
+    [ 1; 2; 4; 8 ];
+  let restart, _ = Stream_parallel.partition ~workspace:ws g c in
+  check_parts "restart identical" base (Array.copy restart);
+  let fresh, _ = Stream_parallel.partition g c in
+  check_parts "fresh-workspace restart identical" base fresh
+
+let test_chunked_oracle_at_one_chunk () =
+  (* With n <= chunk_size the whole input is one chunk, whose visibility
+     rule degenerates to the sequential pass: Stream_parallel must fall
+     back to (and bit-match) the sequential oracle. *)
+  for seed = 0 to 9 do
+    let g, c = random_instance seed in
+    let seq, s_seq = Stream.partition g c in
+    let par, s_par = Stream_parallel.partition g c in
+    check_parts (Printf.sprintf "seed %d: one chunk = oracle" seed) seq par;
+    check_int
+      (Printf.sprintf "seed %d: same iterations" seed)
+      s_seq.Stream.iterations s_par.Stream.iterations;
+    (* Explicit chunk_size >= n behaves the same as the default. *)
+    let par2, _ =
+      Stream_parallel.partition ~chunk_size:(Wgraph.n_nodes g) g c
+    in
+    check_parts (Printf.sprintf "seed %d: chunk_size = n" seed) seq par2
+  done
+
+let test_chunked_boundary_cases () =
+  (* Chunk sizes that tile n exactly, leave a short tail, or degenerate
+     to one node per chunk must all be valid and width-deterministic. *)
+  let r = rng 33 in
+  let g = Rand_graph.gnm ~vw_range:(1, 3) ~ew_range:(1, 4) r ~n:50 ~m:120 in
+  let c =
+    { Types.k = 4; rmax = (Wgraph.total_node_weight g / 3) + 1; bmax = max_int }
+  in
+  List.iter
+    (fun cs ->
+      let p1 = fst (Stream_parallel.partition ~chunk_size:cs g c) in
+      Types.check_partition ~n:50 ~k:4 p1;
+      let p3 =
+        with_team 3 (fun team ->
+            Array.copy
+              (fst (Stream_parallel.partition ~chunk_size:cs ~team g c)))
+      in
+      check_parts (Printf.sprintf "chunk_size %d: width 3 = width 1" cs) p1 p3)
+    [ 1; 2; 7; 25; 49; 50 ]
+
+let test_chunked_validation () =
+  let g, c = random_instance 0 in
+  Alcotest.check_raises "chunk_size < 1"
+    (Invalid_argument "Stream_parallel.partition: chunk_size < 1") (fun () ->
+      ignore (Stream_parallel.partition ~chunk_size:0 g c));
+  Alcotest.check_raises "max_iterations < 1"
+    (Invalid_argument "Stream_parallel.partition: max_iterations < 1")
+    (fun () -> ignore (Stream_parallel.partition ~max_iterations:0 g c))
+
+let test_chunked_workspace_reuse () =
+  (* Like the sequential streamer, two warm-up runs fill both label
+     banks plus the chunked scratch; thereafter a run allocates nothing
+     in the workspace. *)
+  let ws = Workspace.create () in
+  let g, c = chunked_instance 5 in
+  ignore (Stream_parallel.partition ~workspace:ws g c);
+  ignore (Stream_parallel.partition ~workspace:ws g c);
+  let warm = Workspace.words ws in
+  ignore (Stream_parallel.partition ~workspace:ws g c);
+  ignore (Stream_parallel.partition ~workspace:ws g c);
+  check_int "warm runs allocate nothing" warm (Workspace.words ws)
+
+(* --- Stream_parallel.ingest: pipelined streaming ingest --- *)
+
+let test_ingest_matches_parse_then_stream () =
+  (* Unit edge weights and finite rmax make the header-estimated
+     normalizing constants exact, so the fused path must bit-match
+     parse-then-chunked. *)
+  let r = rng 9 in
+  let g =
+    Rand_graph.gnm ~vw_range:(1, 5) ~ew_range:(1, 1) r ~n:4_000 ~m:12_000
+  in
+  let k = 8 in
+  let c =
+    {
+      Types.k;
+      rmax = (Wgraph.total_node_weight g / k * 4 / 3) + 1;
+      bmax = (Wgraph.total_edge_weight g / (2 * k)) + 1;
+    }
+  in
+  let ws = Workspace.create () in
+  let unfused = Array.copy (fst (Stream_parallel.partition ~workspace:ws g c)) in
+  let text = Graph_io.to_metis g in
+  let g2, fused, _ = Stream_parallel.ingest_text ~workspace:ws c text in
+  check_bool "ingested graph equal" true (Wgraph.equal g2 g);
+  check_parts "fused labels = parse-then-chunked" unfused (Array.copy fused);
+  (* Feeding the same bytes in arbitrary pieces must not change
+     anything: the reader is cursor-based, not line-based. *)
+  let g3, fused2, _ =
+    Stream_parallel.ingest ~workspace:ws c (fun feed ->
+        let len = String.length text in
+        let pos = ref 0 in
+        while !pos < len do
+          let l = min 1009 (len - !pos) in
+          feed (String.sub text !pos l);
+          pos := !pos + l
+        done)
+  in
+  check_bool "split-feed graph equal" true (Wgraph.equal g3 g);
+  check_parts "split-feed labels identical" unfused fused2
+
+let test_ingest_rejects_malformed () =
+  (* End-of-stream validation must speak with of_metis's voice: for
+     every malformed document the fused path raises the identical
+     Failure message the batch parser does. *)
+  List.iter
+    (fun text ->
+      let expected =
+        match Graph_io.of_metis text with
+        | _ -> Alcotest.failf "of_metis accepted malformed %S" text
+        | exception Failure msg -> msg
+      in
+      Alcotest.check_raises
+        (Printf.sprintf "ingest rejects %S like of_metis" text)
+        (Failure expected)
+        (fun () ->
+          ignore
+            (Stream_parallel.ingest_text (Types.unconstrained ~k:2) text)))
+    [
+      "";
+      "2 5 000\n2\n1\n";
+      "2 1 001\n2 3\n1 4\n";
+      "3 2\n2\n1 3\n";
+      "2 1\n2\n\n";
+    ]
+
 (* --- scale smoke: the point of the whole exercise --- *)
 
 let test_stream_scale_smoke () =
@@ -250,6 +428,26 @@ let () =
             test_gp_modes_deterministic_across_jobs;
           Alcotest.test_case "stream_iterations validated" `Quick
             test_gp_stream_iterations_validation;
+        ] );
+      ( "chunked",
+        [
+          Alcotest.test_case "width determinism" `Quick
+            test_chunked_width_determinism;
+          Alcotest.test_case "oracle at one chunk" `Quick
+            test_chunked_oracle_at_one_chunk;
+          Alcotest.test_case "chunk boundary cases" `Quick
+            test_chunked_boundary_cases;
+          Alcotest.test_case "parameters validated" `Quick
+            test_chunked_validation;
+          Alcotest.test_case "workspace reuse" `Quick
+            test_chunked_workspace_reuse;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "matches parse-then-stream" `Quick
+            test_ingest_matches_parse_then_stream;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_ingest_rejects_malformed;
         ] );
       ( "scale",
         [ Alcotest.test_case "rmat smoke" `Slow test_stream_scale_smoke ] );
